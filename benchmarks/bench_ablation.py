@@ -1,0 +1,101 @@
+"""Ablation benchmarks for the design choices HITSnDIFFS is built on.
+
+Not a paper figure, but the design decisions DESIGN.md calls out deserve
+their own measurements:
+
+* **2nd vs 1st eigenvector** — AVGHITS' dominant eigenvector carries no
+  ranking information (it is the all-ones direction); the ranking lives in
+  the 2nd eigenvector.  Compared against plain HITS on ideal data.
+* **Decile-entropy symmetry breaking** — without it, the returned ordering
+  is only correct up to reversal; the ablation measures how often the
+  heuristic orients correctly across the three IRT generators.
+* **Averaging vs summing** (AVGHITS vs HITS update rule) on heterogeneous
+  items with missing answers, where normalization is what keeps prolific
+  users from dominating.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.hitsndiffs import HNDPower
+from repro.evaluation.metrics import orientation_agnostic_accuracy, spearman_accuracy
+from repro.irt.generators import generate_c1p_dataset, generate_dataset
+from repro.truth_discovery import HITSRanker
+
+SEED = 777
+NUM_TRIALS = 5
+
+
+def test_ablation_second_vs_first_eigenvector(benchmark, table_printer):
+    """On ideal C1P data the 2nd-eigenvector ranking (HnD) is exact while the
+    1st-eigenvector ranking (HITS) is far from it."""
+
+    def run():
+        hnd_accuracies, hits_accuracies = [], []
+        for trial in range(NUM_TRIALS):
+            dataset = generate_c1p_dataset(80, 120, 3, random_state=SEED + trial)
+            hnd = HNDPower(random_state=trial).rank(dataset.response)
+            hits = HITSRanker().rank(dataset.response)
+            hnd_accuracies.append(spearman_accuracy(hnd, dataset.abilities))
+            hits_accuracies.append(spearman_accuracy(hits, dataset.abilities))
+        return float(np.mean(hnd_accuracies)), float(np.mean(hits_accuracies))
+
+    hnd_mean, hits_mean = benchmark.pedantic(run, rounds=1, iterations=1)
+    table_printer("Ablation: 2nd eigenvector (HnD) vs 1st eigenvector (HITS) on C1P data",
+                  ("method", "mean accuracy"),
+                  [("HnD (2nd eigenvector)", hnd_mean), ("HITS (1st eigenvector)", hits_mean)])
+    assert hnd_mean > 0.99
+    assert hits_mean < 0.9
+
+
+def test_ablation_symmetry_breaking(benchmark, table_printer):
+    """The decile-entropy heuristic orients the ranking correctly on the vast
+    majority of instances from every generator."""
+
+    def run():
+        outcomes = {}
+        for model in ("grm", "bock", "samejima"):
+            correct = 0
+            magnitudes = []
+            for trial in range(NUM_TRIALS):
+                dataset = generate_dataset(model, 100, 100, 3,
+                                           random_state=SEED + trial)
+                ranking = HNDPower(random_state=trial).rank(dataset.response)
+                accuracy = spearman_accuracy(ranking, dataset.abilities)
+                magnitudes.append(orientation_agnostic_accuracy(ranking, dataset.abilities))
+                correct += accuracy > 0
+            outcomes[model] = (correct / NUM_TRIALS, float(np.mean(magnitudes)))
+        return outcomes
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    table_printer("Ablation: decile-entropy orientation success rate",
+                  ("model", "correct orientation rate", "|accuracy| (orientation-free)"),
+                  [(model, rate, magnitude) for model, (rate, magnitude) in outcomes.items()])
+    for model, (rate, magnitude) in outcomes.items():
+        assert rate >= 0.8, model
+        assert magnitude > 0.85, model
+
+
+def test_ablation_averaging_vs_summing_with_missing_answers(benchmark, table_printer):
+    """AVGHITS' averaging makes HnD robust to users answering different
+    numbers of questions; HITS' summing favours prolific users."""
+
+    def run():
+        hnd_accuracies, hits_accuracies = [], []
+        for trial in range(NUM_TRIALS):
+            dataset = generate_dataset("samejima", 100, 150, 3,
+                                       answer_probability=0.6,
+                                       random_state=SEED + trial)
+            hnd = HNDPower(random_state=trial).rank(dataset.response)
+            hits = HITSRanker().rank(dataset.response)
+            hnd_accuracies.append(orientation_agnostic_accuracy(hnd, dataset.abilities))
+            hits_accuracies.append(orientation_agnostic_accuracy(hits, dataset.abilities))
+        return float(np.mean(hnd_accuracies)), float(np.mean(hits_accuracies))
+
+    hnd_mean, hits_mean = benchmark.pedantic(run, rounds=1, iterations=1)
+    table_printer("Ablation: averaging (HnD) vs summing (HITS) with 60% coverage",
+                  ("method", "mean |accuracy|"),
+                  [("HnD (averages)", hnd_mean), ("HITS (sums)", hits_mean)])
+    assert hnd_mean >= hits_mean - 0.05
+    assert hnd_mean > 0.85

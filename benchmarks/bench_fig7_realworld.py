@@ -1,0 +1,73 @@
+"""Figures 7, 10 and 11: accuracy on the real-world-shaped MCQ datasets.
+
+Section IV-E / Appendix D-B evaluate the unsupervised methods on six MCQ
+datasets (Chinese, English, IT, Medicine, Pokemon, Science), using the
+ranking of the "True-answer" baseline as the reference because no ground
+truth on user ability exists.  Figure 10 summarizes the dataset shapes;
+Figure 11 gives per-dataset correlations; Figure 7 averages them.
+
+The original data is not redistributable, so the registry regenerates
+simulated stand-ins with identical shapes (see DESIGN.md); the protocol and
+the qualitative outcome — no single method wins everywhere, ABH far behind,
+HnD competitive with the HITS-family — are what is reproduced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import dataset_summary_table, list_datasets, load_dataset
+from repro.evaluation.experiments import default_ranker_suite, evaluate_rankers
+from repro.truth_discovery import TrueAnswerRanker
+
+SEED = 5
+
+
+def test_fig10_dataset_summary(benchmark, table_printer):
+    """Figure 10: the dataset summary table (users / questions / options)."""
+    rows = benchmark.pedantic(dataset_summary_table, rounds=1, iterations=1)
+    table_printer("Figure 10: real dataset summary",
+                  ("dataset", "#users", "#questions", "#options"), list(rows))
+    assert len(rows) == 6
+
+
+def test_fig7_and_fig11_realworld_accuracy(benchmark, table_printer):
+    """Figures 7 and 11: correlation with the True-answer reference ranking."""
+
+    def run():
+        per_dataset = {}
+        for name in list_datasets():
+            dataset = load_dataset(name)
+            reference = TrueAnswerRanker(dataset.correct_options).rank(dataset.response)
+            suite = default_ranker_suite(random_state=SEED)
+            result = evaluate_rankers(dataset, suite,
+                                      reference_abilities=reference.scores)
+            per_dataset[name] = result.accuracies
+        return per_dataset
+
+    per_dataset = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for name, accuracies in per_dataset.items():
+        for method, accuracy in accuracies.items():
+            rows.append((name, method, 100.0 * accuracy))
+    table_printer("Figure 11: per-dataset correlation with True-answer (x100)",
+                  ("dataset", "method", "accuracy x100"), rows)
+
+    methods = list(next(iter(per_dataset.values())))
+    averages = {
+        method: float(np.mean([per_dataset[name][method] for name in per_dataset]))
+        for method in methods
+    }
+    table_printer("Figure 7: average correlation with True-answer (x100)",
+                  ("method", "accuracy x100"),
+                  [(method, 100.0 * value) for method, value in sorted(
+                      averages.items(), key=lambda kv: -kv[1])])
+
+    # Qualitative shape from the paper (Figure 7): ABH is far behind every
+    # other method; HnD sits in the leading pack with the HITS-style
+    # baselines, which edge it out slightly on these small datasets.
+    assert averages["ABH"] < averages["HnD"] - 0.2
+    best = max(averages.values())
+    assert averages["HnD"] > best - 0.15
+    assert averages["HnD"] > 0.6

@@ -1,0 +1,72 @@
+"""Figure 8: GRM vs Bock response curves and their C1P limit.
+
+Appendix C illustrates (8a) that GRM can be seen as a special case of the
+Bock model after tying the Bock slopes to multiples of the GRM slope, and
+(8b) that both models approach Heaviside-step (C1P-consistent) response
+functions as the discrimination grows.  The benchmark evaluates both models
+on an ability grid and checks the two relationships numerically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.irt.polytomous import BockModel, GradedResponseModel
+
+ABILITY_GRID = np.linspace(-0.8, 0.8, 161)
+
+
+def _paper_fig8a_models():
+    """GRM with a=8, b=(-0.2, 0.2) vs Bock with alpha=(0,8,16), beta=(0,1.6,0)."""
+    grm = GradedResponseModel(discrimination=np.array([8.0]),
+                              thresholds=np.array([[-0.2, 0.2]]))
+    bock = BockModel(slopes=np.array([[0.0, 8.0, 16.0]]),
+                     intercepts=np.array([[0.0, 1.6, 0.0]]))
+    return grm, bock
+
+
+def _paper_fig8b_models():
+    """The same pair with discrimination scaled up (a=50), close to C1P."""
+    grm = GradedResponseModel(discrimination=np.array([50.0]),
+                              thresholds=np.array([[-0.4, 0.4]]))
+    bock = BockModel(slopes=np.array([[0.0, 50.0, 100.0]]),
+                     intercepts=np.array([[0.0, 20.0, 0.0]]))
+    return grm, bock
+
+
+def test_fig8a_grm_approximates_bock(benchmark, table_printer):
+    grm, bock = _paper_fig8a_models()
+
+    def run():
+        return (grm.option_probabilities(ABILITY_GRID)[:, 0, :],
+                bock.option_probabilities(ABILITY_GRID)[:, 0, :])
+
+    grm_curves, bock_curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    max_gap = float(np.max(np.abs(grm_curves - bock_curves)))
+    table_printer("Figure 8a: GRM vs Bock curve gap",
+                  ("quantity", "value"),
+                  [("max |GRM - Bock| over grid", max_gap),
+                   ("mean |GRM - Bock| over grid",
+                    float(np.mean(np.abs(grm_curves - bock_curves))))])
+    # "GRM can be interpreted as an approximate special case of Bock."
+    assert max_gap < 0.15
+
+
+def test_fig8b_high_discrimination_approaches_c1p(benchmark, table_printer):
+    grm, bock = _paper_fig8b_models()
+
+    def run():
+        return (grm.option_probabilities(ABILITY_GRID)[:, 0, :],
+                bock.option_probabilities(ABILITY_GRID)[:, 0, :])
+
+    grm_curves, bock_curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Away from the thresholds, the dominant option's probability is ~1:
+    # the response function is (numerically) a difference of Heaviside steps.
+    away_from_steps = np.abs(np.abs(ABILITY_GRID) - 0.4) > 0.1
+    for curves in (grm_curves, bock_curves):
+        dominant = curves[away_from_steps].max(axis=1)
+        assert np.all(dominant > 0.95)
+    table_printer("Figure 8b: sharpness at high discrimination",
+                  ("model", "min dominant-option probability (away from steps)"),
+                  [("GRM", float(grm_curves[away_from_steps].max(axis=1).min())),
+                   ("Bock", float(bock_curves[away_from_steps].max(axis=1).min()))])

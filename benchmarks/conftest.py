@@ -1,0 +1,51 @@
+"""Shared helpers for the benchmark harness.
+
+Every module in this directory regenerates one table or figure of the paper
+(see DESIGN.md for the index).  Benchmarks run under ``pytest-benchmark``
+(``pytest benchmarks/ --benchmark-only``); in addition to timing, each test
+prints the rows/series the corresponding figure reports so the numbers can
+be compared against the paper (EXPERIMENTS.md records one such run).
+
+Sizes are scaled down from the paper's server-scale sweeps so the whole
+harness finishes on a laptop; the *shape* of each result (who wins, by
+roughly what factor, where crossovers happen) is what is being reproduced.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+import pytest
+
+#: All tables printed by the harness are also appended here, because pytest
+#: captures stdout of passing tests; this file is the record EXPERIMENTS.md
+#: refers to.
+RESULTS_FILE = Path(__file__).parent / "results" / "figures.txt"
+
+
+def print_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]) -> None:
+    """Print a paper-style results table and append it to the results file."""
+    formatted = [
+        [f"{cell:.4f}" if isinstance(cell, float) else str(cell) for cell in row]
+        for row in rows
+    ]
+    widths = [len(header) for header in headers]
+    for row in formatted:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = ["", f"== {title} =="]
+    lines.append("  ".join(header.ljust(widths[index]) for index, header in enumerate(headers)))
+    for row in formatted:
+        lines.append("  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
+    text = "\n".join(lines)
+    print(text)
+    RESULTS_FILE.parent.mkdir(parents=True, exist_ok=True)
+    with RESULTS_FILE.open("a", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+
+
+@pytest.fixture
+def table_printer():
+    """Fixture exposing :func:`print_table` to benchmark tests."""
+    return print_table

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Consecutive-ones reconstruction: spectral vs combinatorial algorithms.
+
+The theoretical heart of the paper is the connection between consistent
+responses and the Consecutive Ones Property (C1P).  This example works with
+that machinery directly:
+
+1. build an ideal consistent-response matrix (a pre-P-matrix) and shuffle it,
+2. recover row orderings with Booth–Lueker PQ-trees (exact, combinatorial),
+   ABH spectral seriation, and HITSnDIFFS,
+3. verify all three realize the C1P,
+4. perturb the matrix away from the ideal case and show that the
+   combinatorial algorithm gives up while the spectral heuristics still
+   produce useful orderings (counted as remaining C1P violations).
+
+Run with::
+
+    python examples/c1p_reconstruction.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ABHDirect, HNDPower, ResponseMatrix, generate_c1p_dataset
+from repro.c1p import count_c1p_violations, find_c1p_ordering, is_p_matrix
+from repro.c1p.generators import perturb_binary_matrix
+
+
+def main() -> None:
+    # 1. An ideal classroom: 40 users, 80 items, consistent responses.
+    ideal = generate_c1p_dataset(40, 80, num_options=3, random_state=1)
+    binary = ideal.response.binary_dense
+    print(f"ideal response matrix: {binary.shape[0]} users x {binary.shape[1]} "
+          f"(item, option) columns, currently a P-matrix: {is_p_matrix(binary)}")
+
+    shuffle = np.random.default_rng(2).permutation(binary.shape[0])
+    shuffled = binary[shuffle]
+    print(f"after shuffling the users it is a P-matrix: {is_p_matrix(shuffled)}")
+
+    # 2. Recover orderings with all three algorithms.
+    shuffled_response = ResponseMatrix.from_binary(shuffled, num_options=3)
+    bl_order = find_c1p_ordering(shuffled)
+    hnd_order = HNDPower(break_symmetry=False, random_state=0).rank(shuffled_response).order
+    abh_order = ABHDirect(break_symmetry=False).rank(shuffled_response).order
+
+    print("\nreconstruction on the ideal (pre-P) matrix:")
+    print(f"  Booth-Lueker (PQ-tree) realizes C1P: {is_p_matrix(shuffled[bl_order])}")
+    print(f"  HITSnDIFFS            realizes C1P: {is_p_matrix(shuffled[hnd_order])}")
+    print(f"  ABH                   realizes C1P: {is_p_matrix(shuffled[abh_order])}")
+
+    # 3. Perturb 2% of the entries: no exact C1P ordering exists any more.
+    noisy = perturb_binary_matrix(shuffled, flip_probability=0.02, random_state=3)
+    noisy_bl = find_c1p_ordering(noisy)
+    print("\nafter flipping 2% of the entries:")
+    print(f"  Booth-Lueker finds an ordering: {noisy_bl is not None} "
+          "(the combinatorial algorithm offers no fallback)")
+
+    # The spectral heuristics still order the rows (here: by the scores they
+    # assign to the users); count how many columns remain non-consecutive
+    # under each heuristic ordering versus the shuffled baseline.
+    baseline = count_c1p_violations(noisy)
+    print(f"  columns violating C1P in the shuffled order:   {baseline}")
+    print(f"  columns violating C1P after the HnD ordering:  "
+          f"{count_c1p_violations(noisy[hnd_order])}")
+    print(f"  columns violating C1P after the ABH ordering:  "
+          f"{count_c1p_violations(noisy[abh_order])}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: rank users by ability with HITSnDIFFS.
+
+Generates a synthetic multiple-choice dataset from the Graded Response Model
+(the paper's main generative model), runs HND and a few baselines, and
+compares the recovered rankings against the ground-truth abilities.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ABHDirect,
+    HNDPower,
+    HITSRanker,
+    TrueAnswerRanker,
+    generate_dataset,
+    spearman_accuracy,
+)
+
+
+def main() -> None:
+    # 1. Generate a crowd of 120 users answering 150 three-option questions.
+    #    The dataset carries the ground-truth abilities and correct options,
+    #    which real data would not have — we use them only for evaluation.
+    dataset = generate_dataset(
+        "grm", num_users=120, num_items=150, num_options=3, random_state=0
+    )
+    print(f"dataset: {dataset.num_users} users x {dataset.num_items} items "
+          f"({dataset.model_name} model)")
+
+    # 2. Rank the users with HITSnDIFFS (Algorithm 1 of the paper).
+    ranking = HNDPower(random_state=0).rank(dataset.response)
+    print(f"\nHnD converged after {ranking.diagnostics['iterations']} iterations")
+    print(f"top 5 users by estimated ability:    {ranking.top_users(5).tolist()}")
+    print(f"top 5 users by true ability:         "
+          f"{dataset.true_ranking[::-1][:5].tolist()}")
+
+    # 3. Compare against baselines (ABH, HITS) and the cheating True-answer
+    #    baseline that is told the correct option of every question.
+    contenders = {
+        "HnD": ranking,
+        "ABH": ABHDirect().rank(dataset.response),
+        "HITS": HITSRanker().rank(dataset.response),
+        "True-answer (cheating)": TrueAnswerRanker(dataset.correct_options).rank(
+            dataset.response
+        ),
+    }
+    print("\nSpearman correlation with the ground-truth abilities:")
+    for name, result in contenders.items():
+        accuracy = spearman_accuracy(result, dataset.abilities)
+        print(f"  {name:<24s} {accuracy:6.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so that editable installs work in offline
+environments whose setuptools lacks the ``wheel`` package required by the
+PEP 660 editable-install path (``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,50 @@
+"""Consecutive Ones Property (C1P) substrate.
+
+Predicates (P-matrix, pre-P-matrix, R-matrix), the Booth–Lueker PQ-tree
+algorithm, the ABH spectral seriation competitor, and generators of matrices
+with known C1P structure.
+"""
+
+from repro.c1p.properties import (
+    brute_force_c1p_ordering,
+    column_is_consecutive,
+    is_p_matrix,
+    is_pre_p_matrix,
+    is_r_matrix,
+    monotonicity_violations,
+)
+from repro.c1p.pq_tree import PQNode, PQTree
+from repro.c1p.booth_lueker import (
+    build_pq_tree,
+    count_c1p_violations,
+    find_c1p_ordering,
+    require_c1p_ordering,
+)
+from repro.c1p.abh import ABHDirect, ABHPower
+from repro.c1p.generators import (
+    perturb_binary_matrix,
+    random_p_matrix,
+    random_pre_p_matrix,
+    staircase_matrix,
+)
+
+__all__ = [
+    "is_p_matrix",
+    "is_pre_p_matrix",
+    "is_r_matrix",
+    "column_is_consecutive",
+    "monotonicity_violations",
+    "brute_force_c1p_ordering",
+    "PQTree",
+    "PQNode",
+    "build_pq_tree",
+    "find_c1p_ordering",
+    "require_c1p_ordering",
+    "count_c1p_violations",
+    "ABHDirect",
+    "ABHPower",
+    "random_p_matrix",
+    "random_pre_p_matrix",
+    "perturb_binary_matrix",
+    "staircase_matrix",
+]

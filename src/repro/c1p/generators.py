@@ -1,0 +1,111 @@
+"""Generators of P-matrices, pre-P-matrices, and near-C1P perturbations.
+
+Used by the test suite (property-based tests need a rich supply of matrices
+with known C1P structure) and by the stability experiments that perturb an
+ideal matrix to study how the spectral methods degrade (Section IV-D).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+RandomState = Optional[Union[int, np.random.Generator]]
+
+
+def random_p_matrix(
+    num_rows: int,
+    num_columns: int,
+    *,
+    min_block: int = 1,
+    max_block: Optional[int] = None,
+    random_state: RandomState = None,
+) -> np.ndarray:
+    """Generate a random P-matrix: every column is one consecutive block of 1s.
+
+    Parameters
+    ----------
+    num_rows, num_columns:
+        Matrix shape.
+    min_block, max_block:
+        Bounds on the length of each column's block of ones
+        (``max_block`` defaults to ``num_rows``).
+    """
+    if num_rows < 1 or num_columns < 1:
+        raise ValueError("matrix dimensions must be positive")
+    rng = np.random.default_rng(random_state)
+    max_block = num_rows if max_block is None else min(max_block, num_rows)
+    min_block = max(1, min(min_block, max_block))
+    matrix = np.zeros((num_rows, num_columns), dtype=int)
+    for column in range(num_columns):
+        length = int(rng.integers(min_block, max_block + 1))
+        start = int(rng.integers(0, num_rows - length + 1))
+        matrix[start:start + length, column] = 1
+    return matrix
+
+
+def random_pre_p_matrix(
+    num_rows: int,
+    num_columns: int,
+    *,
+    min_block: int = 1,
+    max_block: Optional[int] = None,
+    random_state: RandomState = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Generate a pre-P-matrix together with a row order that realizes C1P.
+
+    Returns ``(matrix, order)`` where ``matrix[order]`` is a P-matrix: the
+    matrix is a random P-matrix whose rows were shuffled, and ``order`` is
+    the inverse shuffle.
+    """
+    rng = np.random.default_rng(random_state)
+    p_matrix = random_p_matrix(
+        num_rows,
+        num_columns,
+        min_block=min_block,
+        max_block=max_block,
+        random_state=rng,
+    )
+    permutation = rng.permutation(num_rows)
+    shuffled = p_matrix[permutation]
+    # ``shuffled[order] == p_matrix``: order is the inverse permutation.
+    order = np.argsort(permutation, kind="stable")
+    return shuffled, order
+
+
+def perturb_binary_matrix(
+    matrix: np.ndarray,
+    flip_probability: float,
+    *,
+    random_state: RandomState = None,
+) -> np.ndarray:
+    """Flip each entry independently with the given probability.
+
+    Models deviation from the ideal consistent-response case; used by the
+    robustness tests that check HND degrades gracefully rather than
+    catastrophically as the perturbation grows.
+    """
+    if not 0 <= flip_probability <= 1:
+        raise ValueError("flip_probability must lie in [0, 1]")
+    rng = np.random.default_rng(random_state)
+    matrix = np.asarray(matrix, dtype=int)
+    flips = rng.random(matrix.shape) < flip_probability
+    return np.where(flips, 1 - matrix, matrix)
+
+
+def staircase_matrix(num_rows: int, num_columns: int) -> np.ndarray:
+    """A deterministic banded P-matrix with a unique C1P ordering.
+
+    Column ``i`` covers a sliding window of rows, so consecutive rows always
+    share more columns than distant rows — a convenient fixture with a
+    unique (up to reversal) consecutive ones ordering.
+    """
+    if num_rows < 2 or num_columns < 1:
+        raise ValueError("need at least 2 rows and 1 column")
+    matrix = np.zeros((num_rows, num_columns), dtype=int)
+    window = max(2, num_rows // 3)
+    for column in range(num_columns):
+        start = int(round(column * (num_rows - window) / max(num_columns - 1, 1)))
+        matrix[start:start + window, column] = 1
+    return matrix

@@ -1,0 +1,390 @@
+"""A PQ-tree for the consecutive ones problem (Booth & Lueker 1976).
+
+A PQ-tree over a ground set represents a family of permutations of that set.
+Leaves are ground-set elements; **P-nodes** allow their children to appear in
+any order; **Q-nodes** fix the order of their children up to full reversal.
+The represented permutations are the *frontiers* (left-to-right leaf orders)
+reachable by these operations.
+
+``reduce(S)`` restricts the tree to the permutations in which the elements
+of ``S`` appear consecutively, or fails when no such permutation remains.
+Reducing with every column of a binary matrix therefore decides the
+consecutive ones property and, on success, the frontier is a witness row
+ordering — exactly the Booth–Lueker algorithm (the paper's ``BL`` baseline,
+Section II-C).
+
+This implementation favours clarity over the original's amortized-linear
+bookkeeping: each reduction walks the pertinent subtree explicitly, which is
+``O(m)`` per column and entirely sufficient for library use (the paper never
+runs BL in experiments; it exists as the exact combinatorial reference).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Optional, Sequence
+
+from repro.exceptions import NotC1PError
+
+# Node labels used during a reduction pass.
+EMPTY = "empty"
+FULL = "full"
+PARTIAL = "partial"
+
+# Node kinds.
+LEAF = "leaf"
+P_NODE = "P"
+Q_NODE = "Q"
+
+
+class PQNode:
+    """A node of a PQ-tree.
+
+    Attributes
+    ----------
+    kind:
+        One of ``"leaf"``, ``"P"``, ``"Q"``.
+    value:
+        The ground-set element for leaves, ``None`` otherwise.
+    children:
+        Ordered child list (empty for leaves).
+    """
+
+    __slots__ = ("kind", "value", "children")
+
+    def __init__(self, kind: str, value: Optional[int] = None,
+                 children: Optional[List["PQNode"]] = None) -> None:
+        self.kind = kind
+        self.value = value
+        self.children: List[PQNode] = children if children is not None else []
+
+    # ------------------------------------------------------------------ #
+    def leaves(self) -> List[int]:
+        """Ground-set elements below this node in frontier order."""
+        if self.kind == LEAF:
+            return [self.value]  # type: ignore[list-item]
+        result: List[int] = []
+        for child in self.children:
+            result.extend(child.leaves())
+        return result
+
+    def leaf_set(self) -> FrozenSet[int]:
+        """Set of ground-set elements below this node."""
+        return frozenset(self.leaves())
+
+    def copy(self) -> "PQNode":
+        """Deep copy of the subtree rooted here."""
+        if self.kind == LEAF:
+            return PQNode(LEAF, value=self.value)
+        return PQNode(self.kind, children=[child.copy() for child in self.children])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.kind == LEAF:
+            return str(self.value)
+        open_bracket, close_bracket = ("(", ")") if self.kind == P_NODE else ("[", "]")
+        inner = " ".join(repr(child) for child in self.children)
+        return f"{open_bracket}{inner}{close_bracket}"
+
+
+def _group(children: List[PQNode], kind: str = P_NODE) -> Optional[PQNode]:
+    """Wrap a child list into a single node (or return the lone child / None)."""
+    if not children:
+        return None
+    if len(children) == 1:
+        return children[0]
+    return PQNode(kind, children=list(children))
+
+
+def _simplify(node: PQNode) -> PQNode:
+    """Collapse single-child internal nodes (they impose no constraint).
+
+    Note that nested P-in-P (or Q-in-Q) nodes must NOT be flattened: an
+    internal node with two or more children constrains its leaves to stay
+    together, which is exactly the information the reduction templates
+    record.
+    """
+    if node.kind == LEAF:
+        return node
+    node.children = [_simplify(child) for child in node.children]
+    if len(node.children) == 1:
+        return node.children[0]
+    if node.kind == Q_NODE and len(node.children) == 2:
+        # A Q-node with two children permits the same orders as a P-node.
+        node.kind = P_NODE
+    return node
+
+
+class PQTree:
+    """PQ-tree over the ground set ``{0, ..., size - 1}``.
+
+    Parameters
+    ----------
+    universe:
+        Iterable of ground-set elements.  The initial tree is a single P-node
+        whose children are all the leaves (it represents every permutation).
+    """
+
+    def __init__(self, universe: Iterable[int]) -> None:
+        elements = list(universe)
+        if not elements:
+            raise ValueError("the PQ-tree ground set must not be empty")
+        if len(set(elements)) != len(elements):
+            raise ValueError("ground-set elements must be distinct")
+        self._universe = frozenset(elements)
+        if len(elements) == 1:
+            self._root = PQNode(LEAF, value=elements[0])
+        else:
+            self._root = PQNode(P_NODE, children=[PQNode(LEAF, value=e) for e in elements])
+
+    # ------------------------------------------------------------------ #
+    @property
+    def root(self) -> PQNode:
+        return self._root
+
+    @property
+    def universe(self) -> FrozenSet[int]:
+        return self._universe
+
+    def frontier(self) -> List[int]:
+        """One permutation consistent with every reduction applied so far."""
+        return self._root.leaves()
+
+    # ------------------------------------------------------------------ #
+    def reduce(self, constraint: Iterable[int]) -> bool:
+        """Require the elements of ``constraint`` to be consecutive.
+
+        Returns ``True`` on success (the tree is updated in place) and
+        ``False`` when the constraint is incompatible with the previously
+        applied ones; in the failure case the tree is left unchanged.
+        """
+        subset = frozenset(constraint)
+        unknown = subset - self._universe
+        if unknown:
+            raise ValueError(f"constraint contains unknown elements: {sorted(unknown)}")
+        if len(subset) <= 1 or subset == self._universe:
+            return True
+        backup = self._root.copy()
+        pertinent_root = self._find_pertinent_root(self._root, subset)
+        try:
+            label, new_node = self._process(pertinent_root, subset, is_root=True)
+        except NotC1PError:
+            self._root = backup
+            return False
+        self._replace(self._root, pertinent_root, new_node)
+        if pertinent_root is self._root:
+            self._root = new_node
+        self._root = _simplify(self._root)
+        return True
+
+    def reduce_all(self, constraints: Sequence[Iterable[int]]) -> bool:
+        """Apply :meth:`reduce` for each constraint; stop and report failure early."""
+        for constraint in constraints:
+            if not self.reduce(constraint):
+                return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    def _find_pertinent_root(self, node: PQNode, subset: FrozenSet[int]) -> PQNode:
+        """Deepest node whose subtree contains all elements of ``subset``."""
+        current = node
+        while True:
+            if current.kind == LEAF:
+                return current
+            containing_child = None
+            for child in current.children:
+                child_leaves = child.leaf_set()
+                if subset <= child_leaves:
+                    containing_child = child
+                    break
+                if subset & child_leaves:
+                    # subset spans multiple children: current is the root.
+                    return current
+            if containing_child is None:
+                return current
+            current = containing_child
+
+    def _replace(self, node: PQNode, old: PQNode, new: PQNode) -> bool:
+        """Replace ``old`` with ``new`` in the subtree of ``node`` (identity match)."""
+        if node is old:
+            return True
+        if node.kind == LEAF:
+            return False
+        for index, child in enumerate(node.children):
+            if child is old:
+                node.children[index] = new
+                return True
+            if self._replace(child, old, new):
+                return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Template matching
+    # ------------------------------------------------------------------ #
+    def _process(self, node: PQNode, subset: FrozenSet[int], *, is_root: bool):
+        """Recursively reduce ``node``; return ``(label, replacement_node)``.
+
+        Partial nodes are returned as Q-nodes whose children run from the
+        empty side (left) to the full side (right).
+
+        Raises
+        ------
+        NotC1PError
+            When no template applies, i.e. the constraint cannot be made
+            consecutive.
+        """
+        if node.kind == LEAF:
+            return (FULL if node.value in subset else EMPTY), node
+
+        processed = [self._process(child, subset, is_root=False) for child in node.children]
+        labels = [label for label, _ in processed]
+        children = [child for _, child in processed]
+
+        if all(label == EMPTY for label in labels):
+            node.children = children
+            return EMPTY, node
+        if all(label == FULL for label in labels):
+            node.children = children
+            return FULL, node
+
+        if node.kind == P_NODE:
+            return self._process_p_node(node, labels, children, is_root=is_root)
+        return self._process_q_node(node, labels, children, is_root=is_root)
+
+    # ------------------------------------------------------------------ #
+    def _process_p_node(self, node: PQNode, labels: List[str],
+                        children: List[PQNode], *, is_root: bool):
+        empty_children = [c for c, l in zip(children, labels) if l == EMPTY]
+        full_children = [c for c, l in zip(children, labels) if l == FULL]
+        partial_children = [c for c, l in zip(children, labels) if l == PARTIAL]
+
+        max_partial = 2 if is_root else 1
+        if len(partial_children) > max_partial:
+            raise NotC1PError("more partial children than the templates allow")
+
+        full_group = _group(full_children)
+
+        if is_root:
+            if not partial_children:
+                # Template P2: gather the full children under one P-node.
+                new_children = list(empty_children)
+                if full_group is not None:
+                    new_children.append(full_group)
+                node.children = new_children
+                return FULL, node
+            if len(partial_children) == 1:
+                # Template P4: append the full group to the full end of the
+                # partial Q-child.
+                partial = partial_children[0]
+                if full_group is not None:
+                    partial.children.append(full_group)
+                new_children = list(empty_children) + [partial]
+                node.children = new_children
+                return FULL, node
+            # Template P6: two partial children are merged into a single Q-node
+            # with the full material in the middle and empties at both ends.
+            first, second = partial_children
+            merged_children = list(first.children)
+            if full_group is not None:
+                merged_children.append(full_group)
+            merged_children.extend(reversed(second.children))
+            merged = PQNode(Q_NODE, children=merged_children)
+            new_children = list(empty_children) + [merged]
+            node.children = new_children
+            return FULL, node
+
+        # Non-root templates.
+        empty_group = _group(empty_children)
+        if not partial_children:
+            # Template P3: X becomes a partial Q-node [empty | full].
+            q_children: List[PQNode] = []
+            if empty_group is not None:
+                q_children.append(empty_group)
+            if full_group is not None:
+                q_children.append(full_group)
+            return PARTIAL, PQNode(Q_NODE, children=q_children)
+        # Template P5: exactly one partial child absorbs the rest.
+        partial = partial_children[0]
+        new_children = []
+        if empty_group is not None:
+            new_children.append(empty_group)
+        new_children.extend(partial.children)
+        if full_group is not None:
+            new_children.append(full_group)
+        return PARTIAL, PQNode(Q_NODE, children=new_children)
+
+    # ------------------------------------------------------------------ #
+    def _process_q_node(self, node: PQNode, labels: List[str],
+                        children: List[PQNode], *, is_root: bool):
+        max_partial = 2 if is_root else 1
+        if labels.count(PARTIAL) > max_partial:
+            raise NotC1PError("Q-node has too many partial children")
+
+        flattened = self._flatten_q_children(labels, children, is_root=is_root)
+        if flattened is None:
+            raise NotC1PError("Q-node children are not arrangeable for the constraint")
+        new_labels, new_children = flattened
+        node.children = new_children
+
+        if is_root:
+            return FULL, node
+        # The non-root orientation must be empty -> full.
+        if new_labels and new_labels[0] == FULL:
+            node.children = list(reversed(new_children))
+            new_labels = list(reversed(new_labels))
+        return PARTIAL, node
+
+    def _flatten_q_children(self, labels: List[str], children: List[PQNode],
+                            *, is_root: bool):
+        """Flatten partial children and validate the block structure.
+
+        A valid non-root arrangement (up to reversal) is ``E* [partial] F*``;
+        a valid root arrangement is ``E* [partial] F* [partial] E*``.
+        Partial children (Q-nodes ordered empty->full) are spliced into the
+        sequence with their empty side facing the neighbouring empty block.
+        Returns the new (labels, children) or None when invalid.
+        """
+
+        def try_orientation(lab: List[str], ch: List[PQNode]):
+            out_labels: List[str] = []
+            out_children: List[PQNode] = []
+            # Phases: 0 = leading empties, 1 = fulls, 2 = trailing empties (root only).
+            phase = 0
+            partial_seen = 0
+            for label, child in zip(lab, ch):
+                if label == EMPTY:
+                    if phase == 1:
+                        if not is_root:
+                            return None
+                        phase = 2
+                    out_labels.append(EMPTY)
+                    out_children.append(child)
+                elif label == FULL:
+                    if phase == 0:
+                        phase = 1
+                    elif phase == 2:
+                        return None
+                    out_labels.append(FULL)
+                    out_children.append(child)
+                else:  # PARTIAL
+                    partial_seen += 1
+                    if partial_seen > (2 if is_root else 1):
+                        return None
+                    if phase == 0:
+                        # Entering the full block: splice empty->full.
+                        spliced = list(child.children)
+                        phase = 1
+                    elif phase == 1:
+                        # Leaving the full block: splice full->empty.
+                        if not is_root:
+                            return None
+                        spliced = list(reversed(child.children))
+                        phase = 2
+                    else:
+                        return None
+                    out_children.extend(spliced)
+                    out_labels.extend([PARTIAL] * len(spliced))
+            return out_labels, out_children
+
+        result = try_orientation(labels, children)
+        if result is not None:
+            return result
+        return try_orientation(list(reversed(labels)), list(reversed(children)))

@@ -1,0 +1,115 @@
+"""Predicates on binary matrices from seriation theory.
+
+Definitions from Section II-C and Appendix B of the paper:
+
+* **P-matrix** (Definition 3): a binary matrix in which the 1s of every
+  column are consecutive — the matrix "has C1P".
+* **pre-P-matrix**: a binary matrix whose rows can be permuted into a
+  P-matrix.
+* **R-matrix** (Definition 4): a symmetric matrix whose entries fall off
+  (weakly) when moving away from the diagonal along any row; ``C C^T`` and
+  the AVGHITS matrix ``U`` of a row-sorted P-matrix are R-matrices, which is
+  the heart of the HND correctness proof.
+
+The pre-P test here delegates to the Booth–Lueker PQ-tree reduction for
+anything beyond brute-force size; a brute-force checker over all row
+permutations is kept for property-based testing of small instances.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def _as_dense_binary(matrix: np.ndarray | sp.spmatrix) -> np.ndarray:
+    if sp.issparse(matrix):
+        matrix = np.asarray(matrix.todense())
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ValueError("expected a 2-D matrix")
+    if np.any((matrix != 0) & (matrix != 1)):
+        raise ValueError("expected a binary (0/1) matrix")
+    return matrix.astype(int)
+
+
+def column_is_consecutive(column: np.ndarray) -> bool:
+    """True when all 1s of a binary column form one contiguous block."""
+    ones = np.flatnonzero(np.asarray(column) != 0)
+    if ones.size <= 1:
+        return True
+    return bool(ones[-1] - ones[0] + 1 == ones.size)
+
+
+def is_p_matrix(matrix: np.ndarray | sp.spmatrix) -> bool:
+    """True when ``matrix`` satisfies the consecutive ones property as-is."""
+    dense = _as_dense_binary(matrix)
+    return all(column_is_consecutive(dense[:, i]) for i in range(dense.shape[1]))
+
+
+def is_pre_p_matrix(matrix: np.ndarray | sp.spmatrix) -> bool:
+    """True when some row permutation of ``matrix`` is a P-matrix.
+
+    Uses the PQ-tree based Booth–Lueker test from
+    :mod:`repro.c1p.booth_lueker`.
+    """
+    from repro.c1p.booth_lueker import find_c1p_ordering
+
+    dense = _as_dense_binary(matrix)
+    return find_c1p_ordering(dense) is not None
+
+
+def brute_force_c1p_ordering(matrix: np.ndarray) -> Optional[np.ndarray]:
+    """Exhaustively search all row permutations for a C1P ordering.
+
+    Only intended for testing (m <= 8); returns the first permutation found
+    or None.
+    """
+    dense = _as_dense_binary(matrix)
+    m = dense.shape[0]
+    if m > 9:
+        raise ValueError("brute force is limited to at most 9 rows")
+    for order in permutations(range(m)):
+        if is_p_matrix(dense[list(order)]):
+            return np.array(order, dtype=int)
+    return None
+
+
+def is_r_matrix(matrix: np.ndarray, *, atol: float = 1e-12) -> bool:
+    """True when ``matrix`` is an R-matrix (Definition 4 of the paper).
+
+    The matrix must be symmetric and, along every row ``j``, entries must not
+    increase when moving away from the diagonal:
+    ``A[j, i] >= A[j, h]`` for ``j < i < h`` and
+    ``A[j, i] <= A[j, h]`` for ``i < h < j``.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    if not np.allclose(matrix, matrix.T, atol=1e-9):
+        return False
+    size = matrix.shape[0]
+    for j in range(size):
+        right = matrix[j, j:]
+        if np.any(np.diff(right) > atol):
+            return False
+        left = matrix[j, : j + 1]
+        if np.any(np.diff(left) < -atol):
+            return False
+    return True
+
+
+def monotonicity_violations(vector: np.ndarray, *, atol: float = 1e-12) -> int:
+    """Number of adjacent pairs violating monotonicity in either direction.
+
+    Zero means the vector is monotone (non-decreasing or non-increasing),
+    which is what Theorem 1 guarantees for the 2nd largest eigenvector of
+    ``U`` on ideal inputs.
+    """
+    diffs = np.diff(np.asarray(vector, dtype=float))
+    increasing_violations = int(np.sum(diffs < -atol))
+    decreasing_violations = int(np.sum(diffs > atol))
+    return min(increasing_violations, decreasing_violations)

@@ -1,0 +1,261 @@
+"""Command-line interface that regenerates the paper's experiments.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli fig4 --model samejima --vary num_items --trials 3
+    python -m repro.cli fig5 --dimension users --max-size 2000
+    python -m repro.cli fig6
+    python -m repro.cli fig7
+    python -m repro.cli fig12 --students 100
+    python -m repro.cli fig13
+
+Each command prints a plain-text table with the same rows/series the paper
+reports (see EXPERIMENTS.md for the mapping and the recorded outputs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.datasets import dataset_summary_table, list_datasets, load_dataset
+from repro.evaluation import (
+    accuracy_sweep,
+    c1p_dataset_factory,
+    default_ranker_suite,
+    evaluate_rankers,
+    irt_dataset_factory,
+    measure_scalability,
+    stability_experiment,
+)
+from repro.irt.simulated import (
+    generate_american_experience_dataset,
+    generate_halfmoon_dataset,
+)
+from repro.truth_discovery import TrueAnswerRanker
+
+
+def _print_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> None:
+    """Print a fixed-width table without external dependencies."""
+    formatted_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in formatted_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    line = "  ".join(header.ljust(widths[index]) for index, header in enumerate(headers))
+    print(line)
+    print("-" * len(line))
+    for row in formatted_rows:
+        print("  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4f}"
+    return str(cell)
+
+
+# --------------------------------------------------------------------------- #
+# Sub-commands
+# --------------------------------------------------------------------------- #
+def command_list(args: argparse.Namespace) -> int:
+    print("Registered datasets (simulated stand-ins, shapes from paper Figure 10):")
+    _print_table(("dataset", "users", "questions", "options"), dataset_summary_table())
+    return 0
+
+
+def command_fig4(args: argparse.Namespace) -> int:
+    if args.vary == "c1p":
+        factory = c1p_dataset_factory(num_users=args.users, num_options=args.options)
+        values: List[object] = [int(v) for v in (args.values or [25, 50, 100, 200])]
+        parameter = "num_items(C1P)"
+    else:
+        factory = irt_dataset_factory(
+            args.model,
+            num_users=args.users,
+            num_items=args.items,
+            num_options=args.options,
+            vary=args.vary,
+        )
+        defaults = {
+            "num_items": [25, 50, 100, 200],
+            "num_users": [25, 50, 100, 200],
+            "num_options": [2, 3, 4, 5, 6],
+            "answer_probability": [0.6, 0.7, 0.8, 0.9, 1.0],
+        }
+        values = args.values or defaults.get(args.vary, [25, 50, 100, 200])
+        if args.vary != "answer_probability":
+            # Count-valued parameters arrive as floats from argparse.
+            values = [int(v) for v in values]
+        parameter = args.vary
+    sweep = accuracy_sweep(
+        parameter,
+        values,
+        factory,
+        include_cheating=args.cheating,
+        num_trials=args.trials,
+        random_state=args.seed,
+    )
+    print(f"Accuracy sweep over {parameter} (model={args.model}, trials={args.trials})")
+    _print_table((parameter, "method", "mean accuracy", "std"), sweep.to_rows())
+    return 0
+
+
+def command_fig5(args: argparse.Namespace) -> int:
+    sizes = args.values or [50, 100, 200, 400, 800]
+    sizes = [size for size in sizes if size <= args.max_size]
+    result = measure_scalability(
+        sizes,
+        dimension=args.dimension,
+        fixed_size=args.fixed_size,
+        num_repeats=args.repeats,
+        timeout_seconds=args.timeout,
+        random_state=args.seed,
+    )
+    print(f"Scalability in the number of {args.dimension} (median of {args.repeats} runs)")
+    _print_table((args.dimension, "method", "seconds", "iterations"), result.to_rows())
+    return 0
+
+
+def command_fig6(args: argparse.Namespace) -> int:
+    result = stability_experiment(
+        args.values or [1.0, 2.0, 4.0, 8.0, 16.0],
+        num_users=args.users,
+        num_items=args.items,
+        num_repeats=args.repeats,
+        random_state=args.seed,
+    )
+    print("Stability of HnD vs ABH across question discriminations")
+    _print_table(
+        ("discrimination", "method", "eigvec variance", "displacement", "accuracy"),
+        result.to_rows(),
+    )
+    return 0
+
+
+def command_fig7(args: argparse.Namespace) -> int:
+    rows = []
+    for name in list_datasets():
+        dataset = load_dataset(name)
+        reference = TrueAnswerRanker(dataset.correct_options).rank(dataset.response)
+        suite = default_ranker_suite(random_state=args.seed)
+        result = evaluate_rankers(dataset, suite, reference_abilities=reference.scores)
+        for method, accuracy in result.accuracies.items():
+            rows.append((name, method, 100.0 * accuracy))
+    print("Correlation (x100) of user rankings with the True-answer reference ranking")
+    _print_table(("dataset", "method", "accuracy x100"), rows)
+    return 0
+
+
+def command_fig12(args: argparse.Namespace) -> int:
+    rows = []
+    for run in range(args.runs):
+        dataset = generate_american_experience_dataset(
+            args.students, random_state=None if args.seed is None else args.seed + run
+        )
+        suite = default_ranker_suite(
+            include_cheating=True,
+            correct_options=dataset.correct_options,
+            random_state=args.seed,
+        )
+        result = evaluate_rankers(dataset, suite)
+        for method, accuracy in result.accuracies.items():
+            rows.append((run, method, 100.0 * accuracy))
+    print(f"Simulated American Experience test ({args.students} students, {args.runs} runs)")
+    _print_table(("run", "method", "accuracy x100"), rows)
+    return 0
+
+
+def command_fig13(args: argparse.Namespace) -> int:
+    rows = []
+    for run in range(args.runs):
+        dataset = generate_halfmoon_dataset(
+            args.users, args.items, random_state=None if args.seed is None else args.seed + run
+        )
+        suite = default_ranker_suite(
+            include_cheating=True,
+            correct_options=dataset.correct_options,
+            random_state=args.seed,
+        )
+        result = evaluate_rankers(dataset, suite)
+        for method, accuracy in result.accuracies.items():
+            rows.append((run, method, 100.0 * accuracy))
+    print(f"Simulated half-moon data ({args.users} users x {args.items} items, {args.runs} runs)")
+    _print_table(("run", "method", "accuracy x100"), rows)
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the experiments of the HITSnDIFFs paper.",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="random seed")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the registered datasets").set_defaults(
+        func=command_list
+    )
+
+    fig4 = subparsers.add_parser("fig4", help="accuracy sweeps (Figures 4 and 9)")
+    fig4.add_argument("--model", default="samejima", choices=["grm", "bock", "samejima"])
+    fig4.add_argument(
+        "--vary",
+        default="num_items",
+        choices=["num_items", "num_users", "num_options", "answer_probability", "c1p"],
+    )
+    fig4.add_argument("--users", type=int, default=100)
+    fig4.add_argument("--items", type=int, default=100)
+    fig4.add_argument("--options", type=int, default=3)
+    fig4.add_argument("--trials", type=int, default=3)
+    fig4.add_argument("--cheating", action="store_true", help="include cheating baselines")
+    fig4.add_argument("--values", type=float, nargs="*", default=None)
+    fig4.set_defaults(func=command_fig4)
+
+    fig5 = subparsers.add_parser("fig5", help="scalability experiments (Figure 5)")
+    fig5.add_argument("--dimension", default="users", choices=["users", "items"])
+    fig5.add_argument("--fixed-size", type=int, default=100)
+    fig5.add_argument("--max-size", type=int, default=2000)
+    fig5.add_argument("--repeats", type=int, default=3)
+    fig5.add_argument("--timeout", type=float, default=60.0)
+    fig5.add_argument("--values", type=int, nargs="*", default=None)
+    fig5.set_defaults(func=command_fig5)
+
+    fig6 = subparsers.add_parser("fig6", help="stability experiments (Figure 6)")
+    fig6.add_argument("--users", type=int, default=100)
+    fig6.add_argument("--items", type=int, default=100)
+    fig6.add_argument("--repeats", type=int, default=3)
+    fig6.add_argument("--values", type=float, nargs="*", default=None)
+    fig6.set_defaults(func=command_fig6)
+
+    fig7 = subparsers.add_parser("fig7", help="real-dataset experiments (Figures 7 and 11)")
+    fig7.set_defaults(func=command_fig7)
+
+    fig12 = subparsers.add_parser("fig12", help="American Experience simulation (Figure 12)")
+    fig12.add_argument("--students", type=int, default=100)
+    fig12.add_argument("--runs", type=int, default=3)
+    fig12.set_defaults(func=command_fig12)
+
+    fig13 = subparsers.add_parser("fig13", help="half-moon simulation (Figure 13)")
+    fig13.add_argument("--users", type=int, default=100)
+    fig13.add_argument("--items", type=int, default=100)
+    fig13.add_argument("--runs", type=int, default=3)
+    fig13.set_defaults(func=command_fig13)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``repro-experiments`` / ``python -m repro.cli``."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""Core package: the response matrix and the HITSnDIFFS algorithm family."""
+
+from repro.core.response import NO_ANSWER, ResponseMatrix, score_against_truth
+from repro.core.ranking import (
+    AbilityRanker,
+    AbilityRanking,
+    SupervisedAbilityRanker,
+    ranking_from_scores,
+)
+from repro.core.avghits import (
+    avghits_fixed_point,
+    avghits_step,
+    difference_update_matrix,
+    hnd_difference_step,
+    spectral_gap,
+    update_matrix,
+)
+from repro.core.symmetry import decile_entropies, orient_scores
+from repro.core.hitsndiffs import HNDDeflation, HNDDirect, HNDPower, hits_n_diffs
+
+__all__ = [
+    "NO_ANSWER",
+    "ResponseMatrix",
+    "score_against_truth",
+    "AbilityRanker",
+    "AbilityRanking",
+    "SupervisedAbilityRanker",
+    "ranking_from_scores",
+    "update_matrix",
+    "difference_update_matrix",
+    "avghits_step",
+    "hnd_difference_step",
+    "avghits_fixed_point",
+    "spectral_gap",
+    "decile_entropies",
+    "orient_scores",
+    "HNDPower",
+    "HNDDirect",
+    "HNDDeflation",
+    "hits_n_diffs",
+]

@@ -1,0 +1,110 @@
+"""AVGHITS: the averaging variant of HITS and its update matrices.
+
+Section III-B of the paper replaces HITS' sums with averages:
+
+* user score  ``s <- C_row w``  (average weight of the options the user picked)
+* option weight ``w <- (C_col)^T s`` (average score of the users who picked it)
+
+Combining both steps gives the row-stochastic update matrix
+``U = C_row (C_col)^T`` whose largest eigenvector is the all-ones vector;
+the *2nd largest* eigenvector's ordering recovers the C1P row order
+(Theorem 1).  HND finds it through the difference matrix
+``U_diff = S U T`` (Figure 3), whose *largest* eigenvector is the adjacent
+difference of that 2nd eigenvector (Lemma 1).
+
+This module exposes both the explicit matrices (for tests, for HND-direct
+and HND-deflation) and matrix-free update callables (for HND-power).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.response import ResponseMatrix
+from repro.linalg.operators import (
+    apply_cumulative,
+    apply_difference,
+    cumulative_matrix,
+    difference_matrix,
+)
+
+
+def update_matrix(response: ResponseMatrix) -> np.ndarray:
+    """The dense ``(m x m)`` AVGHITS update matrix ``U = C_row (C_col)^T``.
+
+    Materializing ``U`` costs ``O(m^2 n)`` time and ``O(m^2)`` memory — this
+    is exactly what HND-power avoids — so use it for analysis and the direct
+    and deflation variants only.
+    """
+    c_row = response.row_normalized()
+    c_col = response.column_normalized()
+    product = c_row @ c_col.T
+    return np.asarray(product.todense(), dtype=float)
+
+
+def difference_update_matrix(response: ResponseMatrix) -> np.ndarray:
+    """The dense ``((m-1) x (m-1))`` difference update matrix ``U_diff = S U T``."""
+    u = update_matrix(response)
+    m = response.num_users
+    s = difference_matrix(m)
+    t = cumulative_matrix(m)
+    return s @ u @ t
+
+
+def avghits_step(response: ResponseMatrix) -> Callable[[np.ndarray], np.ndarray]:
+    """Matrix-free AVGHITS update ``s -> C_row ((C_col)^T s)``.
+
+    Each application costs ``O(mn)`` (two sparse matrix-vector products).
+    """
+    c_row = response.row_normalized()
+    c_col_t = response.column_normalized().T.tocsr()
+
+    def step(scores: np.ndarray) -> np.ndarray:
+        weights = c_col_t @ scores
+        return np.asarray(c_row @ weights).ravel()
+
+    return step
+
+
+def hnd_difference_step(response: ResponseMatrix) -> Callable[[np.ndarray], np.ndarray]:
+    """Matrix-free HND update ``s_diff -> S C_row ((C_col)^T (T s_diff))``.
+
+    Implements one loop body of Algorithm 1 without the normalization:
+    reconstruct scores by cumulative sum, run the AVGHITS step, and take
+    adjacent differences again.  Cost ``O(mn)`` per application.
+    """
+    step = avghits_step(response)
+
+    def diff_step(score_diffs: np.ndarray) -> np.ndarray:
+        scores = apply_cumulative(score_diffs)
+        updated = step(scores)
+        return apply_difference(updated)
+
+    return diff_step
+
+
+def avghits_fixed_point(response: ResponseMatrix) -> np.ndarray:
+    """The dominant eigenvector of ``U``: the (normalized) all-ones direction.
+
+    Lemma 4 of the paper: when the bipartite graph is connected, AVGHITS'
+    fixed point carries no ranking information — every user converges to the
+    same score — which is why HND targets the 2nd eigenvector instead.
+    """
+    m = response.num_users
+    return np.ones(m) / np.sqrt(m)
+
+
+def spectral_gap(response: ResponseMatrix) -> Tuple[float, float]:
+    """Return ``(lambda_1, lambda_2)`` of ``U`` (dense computation).
+
+    Useful to reason about convergence speed of the HND power iteration:
+    the rate is ``|lambda_3 / lambda_2|`` on ``U_diff`` whose spectrum equals
+    that of ``U`` minus the top eigenvalue.
+    """
+    u = update_matrix(response)
+    eigenvalues = np.linalg.eigvals(u)
+    ordered = np.sort(eigenvalues.real)[::-1]
+    return float(ordered[0]), float(ordered[1]) if ordered.size > 1 else float("nan")

@@ -1,0 +1,127 @@
+"""Ranking result objects and the common ranker interface.
+
+Every ability-discovery method in this library — HND variants, ABH variants,
+and the truth-discovery baselines — implements the :class:`AbilityRanker`
+interface: it consumes a :class:`~repro.core.response.ResponseMatrix` and
+returns an :class:`AbilityRanking` with per-user scores, the induced order,
+and method-specific diagnostics (iterations, convergence, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.response import ResponseMatrix
+
+
+@dataclass
+class AbilityRanking:
+    """The outcome of ranking users by ability.
+
+    Attributes
+    ----------
+    scores:
+        Per-user ability score (length ``m``); higher means more able.
+        Scores are only meaningful up to monotone transformations — the
+        object of interest is the induced ranking.
+    method:
+        Name of the method that produced the ranking.
+    diagnostics:
+        Method-specific extras (iterations, convergence flags, eigenvector
+        variance, orientation-entropy values, ...).
+    """
+
+    scores: np.ndarray
+    method: str
+    diagnostics: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.scores = np.asarray(self.scores, dtype=float).ravel()
+
+    @property
+    def num_users(self) -> int:
+        return int(self.scores.size)
+
+    @property
+    def order(self) -> np.ndarray:
+        """User indices sorted from lowest to highest score (stable)."""
+        return np.argsort(self.scores, kind="stable")
+
+    @property
+    def ranks(self) -> np.ndarray:
+        """Rank of each user (0 = lowest score), with ties averaged.
+
+        Average ranks make downstream Spearman correlations well defined in
+        the presence of ties, matching :func:`scipy.stats.spearmanr`.
+        """
+        scores = self.scores
+        order = np.argsort(scores, kind="stable")
+        ranks = np.empty(scores.size, dtype=float)
+        ranks[order] = np.arange(scores.size, dtype=float)
+        # Average ranks over groups of tied scores.
+        unique, inverse, counts = np.unique(scores, return_inverse=True, return_counts=True)
+        if unique.size != scores.size:
+            sums = np.zeros(unique.size)
+            np.add.at(sums, inverse, ranks)
+            ranks = sums[inverse] / counts[inverse]
+        return ranks
+
+    def top_users(self, count: int) -> np.ndarray:
+        """Indices of the ``count`` highest-scoring users, best first."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return self.order[::-1][:count]
+
+    def bottom_users(self, count: int) -> np.ndarray:
+        """Indices of the ``count`` lowest-scoring users, worst first."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return self.order[:count]
+
+    def reversed(self) -> "AbilityRanking":
+        """The same ranking with the orientation flipped (scores negated)."""
+        return AbilityRanking(
+            scores=-self.scores,
+            method=self.method,
+            diagnostics={**self.diagnostics, "reversed": True},
+        )
+
+
+class AbilityRanker:
+    """Abstract base class of all ranking methods.
+
+    Subclasses implement :meth:`rank`; the class-level :attr:`name` is used
+    in experiment tables and plots.
+    """
+
+    #: Short method name used in result tables (e.g. "HnD", "ABH", "HITS").
+    name: str = "ranker"
+
+    def rank(self, response: ResponseMatrix) -> AbilityRanking:
+        """Rank the users of ``response`` by ability."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class SupervisedAbilityRanker(AbilityRanker):
+    """Base class for "cheating" baselines that need ground-truth information.
+
+    The paper's True-answer and GRM-estimator baselines receive the correct
+    option (or the correctness order of options) for every item — knowledge
+    an unsupervised ability-discovery method does not have.
+    """
+
+    def rank(self, response: ResponseMatrix) -> AbilityRanking:
+        raise NotImplementedError
+
+
+def ranking_from_scores(scores: np.ndarray, method: str,
+                        diagnostics: Optional[Dict[str, object]] = None) -> AbilityRanking:
+    """Convenience constructor used by the ranker implementations."""
+    return AbilityRanking(scores=np.asarray(scores, dtype=float), method=method,
+                          diagnostics=diagnostics or {})

@@ -1,0 +1,383 @@
+"""Response-matrix data structure for heterogeneous multiclass classification.
+
+The paper represents user answers in two equivalent forms (Figure 1b):
+
+* the raw ``(m x n)`` *choice matrix* ``C'`` where entry ``(j, i)`` is the
+  index of the option user ``j`` picked for item ``i`` (or "no answer"), and
+* the one-hot ``(m x kn)`` *binary response matrix* ``C`` with a column per
+  (item, option) pair.
+
+:class:`ResponseMatrix` stores the raw form, validates it, and lazily
+derives the binary form (sparse), its row/column normalizations, and the
+user-similarity products required by the ranking algorithms.  All spectral
+methods in :mod:`repro.core` and :mod:`repro.c1p` and all baselines in
+:mod:`repro.truth_discovery` consume this class.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import DisconnectedGraphError, InvalidResponseMatrixError
+from repro.linalg.normalize import normalize_columns, normalize_rows
+
+#: Sentinel used in the raw choice matrix for "user did not answer this item".
+NO_ANSWER = -1
+
+
+class ResponseMatrix:
+    """User responses to heterogeneous multiple-choice items.
+
+    Parameters
+    ----------
+    choices:
+        Integer array of shape ``(m, n)``.  ``choices[j, i]`` is the 0-based
+        option index picked by user ``j`` for item ``i`` or :data:`NO_ANSWER`
+        (-1) when the user skipped the item.
+    num_options:
+        Number of options per item.  Either a single int (every item has the
+        same number of options) or a sequence of length ``n``.  When omitted
+        it is inferred as ``max(choice) + 1`` per item (at least 2).
+
+    Raises
+    ------
+    InvalidResponseMatrixError
+        If the array is empty, non-integer, contains choices outside the
+        declared option range, or every entry of some user/item is missing.
+    """
+
+    def __init__(
+        self,
+        choices: np.ndarray,
+        num_options: Optional[Sequence[int] | int] = None,
+    ) -> None:
+        choices = np.asarray(choices)
+        if choices.ndim != 2 or choices.size == 0:
+            raise InvalidResponseMatrixError(
+                "choices must be a non-empty 2-D array, got shape %s" % (choices.shape,)
+            )
+        if not np.issubdtype(choices.dtype, np.integer):
+            if np.issubdtype(choices.dtype, np.floating) and np.all(
+                np.isnan(choices) | (choices == np.floor(choices))
+            ):
+                converted = np.where(np.isnan(choices), NO_ANSWER, choices)
+                choices = converted.astype(int)
+            else:
+                raise InvalidResponseMatrixError("choices must contain integers")
+        self._choices = choices.astype(int, copy=True)
+        self._m, self._n = self._choices.shape
+
+        if np.any(self._choices < NO_ANSWER):
+            raise InvalidResponseMatrixError("choices must be >= -1")
+
+        if num_options is None:
+            per_item = np.maximum(self._choices.max(axis=0) + 1, 2)
+        elif np.isscalar(num_options):
+            per_item = np.full(self._n, int(num_options), dtype=int)
+        else:
+            per_item = np.asarray(list(num_options), dtype=int)
+            if per_item.shape != (self._n,):
+                raise InvalidResponseMatrixError(
+                    "num_options must have one entry per item (%d), got %d"
+                    % (self._n, per_item.size)
+                )
+        if np.any(per_item < 1):
+            raise InvalidResponseMatrixError("every item needs at least one option")
+        exceeded = self._choices.max(axis=0) >= per_item
+        if np.any(exceeded & (self._choices.max(axis=0) >= 0)):
+            bad = int(np.flatnonzero(exceeded)[0])
+            raise InvalidResponseMatrixError(
+                "item %d has a choice index >= its number of options (%d)"
+                % (bad, per_item[bad])
+            )
+        self._num_options = per_item
+
+        if np.all(self._choices == NO_ANSWER):
+            raise InvalidResponseMatrixError("the response matrix contains no answers at all")
+
+        # Lazily computed caches.
+        self._binary: Optional[sp.csr_matrix] = None
+        self._column_offsets: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_binary(cls, binary: np.ndarray | sp.spmatrix, num_options: Sequence[int] | int) -> "ResponseMatrix":
+        """Build a :class:`ResponseMatrix` from a one-hot ``(m x kn)`` matrix.
+
+        The inverse of :attr:`binary`.  ``num_options`` is required because
+        the flattened binary form does not record item boundaries on its own
+        when items have different numbers of options.
+        """
+        if sp.issparse(binary):
+            binary = np.asarray(binary.todense())
+        binary = np.asarray(binary)
+        if binary.ndim != 2:
+            raise InvalidResponseMatrixError("binary matrix must be 2-D")
+        if np.any((binary != 0) & (binary != 1)):
+            raise InvalidResponseMatrixError("binary matrix must contain only 0/1")
+        m, total = binary.shape
+        if np.isscalar(num_options):
+            k = int(num_options)
+            if total % k != 0:
+                raise InvalidResponseMatrixError(
+                    "binary width %d is not a multiple of k=%d" % (total, k)
+                )
+            per_item = np.full(total // k, k, dtype=int)
+        else:
+            per_item = np.asarray(list(num_options), dtype=int)
+            if per_item.sum() != total:
+                raise InvalidResponseMatrixError(
+                    "sum of num_options (%d) must equal binary width (%d)"
+                    % (per_item.sum(), total)
+                )
+        n = per_item.size
+        offsets = np.concatenate([[0], np.cumsum(per_item)])
+        choices = np.full((m, n), NO_ANSWER, dtype=int)
+        for i in range(n):
+            block = binary[:, offsets[i]:offsets[i + 1]]
+            counts = block.sum(axis=1)
+            if np.any(counts > 1):
+                raise InvalidResponseMatrixError(
+                    "user may choose at most one option per item (item %d violates this)" % i
+                )
+            answered = counts == 1
+            choices[answered, i] = np.argmax(block[answered], axis=1)
+        return cls(choices, num_options=per_item)
+
+    # ------------------------------------------------------------------ #
+    # Basic shape properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_users(self) -> int:
+        """Number of users ``m``."""
+        return self._m
+
+    @property
+    def num_items(self) -> int:
+        """Number of items ``n``."""
+        return self._n
+
+    @property
+    def num_options(self) -> np.ndarray:
+        """Per-item number of options (length ``n``)."""
+        return self._num_options.copy()
+
+    @property
+    def max_options(self) -> int:
+        """``k``: the largest number of options any item has."""
+        return int(self._num_options.max())
+
+    @property
+    def choices(self) -> np.ndarray:
+        """Copy of the raw ``(m x n)`` choice matrix (``-1`` = unanswered)."""
+        return self._choices.copy()
+
+    @property
+    def answered_mask(self) -> np.ndarray:
+        """Boolean ``(m x n)`` mask of which (user, item) pairs were answered."""
+        return self._choices != NO_ANSWER
+
+    @property
+    def answers_per_user(self) -> np.ndarray:
+        """Number of items each user answered (length ``m``)."""
+        return self.answered_mask.sum(axis=1)
+
+    @property
+    def answers_per_item(self) -> np.ndarray:
+        """Number of users who answered each item (length ``n``)."""
+        return self.answered_mask.sum(axis=0)
+
+    @property
+    def is_complete(self) -> bool:
+        """True when every user answered every item."""
+        return bool(np.all(self.answered_mask))
+
+    # ------------------------------------------------------------------ #
+    # Binary (one-hot) representation and normalizations
+    # ------------------------------------------------------------------ #
+    @property
+    def column_offsets(self) -> np.ndarray:
+        """Start offset of each item's option block in the binary matrix."""
+        if self._column_offsets is None:
+            self._column_offsets = np.concatenate([[0], np.cumsum(self._num_options)])
+        return self._column_offsets
+
+    @property
+    def num_option_columns(self) -> int:
+        """Total number of (item, option) columns in the binary matrix."""
+        return int(self.column_offsets[-1])
+
+    @property
+    def binary(self) -> sp.csr_matrix:
+        """Sparse one-hot ``(m x sum_i k_i)`` binary response matrix ``C``."""
+        if self._binary is None:
+            offsets = self.column_offsets
+            rows: List[int] = []
+            cols: List[int] = []
+            user_idx, item_idx = np.nonzero(self.answered_mask)
+            option_idx = self._choices[user_idx, item_idx]
+            rows = user_idx.tolist()
+            cols = (offsets[item_idx] + option_idx).tolist()
+            data = np.ones(len(rows), dtype=float)
+            self._binary = sp.csr_matrix(
+                (data, (rows, cols)), shape=(self._m, self.num_option_columns)
+            )
+        return self._binary
+
+    @property
+    def binary_dense(self) -> np.ndarray:
+        """Dense copy of :attr:`binary` (convenient for tests and small data)."""
+        return np.asarray(self.binary.todense())
+
+    def row_normalized(self) -> sp.csr_matrix:
+        """``C_row``: the binary matrix with each row scaled to sum 1."""
+        return normalize_rows(self.binary)
+
+    def column_normalized(self) -> sp.csr_matrix:
+        """``C_col``: the binary matrix with each nonzero column scaled to sum 1."""
+        return normalize_columns(self.binary)
+
+    def user_similarity(self) -> np.ndarray:
+        """Dense ``C C^T``: counts of common (item, option) picks per user pair."""
+        product = self.binary @ self.binary.T
+        return np.asarray(product.todense(), dtype=float)
+
+    # ------------------------------------------------------------------ #
+    # Graph structure
+    # ------------------------------------------------------------------ #
+    def is_connected(self) -> bool:
+        """Whether the user-option bipartite graph has a single component.
+
+        Spectral ranking methods need this (Section III-B); otherwise users
+        in different components cannot be compared.
+        """
+        binary = self.binary
+        adjacency = sp.bmat(
+            [[None, binary], [binary.T, None]], format="csr"
+        )
+        n_components, _ = sp.csgraph.connected_components(adjacency, directed=False)
+        # Columns with no picks form their own components but carry no
+        # information; ignore them by checking user-reachability instead.
+        if n_components == 1:
+            return True
+        _, labels = sp.csgraph.connected_components(adjacency, directed=False)
+        user_labels = labels[: self._m]
+        return bool(np.unique(user_labels).size == 1)
+
+    def require_connected(self) -> None:
+        """Raise :class:`DisconnectedGraphError` unless the graph is connected."""
+        if not self.is_connected():
+            raise DisconnectedGraphError(
+                "the user-option bipartite graph has multiple connected components; "
+                "spectral ranking cannot compare users across components"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Transformations
+    # ------------------------------------------------------------------ #
+    def permute_users(self, order: Sequence[int]) -> "ResponseMatrix":
+        """Return a new matrix with the user rows reordered by ``order``."""
+        order = np.asarray(order, dtype=int)
+        if sorted(order.tolist()) != list(range(self._m)):
+            raise ValueError("order must be a permutation of range(num_users)")
+        return ResponseMatrix(self._choices[order], num_options=self._num_options)
+
+    def subset_users(self, indices: Sequence[int]) -> "ResponseMatrix":
+        """Return a new matrix restricted to the given users."""
+        indices = np.asarray(indices, dtype=int)
+        return ResponseMatrix(self._choices[indices], num_options=self._num_options)
+
+    def subset_items(self, indices: Sequence[int]) -> "ResponseMatrix":
+        """Return a new matrix restricted to the given items."""
+        indices = np.asarray(indices, dtype=int)
+        return ResponseMatrix(
+            self._choices[:, indices], num_options=self._num_options[indices]
+        )
+
+    def drop_unanswered_items(self) -> "ResponseMatrix":
+        """Drop items that nobody answered (they carry no ranking signal)."""
+        keep = np.flatnonzero(self.answers_per_item > 0)
+        if keep.size == self._n:
+            return self
+        return self.subset_items(keep)
+
+    # ------------------------------------------------------------------ #
+    # Per-item statistics used by baselines and symmetry breaking
+    # ------------------------------------------------------------------ #
+    def option_counts(self, item: int) -> np.ndarray:
+        """How many users picked each option of ``item`` (length ``k_i``)."""
+        column = self._choices[:, item]
+        column = column[column != NO_ANSWER]
+        return np.bincount(column, minlength=self._num_options[item]).astype(int)
+
+    def majority_choices(self) -> np.ndarray:
+        """Most frequently picked option per item (ties broken by index)."""
+        return np.array([int(np.argmax(self.option_counts(i))) for i in range(self._n)])
+
+    def choice_entropy(self, users: Optional[Sequence[int]] = None) -> float:
+        """Average per-item Shannon entropy of the option distribution.
+
+        Restricted to the given ``users`` when provided.  This is the
+        statistic behind the decile-entropy symmetry-breaking heuristic
+        (Section III-D): high-ability users converge on the correct option
+        and therefore produce lower entropy.
+        """
+        if users is None:
+            choices = self._choices
+        else:
+            choices = self._choices[np.asarray(users, dtype=int)]
+        entropies = []
+        for i in range(self._n):
+            column = choices[:, i]
+            column = column[column != NO_ANSWER]
+            if column.size == 0:
+                continue
+            counts = np.bincount(column, minlength=self._num_options[i]).astype(float)
+            probabilities = counts / counts.sum()
+            nonzero = probabilities[probabilities > 0]
+            entropies.append(float(-(nonzero * np.log2(nonzero)).sum()))
+        if not entropies:
+            return 0.0
+        return float(np.mean(entropies))
+
+    # ------------------------------------------------------------------ #
+    # Dunder methods
+    # ------------------------------------------------------------------ #
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "ResponseMatrix(num_users=%d, num_items=%d, max_options=%d)" % (
+            self._m,
+            self._n,
+            self.max_options,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ResponseMatrix):
+            return NotImplemented
+        return bool(
+            np.array_equal(self._choices, other._choices)
+            and np.array_equal(self._num_options, other._num_options)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._choices.tobytes(), self._num_options.tobytes()))
+
+
+def score_against_truth(response: ResponseMatrix, correct_options: Sequence[int]) -> np.ndarray:
+    """Number of correctly answered items per user.
+
+    This is the "True-answer" cheating baseline's scoring rule: it assumes
+    the ground-truth correct option of every item is known.
+    """
+    correct = np.asarray(correct_options, dtype=int)
+    if correct.shape != (response.num_items,):
+        raise ValueError(
+            "correct_options must have length %d, got %d"
+            % (response.num_items, correct.size)
+        )
+    choices = response.choices
+    return np.sum((choices == correct[np.newaxis, :]) & (choices != NO_ANSWER), axis=1)

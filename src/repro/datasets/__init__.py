@@ -1,0 +1,21 @@
+"""Dataset registry: simulated stand-ins for the paper's six real MCQ datasets."""
+
+from repro.datasets.registry import (
+    REAL_DATASET_SPECS,
+    DatasetSpec,
+    dataset_spec,
+    dataset_summary_table,
+    list_datasets,
+    load_all_datasets,
+    load_dataset,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "REAL_DATASET_SPECS",
+    "dataset_spec",
+    "dataset_summary_table",
+    "list_datasets",
+    "load_dataset",
+    "load_all_datasets",
+]

@@ -1,0 +1,55 @@
+"""Evaluation harness: metrics, accuracy sweeps, stability and timing studies."""
+
+from repro.evaluation.metrics import (
+    kendall_accuracy,
+    normalized_displacement,
+    orientation_agnostic_accuracy,
+    pairwise_ranking_accuracy,
+    rank_vector,
+    spearman_accuracy,
+    top_fraction_precision,
+)
+from repro.evaluation.experiments import (
+    UNSUPERVISED_METHODS,
+    ExperimentResult,
+    SweepResult,
+    accuracy_sweep,
+    c1p_dataset_factory,
+    default_ranker_suite,
+    evaluate_rankers,
+    irt_dataset_factory,
+)
+from repro.evaluation.stability import (
+    StabilityResult,
+    stability_experiment,
+    structured_grm_dataset,
+)
+from repro.evaluation.timing import (
+    ScalabilityResult,
+    measure_scalability,
+    scalability_ranker_suite,
+)
+
+__all__ = [
+    "spearman_accuracy",
+    "kendall_accuracy",
+    "orientation_agnostic_accuracy",
+    "pairwise_ranking_accuracy",
+    "normalized_displacement",
+    "rank_vector",
+    "top_fraction_precision",
+    "UNSUPERVISED_METHODS",
+    "ExperimentResult",
+    "SweepResult",
+    "default_ranker_suite",
+    "evaluate_rankers",
+    "accuracy_sweep",
+    "irt_dataset_factory",
+    "c1p_dataset_factory",
+    "StabilityResult",
+    "stability_experiment",
+    "structured_grm_dataset",
+    "ScalabilityResult",
+    "measure_scalability",
+    "scalability_ranker_suite",
+]

@@ -1,0 +1,129 @@
+"""Evaluation metrics for ability rankings.
+
+The paper measures accuracy as the Spearman rank correlation between the
+recovered user ranking and the ground-truth abilities (Section IV-B), and
+additionally reports Kendall's tau and a normalized user-displacement
+statistic in the stability analysis (Section IV-D).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+from scipy import stats
+
+from repro.core.ranking import AbilityRanking
+
+ScoresLike = Union[np.ndarray, Sequence[float], AbilityRanking]
+
+
+def _as_scores(values: ScoresLike) -> np.ndarray:
+    if isinstance(values, AbilityRanking):
+        return values.scores
+    return np.asarray(values, dtype=float).ravel()
+
+
+def spearman_accuracy(predicted: ScoresLike, truth: ScoresLike) -> float:
+    """Spearman rank correlation between predicted scores and true abilities.
+
+    Ranges in ``[-1, 1]``; this is the paper's "accuracy of user ranking".
+    Degenerate constant inputs return 0 (no ranking information).
+    """
+    predicted = _as_scores(predicted)
+    truth = _as_scores(truth)
+    if predicted.size != truth.size:
+        raise ValueError("predicted and truth must have the same length")
+    if predicted.size < 2 or np.all(predicted == predicted[0]) or np.all(truth == truth[0]):
+        return 0.0
+    correlation, _ = stats.spearmanr(predicted, truth)
+    if np.isnan(correlation):
+        return 0.0
+    return float(correlation)
+
+
+def kendall_accuracy(predicted: ScoresLike, truth: ScoresLike) -> float:
+    """Kendall's tau between predicted scores and true abilities."""
+    predicted = _as_scores(predicted)
+    truth = _as_scores(truth)
+    if predicted.size != truth.size:
+        raise ValueError("predicted and truth must have the same length")
+    if predicted.size < 2 or np.all(predicted == predicted[0]) or np.all(truth == truth[0]):
+        return 0.0
+    correlation, _ = stats.kendalltau(predicted, truth)
+    if np.isnan(correlation):
+        return 0.0
+    return float(correlation)
+
+
+def orientation_agnostic_accuracy(predicted: ScoresLike, truth: ScoresLike) -> float:
+    """Absolute Spearman correlation: ignores the ordering's orientation.
+
+    Useful for evaluating C1P reconstruction, where an ordering and its
+    reverse are equally valid (footnote 4 of the paper).
+    """
+    return abs(spearman_accuracy(predicted, truth))
+
+
+def rank_vector(scores: ScoresLike) -> np.ndarray:
+    """Average ranks of the scores (0-based), ties averaged."""
+    scores = _as_scores(scores)
+    return stats.rankdata(scores, method="average") - 1.0
+
+
+def normalized_displacement(ranking_a: ScoresLike, ranking_b: ScoresLike) -> float:
+    """Average per-user rank difference between two rankings, scaled to [0, 1].
+
+    Section IV-D uses this to quantify how much a user's rank moves between
+    repeated runs on resampled data: 0 means identical ranks, 1 means every
+    user moved by the maximum possible amount.
+    """
+    ranks_a = rank_vector(ranking_a)
+    ranks_b = rank_vector(ranking_b)
+    if ranks_a.size != ranks_b.size:
+        raise ValueError("rankings must have the same length")
+    if ranks_a.size < 2:
+        return 0.0
+    return float(np.mean(np.abs(ranks_a - ranks_b)) / (ranks_a.size - 1))
+
+
+def pairwise_ranking_accuracy(predicted: ScoresLike, truth: ScoresLike) -> float:
+    """Fraction of user pairs ordered consistently with the ground truth.
+
+    A more interpretable companion to Kendall's tau (it equals
+    ``(tau + 1) / 2`` in the absence of ties).
+    """
+    predicted = _as_scores(predicted)
+    truth = _as_scores(truth)
+    if predicted.size != truth.size:
+        raise ValueError("predicted and truth must have the same length")
+    m = predicted.size
+    if m < 2:
+        return 1.0
+    pred_diff = np.sign(predicted[:, np.newaxis] - predicted[np.newaxis, :])
+    true_diff = np.sign(truth[:, np.newaxis] - truth[np.newaxis, :])
+    mask = np.triu(np.ones((m, m), dtype=bool), k=1) & (true_diff != 0)
+    total = int(mask.sum())
+    if total == 0:
+        return 1.0
+    agreements = int(np.sum((pred_diff == true_diff) & mask))
+    return agreements / total
+
+
+def top_fraction_precision(predicted: ScoresLike, truth: ScoresLike,
+                           fraction: float = 0.1) -> float:
+    """Precision of the predicted top-``fraction`` users against the true top.
+
+    Relevant for the crowdsourcing use case of selecting the best workers
+    (Example 2 in the paper's introduction).
+    """
+    if not 0 < fraction <= 1:
+        raise ValueError("fraction must lie in (0, 1]")
+    predicted = _as_scores(predicted)
+    truth = _as_scores(truth)
+    if predicted.size != truth.size:
+        raise ValueError("predicted and truth must have the same length")
+    count = max(1, int(round(fraction * predicted.size)))
+    predicted_top = set(np.argsort(predicted)[::-1][:count].tolist())
+    true_top = set(np.argsort(truth)[::-1][:count].tolist())
+    return len(predicted_top & true_top) / count

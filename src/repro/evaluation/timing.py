@@ -1,0 +1,132 @@
+"""Scalability measurement harness (Section IV-C, Figure 5; Appendix E-B).
+
+Measures wall-clock time of the HND and ABH implementation variants (and
+optionally the GRM-estimator) as the number of users or items grows,
+reporting per-size medians exactly like the paper's Figure 5, plus the
+iteration counts analysed in Figure 14b.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.c1p.abh import ABHDirect, ABHPower
+from repro.core.hitsndiffs import HNDDeflation, HNDDirect, HNDPower
+from repro.core.ranking import AbilityRanker
+from repro.irt.generators import generate_dataset
+from repro.truth_discovery.cheating import GRMEstimatorRanker
+
+RandomState = Optional[Union[int, np.random.Generator]]
+
+
+def scalability_ranker_suite(*, include_grm_estimator: bool = False,
+                             random_state: RandomState = None) -> Dict[str, AbilityRanker]:
+    """The implementation line-up of Figure 5."""
+    suite: Dict[str, AbilityRanker] = {
+        "HnD-Power": HNDPower(random_state=random_state),
+        "HnD-Deflation": HNDDeflation(random_state=random_state),
+        "HnD-Direct": HNDDirect(),
+        "ABH-Power": ABHPower(random_state=random_state),
+        "ABH-Direct": ABHDirect(),
+    }
+    if include_grm_estimator:
+        suite["GRM-estimator"] = GRMEstimatorRanker()
+    return suite
+
+
+@dataclass
+class ScalabilityResult:
+    """Median runtimes (seconds) per problem size for each implementation."""
+
+    dimension: str
+    sizes: List[int]
+    median_seconds: Dict[str, List[float]]
+    iterations: Dict[str, List[float]] = field(default_factory=dict)
+    num_repeats: int = 1
+
+    def to_rows(self) -> List[tuple]:
+        """Rows (size, method, median_seconds, iterations)."""
+        rows = []
+        for index, size in enumerate(self.sizes):
+            for method, times in self.median_seconds.items():
+                iteration_counts = self.iterations.get(method)
+                iterations = iteration_counts[index] if iteration_counts else float("nan")
+                rows.append((size, method, times[index], iterations))
+        return rows
+
+
+def measure_scalability(
+    sizes: Sequence[int],
+    *,
+    dimension: str = "users",
+    fixed_size: int = 100,
+    num_options: int = 3,
+    model_name: str = "samejima",
+    rankers: Optional[Dict[str, AbilityRanker]] = None,
+    num_repeats: int = 3,
+    timeout_seconds: Optional[float] = None,
+    random_state: RandomState = None,
+) -> ScalabilityResult:
+    """Time each ranker across problem sizes (users or items).
+
+    Parameters
+    ----------
+    sizes:
+        Values of the varied dimension.
+    dimension:
+        ``"users"`` (Figure 5a) or ``"items"`` (Figure 5b).
+    fixed_size:
+        Value of the non-varied dimension (the paper fixes it to 100).
+    num_repeats:
+        Runs per size; the median is reported, like the paper.
+    timeout_seconds:
+        Skip a method for the remaining (larger) sizes once a single run
+        exceeds this budget, mirroring the paper's 1000 s timeout.
+    """
+    if dimension not in ("users", "items"):
+        raise ValueError("dimension must be 'users' or 'items'")
+    rng = np.random.default_rng(random_state)
+    suite = rankers if rankers is not None else scalability_ranker_suite(random_state=rng)
+    median_seconds: Dict[str, List[float]] = {name: [] for name in suite}
+    iteration_counts: Dict[str, List[float]] = {name: [] for name in suite}
+    timed_out: Dict[str, bool] = {name: False for name in suite}
+
+    for size in sizes:
+        num_users = size if dimension == "users" else fixed_size
+        num_items = size if dimension == "items" else fixed_size
+        dataset = generate_dataset(
+            model_name, num_users, num_items, num_options, random_state=rng
+        )
+        for name, ranker in suite.items():
+            if timed_out[name]:
+                median_seconds[name].append(float("nan"))
+                iteration_counts[name].append(float("nan"))
+                continue
+            durations = []
+            iterations = []
+            for _ in range(num_repeats):
+                start = time.perf_counter()
+                ranking = ranker.rank(dataset.response)
+                elapsed = time.perf_counter() - start
+                durations.append(elapsed)
+                iterations.append(float(ranking.diagnostics.get("iterations", float("nan"))))
+                if timeout_seconds is not None and elapsed > timeout_seconds:
+                    timed_out[name] = True
+                    break
+            median_seconds[name].append(float(np.median(durations)))
+            finite_iterations = [value for value in iterations if np.isfinite(value)]
+            iteration_counts[name].append(
+                float(np.median(finite_iterations)) if finite_iterations else float("nan")
+            )
+
+    return ScalabilityResult(
+        dimension=dimension,
+        sizes=list(int(size) for size in sizes),
+        median_seconds=median_seconds,
+        iterations=iteration_counts,
+        num_repeats=num_repeats,
+    )

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch a single base class.  More specific subclasses communicate which
+subsystem rejected the input and why.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class InvalidResponseMatrixError(ReproError):
+    """Raised when a response matrix fails structural validation.
+
+    Examples include: a one-hot matrix with more than a single 1 per
+    user/item block, negative entries, an empty matrix, or mismatched
+    dimensions between the raw choice matrix and the declared number of
+    options per item.
+    """
+
+
+class DisconnectedGraphError(ReproError):
+    """Raised when the user-option bipartite graph is not connected.
+
+    Spectral ranking methods (HND, ABH, HITS) cannot compare users that
+    live in different connected components; callers should either restrict
+    to the largest component or add connecting items.
+    """
+
+
+class ConvergenceError(ReproError):
+    """Raised when an iterative solver fails to converge within its budget."""
+
+    def __init__(self, message: str, iterations: int | None = None,
+                 residual: float | None = None) -> None:
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class NotC1PError(ReproError):
+    """Raised when a matrix is required to have the consecutive ones property
+    (after row permutation) but does not."""
+
+
+class EstimationError(ReproError):
+    """Raised when a statistical estimator (e.g. the GRM estimator) cannot
+    produce parameter estimates for the provided data."""
+
+
+class DatasetError(ReproError):
+    """Raised for unknown dataset names or malformed dataset files."""

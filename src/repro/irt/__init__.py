@@ -1,0 +1,83 @@
+"""Item Response Theory substrate.
+
+Implements the dichotomous and polytomous IRT models of Section II-D /
+Appendix C, the synthetic data generators used throughout the paper's
+experiments, the GRM parameter estimator (replacing the GIRTH package), and
+the realistic simulations of Appendix D-C.
+"""
+
+from repro.irt.dichotomous import (
+    DichotomousItemBank,
+    DichotomousModel,
+    GLADModel,
+    OnePLModel,
+    ThreePLModel,
+    TwoPLModel,
+    sigmoid,
+)
+from repro.irt.polytomous import (
+    BockModel,
+    GradedResponseModel,
+    PolytomousModel,
+    SamejimaModel,
+    softmax,
+)
+from repro.irt.generators import (
+    DEFAULT_ABILITY_RANGE,
+    DEFAULT_DIFFICULTY_RANGE,
+    DEFAULT_DISCRIMINATION_RANGE,
+    MODEL_NAMES,
+    SyntheticDataset,
+    build_model,
+    generate_c1p_dataset,
+    generate_dataset,
+    make_bock_model,
+    make_grm_model,
+    make_samejima_model,
+    sample_abilities,
+)
+from repro.irt.estimation import GRMEstimate, GRMEstimator, grade_responses
+from repro.irt.simulated import (
+    AMERICAN_EXPERIENCE_NUM_ITEMS,
+    AMERICAN_EXPERIENCE_NUM_STUDENTS,
+    american_experience_item_bank,
+    generate_american_experience_dataset,
+    generate_halfmoon_dataset,
+    halfmoon_item_parameters,
+)
+
+__all__ = [
+    "DichotomousItemBank",
+    "DichotomousModel",
+    "OnePLModel",
+    "TwoPLModel",
+    "GLADModel",
+    "ThreePLModel",
+    "sigmoid",
+    "softmax",
+    "PolytomousModel",
+    "GradedResponseModel",
+    "BockModel",
+    "SamejimaModel",
+    "SyntheticDataset",
+    "MODEL_NAMES",
+    "DEFAULT_ABILITY_RANGE",
+    "DEFAULT_DIFFICULTY_RANGE",
+    "DEFAULT_DISCRIMINATION_RANGE",
+    "sample_abilities",
+    "build_model",
+    "make_grm_model",
+    "make_bock_model",
+    "make_samejima_model",
+    "generate_dataset",
+    "generate_c1p_dataset",
+    "GRMEstimator",
+    "GRMEstimate",
+    "grade_responses",
+    "american_experience_item_bank",
+    "generate_american_experience_dataset",
+    "generate_halfmoon_dataset",
+    "halfmoon_item_parameters",
+    "AMERICAN_EXPERIENCE_NUM_ITEMS",
+    "AMERICAN_EXPERIENCE_NUM_STUDENTS",
+]

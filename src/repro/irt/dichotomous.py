@@ -1,0 +1,164 @@
+"""Dichotomous (binary) Item Response Theory models.
+
+Appendix C-A of the paper describes four binary models, all variations of
+the logistic response function ``sigma(x) = 1 / (1 + exp(-x))``:
+
+* **1PL / Rasch**: one difficulty parameter ``b`` per item.
+* **2PL**: adds a discrimination parameter ``a`` per item.
+* **GLAD**: the crowdsourcing special case of 2PL with all ``b = 0``.
+* **3PL**: adds a guessing parameter ``c`` per item (lower asymptote).
+
+Each model exposes the probability of a correct answer ``P_i(theta)`` and a
+sampler that draws binary response matrices, which the American-Experience
+simulation (Figure 12) uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+import numpy as np
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    x = np.asarray(x, dtype=float)
+    out = np.empty_like(x)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+@dataclass(frozen=True)
+class DichotomousItemBank:
+    """Item parameters for a bank of binary items.
+
+    Attributes
+    ----------
+    difficulty:
+        ``b_i`` per item, shape ``(n,)``.
+    discrimination:
+        ``a_i`` per item, shape ``(n,)``.  All ones for the 1PL model.
+    guessing:
+        ``c_i`` per item, shape ``(n,)``.  All zeros for 1PL/2PL/GLAD.
+    """
+
+    difficulty: np.ndarray
+    discrimination: np.ndarray
+    guessing: np.ndarray
+
+    def __post_init__(self) -> None:
+        difficulty = np.atleast_1d(np.asarray(self.difficulty, dtype=float))
+        discrimination = np.atleast_1d(np.asarray(self.discrimination, dtype=float))
+        guessing = np.atleast_1d(np.asarray(self.guessing, dtype=float))
+        if not (difficulty.shape == discrimination.shape == guessing.shape):
+            raise ValueError("difficulty, discrimination and guessing must share a shape")
+        if np.any(guessing < 0) or np.any(guessing >= 1):
+            raise ValueError("guessing parameters must lie in [0, 1)")
+        object.__setattr__(self, "difficulty", difficulty)
+        object.__setattr__(self, "discrimination", discrimination)
+        object.__setattr__(self, "guessing", guessing)
+
+    @property
+    def num_items(self) -> int:
+        return int(self.difficulty.size)
+
+
+class DichotomousModel:
+    """Base class for binary IRT models over a :class:`DichotomousItemBank`."""
+
+    def __init__(self, items: DichotomousItemBank) -> None:
+        self.items = items
+
+    @property
+    def num_items(self) -> int:
+        return self.items.num_items
+
+    def probability(self, abilities: Union[float, np.ndarray]) -> np.ndarray:
+        """Probability of a correct answer, shape ``(num_users, num_items)``.
+
+        ``P_i(theta) = c_i + (1 - c_i) * sigma(a_i (theta - b_i))`` — the 3PL
+        response function, which specializes to all the other binary models.
+        """
+        theta = np.atleast_1d(np.asarray(abilities, dtype=float))[:, np.newaxis]
+        a = self.items.discrimination[np.newaxis, :]
+        b = self.items.difficulty[np.newaxis, :]
+        c = self.items.guessing[np.newaxis, :]
+        return c + (1.0 - c) * sigmoid(a * (theta - b))
+
+    def sample(
+        self,
+        abilities: np.ndarray,
+        random_state: Optional[Union[int, np.random.Generator]] = None,
+    ) -> np.ndarray:
+        """Sample a binary ``(num_users, num_items)`` correctness matrix."""
+        rng = np.random.default_rng(random_state)
+        probabilities = self.probability(abilities)
+        return (rng.random(probabilities.shape) < probabilities).astype(int)
+
+
+class OnePLModel(DichotomousModel):
+    """Rasch / 1PL model: ``P_i(theta) = sigma(theta - b_i)``."""
+
+    def __init__(self, difficulty: np.ndarray) -> None:
+        difficulty = np.atleast_1d(np.asarray(difficulty, dtype=float))
+        super().__init__(
+            DichotomousItemBank(
+                difficulty=difficulty,
+                discrimination=np.ones_like(difficulty),
+                guessing=np.zeros_like(difficulty),
+            )
+        )
+
+
+class TwoPLModel(DichotomousModel):
+    """2PL model: ``P_i(theta) = sigma(a_i (theta - b_i))``."""
+
+    def __init__(self, difficulty: np.ndarray, discrimination: np.ndarray) -> None:
+        difficulty = np.atleast_1d(np.asarray(difficulty, dtype=float))
+        discrimination = np.atleast_1d(np.asarray(discrimination, dtype=float))
+        super().__init__(
+            DichotomousItemBank(
+                difficulty=difficulty,
+                discrimination=discrimination,
+                guessing=np.zeros_like(difficulty),
+            )
+        )
+
+
+class GLADModel(DichotomousModel):
+    """GLAD model: 2PL with every difficulty tied to zero.
+
+    A user of ability 0 answers every item correctly with probability 1/2.
+    """
+
+    def __init__(self, discrimination: np.ndarray) -> None:
+        discrimination = np.atleast_1d(np.asarray(discrimination, dtype=float))
+        super().__init__(
+            DichotomousItemBank(
+                difficulty=np.zeros_like(discrimination),
+                discrimination=discrimination,
+                guessing=np.zeros_like(discrimination),
+            )
+        )
+
+
+class ThreePLModel(DichotomousModel):
+    """3PL model: adds a random-guessing lower asymptote ``c_i``."""
+
+    def __init__(
+        self,
+        difficulty: np.ndarray,
+        discrimination: np.ndarray,
+        guessing: np.ndarray,
+    ) -> None:
+        super().__init__(
+            DichotomousItemBank(
+                difficulty=np.atleast_1d(np.asarray(difficulty, dtype=float)),
+                discrimination=np.atleast_1d(np.asarray(discrimination, dtype=float)),
+                guessing=np.atleast_1d(np.asarray(guessing, dtype=float)),
+            )
+        )

@@ -1,0 +1,262 @@
+"""Graded Response Model parameter estimation (the "GRM-estimator" baseline).
+
+The paper's second cheating baseline fits a GRM to the responses with the
+GIRTH package and ranks users by the estimated abilities; it is "cheating"
+because it must be told the correctness order of each item's options.  GIRTH
+is not available offline, so this module implements the same statistical
+procedure from scratch:
+
+* **marginal maximum likelihood (MML)** estimation of the item parameters via
+  an EM algorithm with a fixed quadrature grid over the latent ability, and
+* **expected a-posteriori (EAP)** ability estimates for every user given the
+  fitted item parameters.
+
+The estimator works on *graded* responses: option indices must already be
+ordered by correctness (0 = worst, k-1 = best), exactly the information the
+cheating baseline is granted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+import numpy as np
+from scipy import optimize
+
+from repro.core.response import NO_ANSWER, ResponseMatrix
+from repro.exceptions import EstimationError
+from repro.irt.dichotomous import sigmoid
+
+RandomState = Optional[Union[int, np.random.Generator]]
+
+
+@dataclass
+class GRMEstimate:
+    """Result of fitting a Graded Response Model.
+
+    Attributes
+    ----------
+    abilities:
+        EAP ability estimate per user (length ``m``).
+    discrimination:
+        Estimated ``a_i`` per item (length ``n``).
+    thresholds:
+        Estimated ordered thresholds per item, shape ``(n, k-1)``.
+    log_likelihood:
+        Final marginal log-likelihood of the data.
+    iterations:
+        Number of EM iterations performed.
+    converged:
+        Whether the EM loop met its tolerance before exhausting the budget.
+    """
+
+    abilities: np.ndarray
+    discrimination: np.ndarray
+    thresholds: np.ndarray
+    log_likelihood: float
+    iterations: int
+    converged: bool
+
+
+class GRMEstimator:
+    """MML-EM estimator for the homogeneous Graded Response Model.
+
+    Parameters
+    ----------
+    num_quadrature:
+        Number of equally spaced quadrature points over ``quadrature_range``.
+    quadrature_range:
+        Latent-ability grid limits.  A standard-normal prior restricted to
+        this grid is used both in the E-step and for the EAP estimates.
+    max_iterations, tolerance:
+        EM stopping rule on the change in marginal log-likelihood.
+    """
+
+    def __init__(
+        self,
+        *,
+        num_quadrature: int = 31,
+        quadrature_range: Tuple[float, float] = (-4.0, 4.0),
+        max_iterations: int = 25,
+        tolerance: float = 1e-3,
+    ) -> None:
+        if num_quadrature < 3:
+            raise ValueError("need at least 3 quadrature points")
+        self.num_quadrature = num_quadrature
+        self.quadrature_range = quadrature_range
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+
+    # ------------------------------------------------------------------ #
+    def _grid(self) -> Tuple[np.ndarray, np.ndarray]:
+        low, high = self.quadrature_range
+        points = np.linspace(low, high, self.num_quadrature)
+        weights = np.exp(-0.5 * points**2)
+        weights = weights / weights.sum()
+        return points, weights
+
+    @staticmethod
+    def _category_probabilities(
+        points: np.ndarray, discrimination: float, thresholds: np.ndarray
+    ) -> np.ndarray:
+        """Probability of each category at each quadrature point, shape (Q, k)."""
+        cumulative = sigmoid(discrimination * (points[:, np.newaxis] - thresholds[np.newaxis, :]))
+        ones = np.ones((points.size, 1))
+        zeros = np.zeros((points.size, 1))
+        cumulative = np.concatenate([ones, cumulative, zeros], axis=1)
+        probabilities = cumulative[:, :-1] - cumulative[:, 1:]
+        return np.clip(probabilities, 1e-10, 1.0)
+
+    def _item_negative_log_likelihood(
+        self,
+        raw_parameters: np.ndarray,
+        points: np.ndarray,
+        expected_counts: np.ndarray,
+    ) -> float:
+        """Expected negative log-likelihood of one item given E-step counts.
+
+        ``raw_parameters`` packs ``log(a)`` followed by the first threshold
+        and the logs of the positive threshold gaps, which keeps the
+        thresholds ordered without explicit constraints.
+        """
+        log_a = raw_parameters[0]
+        first = raw_parameters[1]
+        gaps = np.exp(raw_parameters[2:])
+        thresholds = first + np.concatenate([[0.0], np.cumsum(gaps)])
+        a = float(np.exp(log_a))
+        probabilities = self._category_probabilities(points, a, thresholds)
+        return float(-(expected_counts * np.log(probabilities)).sum())
+
+    @staticmethod
+    def _pack(discrimination: float, thresholds: np.ndarray) -> np.ndarray:
+        gaps = np.diff(thresholds)
+        gaps = np.maximum(gaps, 1e-3)
+        return np.concatenate(
+            [[np.log(max(discrimination, 1e-3))], [thresholds[0]], np.log(gaps)]
+        )
+
+    @staticmethod
+    def _unpack(raw_parameters: np.ndarray) -> Tuple[float, np.ndarray]:
+        a = float(np.exp(raw_parameters[0]))
+        first = raw_parameters[1]
+        gaps = np.exp(raw_parameters[2:])
+        thresholds = first + np.concatenate([[0.0], np.cumsum(gaps)])
+        return a, thresholds
+
+    # ------------------------------------------------------------------ #
+    def fit(self, graded_responses: Union[np.ndarray, ResponseMatrix]) -> GRMEstimate:
+        """Fit the GRM and return parameter and ability estimates.
+
+        Parameters
+        ----------
+        graded_responses:
+            ``(m x n)`` integer matrix of graded responses in
+            ``{0, ..., k_i - 1}`` (-1 for missing), or a
+            :class:`ResponseMatrix` whose option indices are already ordered
+            by correctness.
+        """
+        if isinstance(graded_responses, ResponseMatrix):
+            responses = graded_responses.choices
+            num_options = graded_responses.num_options
+        else:
+            responses = np.asarray(graded_responses, dtype=int)
+            if responses.ndim != 2:
+                raise EstimationError("graded responses must be a 2-D integer matrix")
+            num_options = np.maximum(responses.max(axis=0) + 1, 2)
+        num_users, num_items = responses.shape
+        if num_users < 2 or num_items < 1:
+            raise EstimationError("need at least 2 users and 1 item to fit a GRM")
+
+        points, prior = self._grid()
+        answered = responses != NO_ANSWER
+
+        # Initial parameters: unit discrimination, equally spaced thresholds.
+        discrimination = np.ones(num_items)
+        max_categories = int(num_options.max())
+        thresholds = [
+            np.linspace(-1.0, 1.0, max(int(num_options[i]) - 1, 1)) for i in range(num_items)
+        ]
+
+        previous_ll = -np.inf
+        iterations = 0
+        converged = False
+        posterior = np.tile(prior, (num_users, 1))
+        for iterations in range(1, self.max_iterations + 1):
+            # E-step: posterior over the quadrature grid per user.
+            log_posterior = np.tile(np.log(prior)[np.newaxis, :], (num_users, 1))
+            item_probabilities = []
+            for i in range(num_items):
+                probs = self._category_probabilities(points, discrimination[i], thresholds[i])
+                item_probabilities.append(probs)
+                observed = responses[:, i]
+                mask = answered[:, i]
+                if not np.any(mask):
+                    continue
+                log_posterior[mask] += np.log(probs[:, observed[mask]]).T
+            log_marginal = np.logaddexp.reduce(log_posterior, axis=1)
+            log_likelihood = float(log_marginal.sum())
+            posterior = np.exp(log_posterior - log_marginal[:, np.newaxis])
+
+            if abs(log_likelihood - previous_ll) < self.tolerance:
+                converged = True
+                break
+            previous_ll = log_likelihood
+
+            # M-step: per-item expected category counts over the grid, then
+            # maximize each item's expected log-likelihood.
+            for i in range(num_items):
+                k_i = int(num_options[i])
+                observed = responses[:, i]
+                mask = answered[:, i]
+                if not np.any(mask):
+                    continue
+                expected_counts = np.zeros((points.size, k_i))
+                for category in range(k_i):
+                    users_in_category = mask & (observed == category)
+                    if np.any(users_in_category):
+                        expected_counts[:, category] = posterior[users_in_category].sum(axis=0)
+                initial = self._pack(discrimination[i], thresholds[i])
+                result = optimize.minimize(
+                    self._item_negative_log_likelihood,
+                    initial,
+                    args=(points, expected_counts),
+                    method="L-BFGS-B",
+                    options={"maxiter": 50},
+                )
+                a_i, b_i = self._unpack(result.x)
+                discrimination[i] = min(a_i, 50.0)
+                thresholds[i] = b_i
+
+        abilities = posterior @ points
+        threshold_matrix = np.full((num_items, max_categories - 1), np.nan)
+        for i in range(num_items):
+            threshold_matrix[i, : thresholds[i].size] = thresholds[i]
+        return GRMEstimate(
+            abilities=np.asarray(abilities, dtype=float),
+            discrimination=discrimination,
+            thresholds=threshold_matrix,
+            log_likelihood=previous_ll if not converged else log_likelihood,
+            iterations=iterations,
+            converged=converged,
+        )
+
+
+def grade_responses(response: ResponseMatrix, option_order: np.ndarray) -> np.ndarray:
+    """Convert raw choices into graded scores given an option-correctness order.
+
+    ``option_order[i]`` lists item ``i``'s option indices from worst to best;
+    the graded score of a choice is its position in that list.  This is the
+    ground-truth information the GRM-estimator baseline is allowed to use.
+    """
+    option_order = np.asarray(option_order, dtype=int)
+    if option_order.shape[0] != response.num_items:
+        raise ValueError("option_order must have one row per item")
+    choices = response.choices
+    graded = np.full_like(choices, NO_ANSWER)
+    for i in range(response.num_items):
+        ranks = np.empty(option_order.shape[1], dtype=int)
+        ranks[option_order[i]] = np.arange(option_order.shape[1])
+        answered = choices[:, i] != NO_ANSWER
+        graded[answered, i] = ranks[choices[answered, i]]
+    return graded

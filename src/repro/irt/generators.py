@@ -1,0 +1,360 @@
+"""Synthetic response-data generators based on the IRT models.
+
+Section IV-A of the paper generates all accuracy experiments from the three
+polytomous models (GRM, Bock, Samejima) with the default parameter ranges
+
+* user ability ``theta ~ U[0, 1]``,
+* item difficulty ``b ~ U[-0.5, 0.5]`` (shifted for the difficulty sweep),
+* item discrimination ``a ~ U[0, 10]``,
+
+plus an ideal **C1P generator** (the ``a -> infinity`` limit of GRM) used in
+Figure 4h.  Appendix D-D documents the Bock/GRM discrimination calibration
+(`a_GRM ~ U[0, 2 a_max/(k+1)]` so average discriminations match), which is
+reproduced here.
+
+Every generator returns a :class:`SyntheticDataset` bundling the
+:class:`~repro.core.response.ResponseMatrix`, the ground-truth abilities,
+the correct options, and the generating model, which the evaluation harness
+consumes directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.response import NO_ANSWER, ResponseMatrix
+from repro.irt.polytomous import (
+    BockModel,
+    GradedResponseModel,
+    PolytomousModel,
+    SamejimaModel,
+)
+
+RandomState = Optional[Union[int, np.random.Generator]]
+
+#: Default parameter ranges from Section IV-A of the paper.
+DEFAULT_ABILITY_RANGE: Tuple[float, float] = (0.0, 1.0)
+DEFAULT_DIFFICULTY_RANGE: Tuple[float, float] = (-0.5, 0.5)
+DEFAULT_DISCRIMINATION_RANGE: Tuple[float, float] = (0.0, 10.0)
+
+#: Model names accepted by :func:`generate_dataset`.
+MODEL_NAMES = ("grm", "bock", "samejima")
+
+
+@dataclass
+class SyntheticDataset:
+    """A generated ability-discovery instance with full ground truth.
+
+    Attributes
+    ----------
+    response:
+        The observed :class:`ResponseMatrix`.
+    abilities:
+        Ground-truth user abilities ``theta`` (length ``m``).
+    correct_options:
+        Ground-truth best option per item (length ``n``).
+    model_name:
+        Which generative model produced the data ("grm", "bock", "samejima",
+        "c1p", "3pl", ...).
+    metadata:
+        Free-form extra information (parameter ranges, model objects, ...).
+    """
+
+    response: ResponseMatrix
+    abilities: np.ndarray
+    correct_options: np.ndarray
+    model_name: str
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def num_users(self) -> int:
+        return self.response.num_users
+
+    @property
+    def num_items(self) -> int:
+        return self.response.num_items
+
+    @property
+    def true_ranking(self) -> np.ndarray:
+        """User indices sorted by increasing ground-truth ability."""
+        return np.argsort(self.abilities, kind="stable")
+
+
+# --------------------------------------------------------------------------- #
+# Parameter samplers
+# --------------------------------------------------------------------------- #
+def sample_abilities(
+    num_users: int,
+    ability_range: Tuple[float, float] = DEFAULT_ABILITY_RANGE,
+    random_state: RandomState = None,
+) -> np.ndarray:
+    """Draw user abilities uniformly from ``ability_range``."""
+    rng = np.random.default_rng(random_state)
+    low, high = ability_range
+    return rng.uniform(low, high, size=num_users)
+
+
+def make_grm_model(
+    num_items: int,
+    num_options: int,
+    *,
+    difficulty_range: Tuple[float, float] = DEFAULT_DIFFICULTY_RANGE,
+    discrimination_range: Tuple[float, float] = DEFAULT_DISCRIMINATION_RANGE,
+    calibrate_to_bock: bool = True,
+    random_state: RandomState = None,
+) -> GradedResponseModel:
+    """Sample a random Graded Response Model.
+
+    Thresholds for each item are drawn from ``difficulty_range`` and sorted
+    (strictly increasing with a tiny jitter to break ties).  When
+    ``calibrate_to_bock`` is set, the discrimination is drawn from
+    ``U[0, 2 a_max / (k + 1)]`` so the average discrimination matches the
+    Bock generator with the same nominal range (Appendix D-D).
+    """
+    if num_options < 2:
+        raise ValueError("GRM needs at least 2 options")
+    rng = np.random.default_rng(random_state)
+    low, high = difficulty_range
+    thresholds = np.sort(rng.uniform(low, high, size=(num_items, num_options - 1)), axis=1)
+    # Enforce strict ordering; equal draws are measure-zero but possible.
+    epsilon = 1e-9 * np.arange(num_options - 1)
+    thresholds = thresholds + epsilon[np.newaxis, :]
+    a_low, a_high = discrimination_range
+    if calibrate_to_bock:
+        a_high = 2.0 * a_high / (num_options + 1)
+        a_low = 2.0 * a_low / (num_options + 1)
+    discrimination = rng.uniform(a_low, a_high, size=num_items)
+    return GradedResponseModel(discrimination=discrimination, thresholds=thresholds)
+
+
+def make_bock_model(
+    num_items: int,
+    num_options: int,
+    *,
+    difficulty_range: Tuple[float, float] = DEFAULT_DIFFICULTY_RANGE,
+    discrimination_range: Tuple[float, float] = DEFAULT_DISCRIMINATION_RANGE,
+    random_state: RandomState = None,
+) -> BockModel:
+    """Sample a random Bock nominal-category model.
+
+    The parameterization follows the GRM/Bock correspondence of Appendix C-B
+    and Figure 8a: option ``h`` of item ``i`` has slope ``h * a_i`` (so the
+    correct option has the largest slope) and intercept
+    ``-a_i * (b_1 + ... + b_h)`` for ordered thresholds
+    ``b_1 < ... < b_{k-1}`` drawn from ``difficulty_range``.  With this
+    choice the crossover between adjacent options ``h-1`` and ``h`` happens
+    exactly at ability ``b_h``, matching a GRM with the same thresholds
+    (e.g. GRM ``a=8, b=(-0.2, 0.2)`` corresponds to Bock
+    ``alpha=(0, 8, 16), beta=(0, 1.6, 0)``).  The per-option base
+    discrimination ``a_i`` is drawn from ``U[discrimination_range] * 2/(k+1)``
+    so the *average* slope matches the nominal range (Appendix D-D).
+    """
+    if num_options < 2:
+        raise ValueError("Bock model needs at least 2 options")
+    rng = np.random.default_rng(random_state)
+    a_low, a_high = discrimination_range
+    scale = 2.0 / (num_options + 1)
+    base = rng.uniform(a_low * scale, a_high * scale, size=num_items)
+    multipliers = np.arange(num_options, dtype=float)
+    slopes = base[:, np.newaxis] * multipliers[np.newaxis, :]
+    low, high = difficulty_range
+    thresholds = np.sort(rng.uniform(low, high, size=(num_items, num_options - 1)), axis=1)
+    cumulative = np.cumsum(thresholds, axis=1)
+    intercepts = np.concatenate(
+        [np.zeros((num_items, 1)), -base[:, np.newaxis] * cumulative], axis=1
+    )
+    return BockModel(slopes=slopes, intercepts=intercepts)
+
+
+def make_samejima_model(
+    num_items: int,
+    num_options: int,
+    *,
+    difficulty_range: Tuple[float, float] = DEFAULT_DIFFICULTY_RANGE,
+    discrimination_range: Tuple[float, float] = DEFAULT_DISCRIMINATION_RANGE,
+    random_state: RandomState = None,
+) -> SamejimaModel:
+    """Sample a random Samejima multiple-choice model.
+
+    The visible options follow the Bock/GRM correspondence (see
+    :func:`make_bock_model`) with slopes ``(h+1) * a_i`` for
+    ``h = 0 .. k-1`` and crossovers at ordered thresholds
+    ``b_0 < b_1 < ... < b_{k-1}`` drawn from ``difficulty_range``.  The
+    latent "don't know" option has slope 0 and intercept 0, so it dominates
+    for abilities below the lowest threshold ``b_0`` — users who are not
+    even able to identify the worst-fitting option guess uniformly at
+    random, which is exactly the random-guessing behaviour Samejima's model
+    adds on top of Bock.
+    """
+    if num_options < 2:
+        raise ValueError("Samejima model needs at least 2 visible options")
+    rng = np.random.default_rng(random_state)
+    a_low, a_high = discrimination_range
+    scale = 2.0 / (num_options + 1)
+    base = rng.uniform(a_low * scale, a_high * scale, size=num_items)
+    low, high = difficulty_range
+    # One threshold per visible option: the lowest is the "start guessing"
+    # boundary between the latent option and the worst visible option.
+    thresholds = np.sort(rng.uniform(low, high, size=(num_items, num_options)), axis=1)
+    multipliers = np.arange(1, num_options + 1, dtype=float)
+    visible_slopes = base[:, np.newaxis] * multipliers[np.newaxis, :]
+    visible_intercepts = -base[:, np.newaxis] * np.cumsum(thresholds, axis=1)
+    latent_slope = np.zeros((num_items, 1))
+    latent_intercept = np.zeros((num_items, 1))
+    slopes = np.concatenate([latent_slope, visible_slopes], axis=1)
+    intercepts = np.concatenate([latent_intercept, visible_intercepts], axis=1)
+    return SamejimaModel(slopes=slopes, intercepts=intercepts)
+
+
+# --------------------------------------------------------------------------- #
+# Dataset generation
+# --------------------------------------------------------------------------- #
+def _apply_missingness(
+    choices: np.ndarray,
+    answer_probability: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Mask each (user, item) cell independently with probability ``1 - p``."""
+    if not 0 < answer_probability <= 1:
+        raise ValueError("answer_probability must be in (0, 1]")
+    if answer_probability >= 1.0:
+        return choices
+    mask = rng.random(choices.shape) < answer_probability
+    masked = np.where(mask, choices, NO_ANSWER)
+    # Guarantee that every user answers at least one item and every item is
+    # answered by at least one user so the bipartite graph stays usable.
+    for j in range(masked.shape[0]):
+        if np.all(masked[j] == NO_ANSWER):
+            i = int(rng.integers(masked.shape[1]))
+            masked[j, i] = choices[j, i]
+    for i in range(masked.shape[1]):
+        if np.all(masked[:, i] == NO_ANSWER):
+            j = int(rng.integers(masked.shape[0]))
+            masked[j, i] = choices[j, i]
+    return masked
+
+
+def build_model(
+    model_name: str,
+    num_items: int,
+    num_options: int,
+    *,
+    difficulty_range: Tuple[float, float] = DEFAULT_DIFFICULTY_RANGE,
+    discrimination_range: Tuple[float, float] = DEFAULT_DISCRIMINATION_RANGE,
+    random_state: RandomState = None,
+) -> PolytomousModel:
+    """Instantiate a random polytomous model by name ("grm", "bock", "samejima")."""
+    name = model_name.lower()
+    if name == "grm":
+        return make_grm_model(
+            num_items,
+            num_options,
+            difficulty_range=difficulty_range,
+            discrimination_range=discrimination_range,
+            random_state=random_state,
+        )
+    if name == "bock":
+        return make_bock_model(
+            num_items,
+            num_options,
+            difficulty_range=difficulty_range,
+            discrimination_range=discrimination_range,
+            random_state=random_state,
+        )
+    if name == "samejima":
+        return make_samejima_model(
+            num_items,
+            num_options,
+            difficulty_range=difficulty_range,
+            discrimination_range=discrimination_range,
+            random_state=random_state,
+        )
+    raise ValueError("unknown model %r; expected one of %s" % (model_name, (MODEL_NAMES,)))
+
+
+def generate_dataset(
+    model_name: str,
+    num_users: int,
+    num_items: int,
+    num_options: int = 3,
+    *,
+    ability_range: Tuple[float, float] = DEFAULT_ABILITY_RANGE,
+    difficulty_range: Tuple[float, float] = DEFAULT_DIFFICULTY_RANGE,
+    discrimination_range: Tuple[float, float] = DEFAULT_DISCRIMINATION_RANGE,
+    answer_probability: float = 1.0,
+    random_state: RandomState = None,
+) -> SyntheticDataset:
+    """Generate a full synthetic ability-discovery instance.
+
+    This is the workhorse behind the Figure 4 / Figure 9 experiments: pick a
+    polytomous model, sample abilities and item parameters from the given
+    ranges, sample responses, optionally drop answers with probability
+    ``1 - answer_probability`` (Figure 4g), and return everything with
+    ground truth attached.
+    """
+    rng = np.random.default_rng(random_state)
+    model = build_model(
+        model_name,
+        num_items,
+        num_options,
+        difficulty_range=difficulty_range,
+        discrimination_range=discrimination_range,
+        random_state=rng,
+    )
+    abilities = sample_abilities(num_users, ability_range, random_state=rng)
+    choices = model.sample(abilities, random_state=rng)
+    choices = _apply_missingness(choices, answer_probability, rng)
+    response = ResponseMatrix(choices, num_options=num_options)
+    return SyntheticDataset(
+        response=response,
+        abilities=abilities,
+        correct_options=model.correct_options,
+        model_name=model.name,
+        metadata={
+            "ability_range": ability_range,
+            "difficulty_range": difficulty_range,
+            "discrimination_range": discrimination_range,
+            "answer_probability": answer_probability,
+            "model": model,
+        },
+    )
+
+
+def generate_c1p_dataset(
+    num_users: int,
+    num_items: int,
+    num_options: int = 3,
+    *,
+    random_state: RandomState = None,
+) -> SyntheticDataset:
+    """Generate an ideal consistent-response (C1P) instance.
+
+    The paper (Section IV-B item 6 and Appendix D-D) uses a GRM instance in
+    the ``a -> infinity`` limit: both abilities and thresholds lie in
+    ``[0, 1]`` and a user with ability between thresholds ``b_h`` and
+    ``b_{h+1}`` deterministically picks option ``h``.  To break the
+    left/right symmetry of a perfectly even design, 10% of the users are
+    drawn from ``[0, 0.5]`` and 90% from ``[0.5, 1]``.
+    """
+    rng = np.random.default_rng(random_state)
+    num_low = max(1, int(round(0.1 * num_users)))
+    num_high = num_users - num_low
+    abilities = np.concatenate(
+        [rng.uniform(0.0, 0.5, size=num_low), rng.uniform(0.5, 1.0, size=num_high)]
+    )
+    rng.shuffle(abilities)
+    thresholds = np.sort(rng.uniform(0.0, 1.0, size=(num_items, num_options - 1)), axis=1)
+    # Deterministic Heaviside responses: count how many thresholds the
+    # ability exceeds.
+    choices = (abilities[:, np.newaxis, np.newaxis] > thresholds[np.newaxis, :, :]).sum(axis=2)
+    response = ResponseMatrix(choices.astype(int), num_options=num_options)
+    return SyntheticDataset(
+        response=response,
+        abilities=abilities,
+        correct_options=np.full(num_items, num_options - 1, dtype=int),
+        model_name="c1p",
+        metadata={"thresholds": thresholds},
+    )

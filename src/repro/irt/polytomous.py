@@ -1,0 +1,250 @@
+"""Polytomous (multinomial) Item Response Theory models.
+
+The paper's synthetic data are generated from three polytomous models
+(Section II-D and Appendix C-B):
+
+* **Graded Response Model (GRM)** [Samejima 1997]: one discrimination ``a_i``
+  per item and ordered difficulty thresholds ``b_{i,1} < ... < b_{i,k-1}``.
+  The probability of picking option ``h`` is the difference of two 2PL
+  cumulative curves.  In the limit ``a -> infinity`` the response function
+  becomes a difference of Heaviside steps, i.e. exactly the consistent (C1P)
+  case.
+* **Bock's nominal category model** [Bock 1972]: multinomial logistic
+  regression with a slope ``alpha_{ih}`` and intercept ``beta_{ih}`` per
+  option.
+* **Samejima's multiple-choice model** [Samejima 1979]: Bock plus a latent
+  "don't know" option 0; low-ability users spread its mass uniformly over
+  the ``k`` real options, modelling random guessing.
+
+Each model exposes:
+
+* ``option_probabilities(theta)`` — a ``(num_users, n, k)`` tensor of choice
+  probabilities,
+* ``correct_options`` — the ground-truth best option per item,
+* ``sample(theta)`` — a raw ``(num_users, n)`` choice matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.irt.dichotomous import sigmoid
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    logits = np.asarray(logits, dtype=float)
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+class PolytomousModel:
+    """Common interface of the polytomous IRT models."""
+
+    #: Human-readable model name used in experiment tables.
+    name: str = "polytomous"
+
+    @property
+    def num_items(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def num_categories(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def correct_options(self) -> np.ndarray:
+        """Ground-truth best option per item (length ``n``)."""
+        raise NotImplementedError
+
+    def option_probabilities(self, abilities: Union[float, np.ndarray]) -> np.ndarray:
+        """Choice probabilities, shape ``(num_users, num_items, num_categories)``."""
+        raise NotImplementedError
+
+    def sample(
+        self,
+        abilities: np.ndarray,
+        random_state: Optional[Union[int, np.random.Generator]] = None,
+    ) -> np.ndarray:
+        """Draw a raw choice matrix of shape ``(num_users, num_items)``."""
+        rng = np.random.default_rng(random_state)
+        probabilities = self.option_probabilities(abilities)
+        num_users, num_items, num_categories = probabilities.shape
+        cumulative = np.cumsum(probabilities, axis=2)
+        # Guard against tiny numerical drift so the final bin always closes.
+        cumulative[:, :, -1] = 1.0
+        draws = rng.random((num_users, num_items, 1))
+        return (draws > cumulative).sum(axis=2).astype(int)
+
+
+@dataclass(frozen=True)
+class GradedResponseModel(PolytomousModel):
+    """Samejima's Graded Response Model (homogeneous case).
+
+    Parameters
+    ----------
+    discrimination:
+        ``a_i`` per item, shape ``(n,)``.
+    thresholds:
+        Ordered difficulty thresholds ``b_{i,h}``, shape ``(n, k-1)``; row
+        ``i`` must be strictly increasing.  Option ``k-1`` (the last one) is
+        the hardest to reach and is therefore the *correct* option: users
+        with ability above every threshold pick it.
+    """
+
+    discrimination: np.ndarray
+    thresholds: np.ndarray
+
+    name = "grm"
+
+    def __post_init__(self) -> None:
+        discrimination = np.atleast_1d(np.asarray(self.discrimination, dtype=float))
+        thresholds = np.atleast_2d(np.asarray(self.thresholds, dtype=float))
+        if thresholds.shape[0] != discrimination.size:
+            raise ValueError("thresholds must have one row per item")
+        if thresholds.shape[1] < 1:
+            raise ValueError("GRM needs at least 2 categories (1 threshold)")
+        if np.any(np.diff(thresholds, axis=1) <= 0):
+            raise ValueError("GRM thresholds must be strictly increasing per item")
+        object.__setattr__(self, "discrimination", discrimination)
+        object.__setattr__(self, "thresholds", thresholds)
+
+    @property
+    def num_items(self) -> int:
+        return int(self.discrimination.size)
+
+    @property
+    def num_categories(self) -> int:
+        return int(self.thresholds.shape[1] + 1)
+
+    @property
+    def correct_options(self) -> np.ndarray:
+        return np.full(self.num_items, self.num_categories - 1, dtype=int)
+
+    def cumulative_probabilities(self, abilities: Union[float, np.ndarray]) -> np.ndarray:
+        """``P*_{ih}(theta)``: probability of reaching at least category ``h``.
+
+        Shape ``(num_users, n, k+1)`` with ``P*_{i0} = 1`` and ``P*_{ik} = 0``.
+        """
+        theta = np.atleast_1d(np.asarray(abilities, dtype=float))
+        a = self.discrimination[np.newaxis, :, np.newaxis]
+        b = self.thresholds[np.newaxis, :, :]
+        inner = sigmoid(a * (theta[:, np.newaxis, np.newaxis] - b))
+        num_users = theta.size
+        ones = np.ones((num_users, self.num_items, 1))
+        zeros = np.zeros((num_users, self.num_items, 1))
+        return np.concatenate([ones, inner, zeros], axis=2)
+
+    def option_probabilities(self, abilities: Union[float, np.ndarray]) -> np.ndarray:
+        cumulative = self.cumulative_probabilities(abilities)
+        probabilities = cumulative[:, :, :-1] - cumulative[:, :, 1:]
+        return np.clip(probabilities, 0.0, 1.0)
+
+
+@dataclass(frozen=True)
+class BockModel(PolytomousModel):
+    """Bock's nominal category model (multinomial logistic regression).
+
+    Parameters
+    ----------
+    slopes:
+        ``alpha_{ih}`` per (item, option), shape ``(n, k)``.  The option with
+        the largest slope is the correct one.
+    intercepts:
+        ``beta_{ih}`` per (item, option), shape ``(n, k)``.
+    """
+
+    slopes: np.ndarray
+    intercepts: np.ndarray
+
+    name = "bock"
+
+    def __post_init__(self) -> None:
+        slopes = np.atleast_2d(np.asarray(self.slopes, dtype=float))
+        intercepts = np.atleast_2d(np.asarray(self.intercepts, dtype=float))
+        if slopes.shape != intercepts.shape:
+            raise ValueError("slopes and intercepts must share a shape")
+        if slopes.shape[1] < 2:
+            raise ValueError("Bock model needs at least 2 options")
+        object.__setattr__(self, "slopes", slopes)
+        object.__setattr__(self, "intercepts", intercepts)
+
+    @property
+    def num_items(self) -> int:
+        return int(self.slopes.shape[0])
+
+    @property
+    def num_categories(self) -> int:
+        return int(self.slopes.shape[1])
+
+    @property
+    def correct_options(self) -> np.ndarray:
+        return np.argmax(self.slopes, axis=1).astype(int)
+
+    def option_probabilities(self, abilities: Union[float, np.ndarray]) -> np.ndarray:
+        theta = np.atleast_1d(np.asarray(abilities, dtype=float))
+        logits = (
+            self.slopes[np.newaxis, :, :] * theta[:, np.newaxis, np.newaxis]
+            + self.intercepts[np.newaxis, :, :]
+        )
+        return softmax(logits, axis=2)
+
+
+@dataclass(frozen=True)
+class SamejimaModel(PolytomousModel):
+    """Samejima's multiple-choice model with a latent "don't know" option.
+
+    Parameters
+    ----------
+    slopes, intercepts:
+        ``alpha_{ih}``/``beta_{ih}`` for options ``h = 0..k`` where option 0
+        is the latent "don't know" category; shape ``(n, k+1)``.  The mass of
+        the latent option is redistributed uniformly over the ``k`` visible
+        options, modelling random guessing.
+    """
+
+    slopes: np.ndarray
+    intercepts: np.ndarray
+
+    name = "samejima"
+
+    def __post_init__(self) -> None:
+        slopes = np.atleast_2d(np.asarray(self.slopes, dtype=float))
+        intercepts = np.atleast_2d(np.asarray(self.intercepts, dtype=float))
+        if slopes.shape != intercepts.shape:
+            raise ValueError("slopes and intercepts must share a shape")
+        if slopes.shape[1] < 3:
+            raise ValueError(
+                "Samejima model needs the latent option plus at least 2 visible options"
+            )
+        object.__setattr__(self, "slopes", slopes)
+        object.__setattr__(self, "intercepts", intercepts)
+
+    @property
+    def num_items(self) -> int:
+        return int(self.slopes.shape[0])
+
+    @property
+    def num_categories(self) -> int:
+        # Visible options only (the latent "don't know" is never observed).
+        return int(self.slopes.shape[1] - 1)
+
+    @property
+    def correct_options(self) -> np.ndarray:
+        return (np.argmax(self.slopes[:, 1:], axis=1)).astype(int)
+
+    def option_probabilities(self, abilities: Union[float, np.ndarray]) -> np.ndarray:
+        theta = np.atleast_1d(np.asarray(abilities, dtype=float))
+        logits = (
+            self.slopes[np.newaxis, :, :] * theta[:, np.newaxis, np.newaxis]
+            + self.intercepts[np.newaxis, :, :]
+        )
+        full = softmax(logits, axis=2)
+        dont_know = full[:, :, :1]
+        visible = full[:, :, 1:]
+        k = self.num_categories
+        return visible + dont_know / k

@@ -1,0 +1,84 @@
+"""Matrix and vector normalization helpers.
+
+The AVGHITS update matrix is built from the row-normalized matrix ``C_row``
+and the column-normalized matrix ``C_col`` of the binary response matrix
+(Section III-B of the paper).  These helpers work both on dense numpy arrays
+and on scipy sparse matrices and treat all-zero rows/columns gracefully
+(they are left as zeros rather than producing NaNs), which happens when an
+option was never chosen or a user answered no question.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+import scipy.sparse as sp
+
+MatrixLike = Union[np.ndarray, sp.spmatrix]
+
+
+def safe_divide(numerator: np.ndarray, denominator: np.ndarray) -> np.ndarray:
+    """Elementwise division that maps ``x / 0`` to ``0`` instead of NaN/inf.
+
+    Parameters
+    ----------
+    numerator, denominator:
+        Arrays of broadcastable shapes.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``numerator / denominator`` with zero wherever ``denominator == 0``.
+    """
+    numerator = np.asarray(numerator, dtype=float)
+    denominator = np.asarray(denominator, dtype=float)
+    out = np.zeros(np.broadcast(numerator, denominator).shape, dtype=float)
+    np.divide(numerator, denominator, out=out, where=denominator != 0)
+    return out
+
+
+def normalize_rows(matrix: MatrixLike) -> MatrixLike:
+    """Return a copy of ``matrix`` whose rows each sum to 1 (or stay 0).
+
+    For a binary response matrix this is ``C_row`` from the paper: each
+    nonzero entry in row ``j`` becomes ``1 / (number of answers of user j)``.
+    """
+    if sp.issparse(matrix):
+        matrix = matrix.tocsr().astype(float)
+        row_sums = np.asarray(matrix.sum(axis=1)).ravel()
+        inverse = safe_divide(np.ones_like(row_sums), row_sums)
+        return sp.diags(inverse) @ matrix
+    matrix = np.asarray(matrix, dtype=float)
+    row_sums = matrix.sum(axis=1, keepdims=True)
+    return safe_divide(matrix, row_sums)
+
+
+def normalize_columns(matrix: MatrixLike) -> MatrixLike:
+    """Return a copy of ``matrix`` whose columns each sum to 1 (or stay 0).
+
+    For a binary response matrix this is ``C_col`` from the paper: each
+    nonzero entry in column ``i`` becomes ``1 / (number of users who chose
+    option i)``.
+    """
+    if sp.issparse(matrix):
+        matrix = matrix.tocsc().astype(float)
+        col_sums = np.asarray(matrix.sum(axis=0)).ravel()
+        inverse = safe_divide(np.ones_like(col_sums), col_sums)
+        return (matrix @ sp.diags(inverse)).tocsr()
+    matrix = np.asarray(matrix, dtype=float)
+    col_sums = matrix.sum(axis=0, keepdims=True)
+    return safe_divide(matrix, col_sums)
+
+
+def l2_normalize(vector: np.ndarray) -> np.ndarray:
+    """Return ``vector`` scaled to unit Euclidean norm.
+
+    A zero vector is returned unchanged, so callers never see NaNs even when
+    an iteration collapses (e.g. on degenerate single-user inputs).
+    """
+    vector = np.asarray(vector, dtype=float)
+    norm = np.linalg.norm(vector)
+    if norm == 0:
+        return vector.copy()
+    return vector / norm

@@ -1,0 +1,71 @@
+"""The difference operator ``S`` and cumulative-sum operator ``T``.
+
+Figure 3 of the paper introduces two reshaping matrices:
+
+* ``S`` of shape ``(m-1, m)`` computes adjacent differences of a user-score
+  vector: ``(S s)_j = s_{j+1} - s_j``.
+* ``T`` of shape ``(m, m-1)`` is the lower unit triangular matrix that
+  reconstructs scores from differences while pinning the first score to 0:
+  ``(T d)_1 = 0`` and ``(T d)_j = d_1 + ... + d_{j-1}`` for ``j > 1``.
+
+HND-power never materializes ``T`` (that would cost ``O(m^2)`` memory);
+instead it uses a cumulative sum (``numpy.cumsum``), exactly as the paper
+recommends in Section III-F.  Both matrix-free functions and the explicit
+matrices (useful for tests and for building ``U^diff`` exactly) live here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def difference_matrix(m: int) -> np.ndarray:
+    """Return the ``(m-1, m)`` adjacent-difference matrix ``S``.
+
+    ``S[j, j] = -1`` and ``S[j, j+1] = 1`` so that ``S @ s`` is the vector of
+    adjacent differences ``s[1:] - s[:-1]``.
+    """
+    if m < 2:
+        raise ValueError("difference_matrix requires m >= 2, got %d" % m)
+    s = np.zeros((m - 1, m), dtype=float)
+    idx = np.arange(m - 1)
+    s[idx, idx] = -1.0
+    s[idx, idx + 1] = 1.0
+    return s
+
+
+def cumulative_matrix(m: int) -> np.ndarray:
+    """Return the ``(m, m-1)`` lower unit triangular reconstruction matrix ``T``.
+
+    ``T[j, i] = 1`` for ``i < j`` so that ``(T @ d)[j]`` is the cumulative sum
+    of the first ``j`` differences, with ``(T @ d)[0] = 0``.
+    """
+    if m < 2:
+        raise ValueError("cumulative_matrix requires m >= 2, got %d" % m)
+    t = np.zeros((m, m - 1), dtype=float)
+    rows, cols = np.tril_indices(m, k=-1, m=m - 1)
+    t[rows, cols] = 1.0
+    return t
+
+
+def apply_difference(scores: np.ndarray) -> np.ndarray:
+    """Matrix-free application of ``S``: adjacent differences of ``scores``."""
+    scores = np.asarray(scores, dtype=float)
+    if scores.ndim != 1 or scores.size < 2:
+        raise ValueError("apply_difference expects a 1-D vector of length >= 2")
+    return np.diff(scores)
+
+
+def apply_cumulative(diffs: np.ndarray) -> np.ndarray:
+    """Matrix-free application of ``T``: scores from differences, first score 0.
+
+    Equivalent to ``cumulative_matrix(m) @ diffs`` for ``m = len(diffs) + 1``
+    but runs in ``O(m)`` time and memory via :func:`numpy.cumsum`.
+    """
+    diffs = np.asarray(diffs, dtype=float)
+    if diffs.ndim != 1 or diffs.size < 1:
+        raise ValueError("apply_cumulative expects a 1-D vector of length >= 1")
+    scores = np.empty(diffs.size + 1, dtype=float)
+    scores[0] = 0.0
+    np.cumsum(diffs, out=scores[1:])
+    return scores

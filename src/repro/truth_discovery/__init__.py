@@ -1,0 +1,24 @@
+"""Truth-discovery baselines the paper compares HITSnDIFFS against."""
+
+from repro.truth_discovery.base import IterativeTruthRanker, discovered_truths
+from repro.truth_discovery.hits import HITSRanker
+from repro.truth_discovery.truthfinder import TruthFinderRanker
+from repro.truth_discovery.investment import InvestmentRanker, PooledInvestmentRanker
+from repro.truth_discovery.majority import MajorityVoteRanker
+from repro.truth_discovery.cheating import GRMEstimatorRanker, TrueAnswerRanker
+from repro.truth_discovery.dawid_skene import DawidSkeneRanker
+from repro.truth_discovery.glad import GLADRanker
+
+__all__ = [
+    "IterativeTruthRanker",
+    "discovered_truths",
+    "HITSRanker",
+    "TruthFinderRanker",
+    "InvestmentRanker",
+    "PooledInvestmentRanker",
+    "MajorityVoteRanker",
+    "TrueAnswerRanker",
+    "GRMEstimatorRanker",
+    "DawidSkeneRanker",
+    "GLADRanker",
+]

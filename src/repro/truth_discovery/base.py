@@ -1,0 +1,114 @@
+"""Shared machinery for the iterative truth-discovery baselines.
+
+HITS, TruthFinder, Investment and PooledInvestment (Section III-A of the
+paper) all follow the same template: alternate between updating per-user
+trust scores from option weights and option weights from user scores, then
+rank users by their final scores.  :class:`IterativeTruthRanker` factors the
+loop, the convergence bookkeeping, and the extraction of "discovered truths"
+(the highest-weight option per item) so the individual baselines only
+implement their two update rules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.ranking import AbilityRanker, AbilityRanking
+from repro.core.response import ResponseMatrix
+
+
+class IterativeTruthRanker(AbilityRanker):
+    """Base class for HITS-style alternating user/option score iterations.
+
+    Parameters
+    ----------
+    max_iterations:
+        Iteration budget.  Investment and PooledInvestment do not converge
+        in general (the paper fixes them at 10 iterations); convergent
+        methods stop earlier via ``tolerance``.
+    tolerance:
+        L2 threshold on the change of the user score vector between
+        iterations; ``None`` disables early stopping.
+    """
+
+    name = "iterative"
+
+    def __init__(self, *, max_iterations: int = 100,
+                 tolerance: Optional[float] = 1e-6) -> None:
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+
+    # ------------------------------------------------------------------ #
+    # Hooks for subclasses
+    # ------------------------------------------------------------------ #
+    def initial_scores(self, response: ResponseMatrix) -> np.ndarray:
+        """Initial per-user trust scores (default: all ones)."""
+        return np.ones(response.num_users)
+
+    def update_option_weights(self, response: ResponseMatrix,
+                              user_scores: np.ndarray) -> np.ndarray:
+        """Compute option weights (length ``sum_i k_i``) from user scores."""
+        raise NotImplementedError
+
+    def update_user_scores(self, response: ResponseMatrix,
+                           option_weights: np.ndarray,
+                           previous_scores: np.ndarray) -> np.ndarray:
+        """Compute user scores (length ``m``) from option weights."""
+        raise NotImplementedError
+
+    def normalize_scores(self, scores: np.ndarray) -> np.ndarray:
+        """Normalization applied after each user-score update (default: max-norm)."""
+        peak = np.max(np.abs(scores))
+        if peak == 0:
+            return scores
+        return scores / peak
+
+    # ------------------------------------------------------------------ #
+    def rank(self, response: ResponseMatrix) -> AbilityRanking:
+        scores = np.asarray(self.initial_scores(response), dtype=float)
+        weights = np.zeros(response.num_option_columns)
+        iterations = 0
+        converged = False
+        for iterations in range(1, self.max_iterations + 1):
+            weights = np.asarray(
+                self.update_option_weights(response, scores), dtype=float
+            )
+            new_scores = np.asarray(
+                self.update_user_scores(response, weights, scores), dtype=float
+            )
+            new_scores = self.normalize_scores(new_scores)
+            change = float(np.linalg.norm(new_scores - scores))
+            scores = new_scores
+            if self.tolerance is not None and change < self.tolerance:
+                converged = True
+                break
+        diagnostics: Dict[str, object] = {
+            "iterations": iterations,
+            "converged": converged,
+            "discovered_truths": discovered_truths(response, weights),
+        }
+        return AbilityRanking(scores=scores, method=self.name, diagnostics=diagnostics)
+
+
+def discovered_truths(response: ResponseMatrix, option_weights: np.ndarray) -> np.ndarray:
+    """Highest-weight option per item — the baseline's "truth" output.
+
+    Ability discovery only needs the user ranking, but the truth-discovery
+    baselines produce item labels as a by-product; exposing them lets the
+    examples show the duality between the two problems.
+    """
+    option_weights = np.asarray(option_weights, dtype=float).ravel()
+    offsets = response.column_offsets
+    truths = np.empty(response.num_items, dtype=int)
+    for item in range(response.num_items):
+        block = option_weights[offsets[item]:offsets[item + 1]]
+        truths[item] = int(np.argmax(block)) if block.size else 0
+    return truths
+
+
+def option_choice_matrix(response: ResponseMatrix) -> sp.csr_matrix:
+    """Alias for the sparse one-hot response matrix (kept for readability)."""
+    return response.binary

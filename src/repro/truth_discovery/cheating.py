@@ -1,0 +1,75 @@
+"""The paper's two "cheating" baselines.
+
+Both receive ground-truth information about the items that an unsupervised
+ability-discovery method never has (Section IV-A):
+
+* :class:`TrueAnswerRanker` knows the correct option of every item and ranks
+  users by the number of correctly answered items.
+* :class:`GRMEstimatorRanker` knows the correctness *order* of every item's
+  options, converts the responses into graded scores, fits a Graded Response
+  Model with :class:`~repro.irt.estimation.GRMEstimator`, and ranks users by
+  the estimated abilities.  This replaces the GIRTH package the paper used.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.ranking import AbilityRanking, SupervisedAbilityRanker
+from repro.core.response import ResponseMatrix, score_against_truth
+from repro.irt.estimation import GRMEstimator, grade_responses
+
+
+class TrueAnswerRanker(SupervisedAbilityRanker):
+    """Rank users by the number of items they answered correctly."""
+
+    name = "True-Answer"
+
+    def __init__(self, correct_options: Sequence[int]) -> None:
+        self.correct_options = np.asarray(correct_options, dtype=int)
+
+    def rank(self, response: ResponseMatrix) -> AbilityRanking:
+        scores = score_against_truth(response, self.correct_options).astype(float)
+        return AbilityRanking(scores=scores, method=self.name,
+                              diagnostics={"correct_options": self.correct_options})
+
+
+class GRMEstimatorRanker(SupervisedAbilityRanker):
+    """Rank users by the EAP abilities of a fitted Graded Response Model.
+
+    Parameters
+    ----------
+    option_order:
+        ``(n, k)`` array listing each item's option indices from worst to
+        best.  When omitted, options are assumed to already be numbered in
+        increasing correctness (true for GRM-generated data and for the C1P
+        generator).
+    estimator:
+        A configured :class:`GRMEstimator`; a default instance is created
+        when omitted.
+    """
+
+    name = "GRM-estimator"
+
+    def __init__(self, option_order: Optional[np.ndarray] = None,
+                 estimator: Optional[GRMEstimator] = None) -> None:
+        self.option_order = None if option_order is None else np.asarray(option_order, dtype=int)
+        self.estimator = estimator or GRMEstimator()
+
+    def rank(self, response: ResponseMatrix) -> AbilityRanking:
+        if self.option_order is None:
+            graded = response.choices
+        else:
+            graded = grade_responses(response, self.option_order)
+        estimate = self.estimator.fit(graded)
+        return AbilityRanking(
+            scores=estimate.abilities,
+            method=self.name,
+            diagnostics={
+                "iterations": estimate.iterations,
+                "converged": estimate.converged,
+                "log_likelihood": estimate.log_likelihood,
+            },
+        )

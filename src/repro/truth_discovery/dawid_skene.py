@@ -1,0 +1,105 @@
+"""Dawid–Skene EM for homogeneous-label aggregation (Appendix E-A).
+
+The Dawid–Skene model assigns each user a latent ``k x k`` confusion matrix
+(probability of reporting label ``h`` when the truth is ``l``) and jointly
+estimates confusion matrices, class priors, and per-item truth posteriors
+with EM.  The paper discusses it as the dominant model for *homogeneous*
+items and contrasts it with IRT; we include it so the library covers that
+comparison point and so examples can demonstrate where it breaks down on
+heterogeneous MCQs.
+
+Users are ranked by the prior-weighted mean of their confusion-matrix
+diagonal, i.e. their estimated probability of labelling an item correctly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.core.ranking import AbilityRanker, AbilityRanking
+from repro.core.response import NO_ANSWER, ResponseMatrix
+
+
+class DawidSkeneRanker(AbilityRanker):
+    """EM estimation of per-user confusion matrices; ranks by diagonal mass.
+
+    Parameters
+    ----------
+    max_iterations, tolerance:
+        EM stopping rule on the change of the truth posteriors.
+    smoothing:
+        Additive (Laplace) smoothing applied to confusion-matrix counts so
+        that users with few answers keep proper distributions.
+    """
+
+    name = "Dawid-Skene"
+
+    def __init__(self, *, max_iterations: int = 100, tolerance: float = 1e-6,
+                 smoothing: float = 0.01) -> None:
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.smoothing = smoothing
+
+    def rank(self, response: ResponseMatrix) -> AbilityRanking:
+        choices = response.choices
+        answered = choices != NO_ANSWER
+        num_users, num_items = choices.shape
+        num_classes = response.max_options
+
+        # Initialization: soft majority vote posteriors per item.
+        posteriors = np.full((num_items, num_classes), 1.0 / num_classes)
+        for item in range(num_items):
+            counts = np.bincount(choices[answered[:, item], item],
+                                 minlength=num_classes).astype(float)
+            total = counts.sum()
+            if total > 0:
+                posteriors[item] = (counts + self.smoothing) / (total + self.smoothing * num_classes)
+
+        confusion = np.zeros((num_users, num_classes, num_classes))
+        priors = np.full(num_classes, 1.0 / num_classes)
+        iterations = 0
+        converged = False
+        for iterations in range(1, self.max_iterations + 1):
+            # M-step: class priors and per-user confusion matrices.
+            priors = posteriors.mean(axis=0)
+            priors = priors / priors.sum()
+            confusion.fill(self.smoothing)
+            for user in range(num_users):
+                items = np.flatnonzero(answered[user])
+                if items.size == 0:
+                    continue
+                reported = choices[user, items]
+                np.add.at(confusion[user], (slice(None), reported),
+                          posteriors[items].T)
+            confusion /= confusion.sum(axis=2, keepdims=True)
+
+            # E-step: truth posterior per item.
+            log_confusion = np.log(np.clip(confusion, 1e-12, 1.0))
+            new_posteriors = np.tile(np.log(np.clip(priors, 1e-12, 1.0)), (num_items, 1))
+            for user in range(num_users):
+                items = np.flatnonzero(answered[user])
+                if items.size == 0:
+                    continue
+                reported = choices[user, items]
+                new_posteriors[items] += log_confusion[user][:, reported].T
+            new_posteriors -= new_posteriors.max(axis=1, keepdims=True)
+            new_posteriors = np.exp(new_posteriors)
+            new_posteriors /= new_posteriors.sum(axis=1, keepdims=True)
+
+            change = float(np.abs(new_posteriors - posteriors).max())
+            posteriors = new_posteriors
+            if change < self.tolerance:
+                converged = True
+                break
+
+        accuracies = np.einsum("ukk,k->u", confusion, priors)
+        truths = posteriors.argmax(axis=1)
+        diagnostics: Dict[str, object] = {
+            "iterations": iterations,
+            "converged": converged,
+            "discovered_truths": truths,
+            "class_priors": priors,
+        }
+        return AbilityRanking(scores=accuracies, method=self.name, diagnostics=diagnostics)

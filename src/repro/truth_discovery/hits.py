@@ -1,0 +1,39 @@
+"""The original HITS algorithm applied to truth/ability discovery.
+
+Kleinberg's Hubs-and-Authorities on the user-option bipartite graph
+(Section III-A of the paper): user scores are proportional to the *sum* of
+the weights of the options they chose and option weights to the sum of the
+scores of the users choosing them.  The user scores converge to the
+dominant eigenvector of ``C C^T``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.response import ResponseMatrix
+from repro.truth_discovery.base import IterativeTruthRanker
+
+
+class HITSRanker(IterativeTruthRanker):
+    """Classic HITS; ranks users by their converged hub scores."""
+
+    name = "HITS"
+
+    def __init__(self, *, max_iterations: int = 200, tolerance: float = 1e-8) -> None:
+        super().__init__(max_iterations=max_iterations, tolerance=tolerance)
+
+    def update_option_weights(self, response: ResponseMatrix,
+                              user_scores: np.ndarray) -> np.ndarray:
+        weights = np.asarray(response.binary.T @ user_scores).ravel()
+        norm = np.linalg.norm(weights)
+        return weights / norm if norm else weights
+
+    def update_user_scores(self, response: ResponseMatrix,
+                           option_weights: np.ndarray,
+                           previous_scores: np.ndarray) -> np.ndarray:
+        return np.asarray(response.binary @ option_weights).ravel()
+
+    def normalize_scores(self, scores: np.ndarray) -> np.ndarray:
+        norm = np.linalg.norm(scores)
+        return scores / norm if norm else scores

@@ -1,0 +1,88 @@
+"""Investment and PooledInvestment (Pasternack & Roth 2010).
+
+Both baselines let each user "invest" their current trust uniformly across
+the options they chose.  An option's credibility is a non-linear function of
+the total investment it received, and users earn back trust proportional to
+their share of each chosen option's credibility.
+
+* **Investment** applies the growth function ``G(x) = x^g`` directly to the
+  invested amount (``g = 1.2`` in the original paper).
+* **PooledInvestment** additionally normalizes the credibility within each
+  item's mutually exclusive options (``g = 1.4``).
+
+Neither method converges in general; following Section IV-A of the paper,
+they run a fixed number of iterations (default 10).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.response import ResponseMatrix
+from repro.truth_discovery.base import IterativeTruthRanker
+
+
+class InvestmentRanker(IterativeTruthRanker):
+    """Investment algorithm; ranks users by their final invested trust."""
+
+    name = "Invest"
+
+    def __init__(self, *, growth_exponent: float = 1.2,
+                 num_iterations: int = 10) -> None:
+        super().__init__(max_iterations=num_iterations, tolerance=None)
+        self.growth_exponent = growth_exponent
+
+    # ------------------------------------------------------------------ #
+    def _invested_amounts(self, response: ResponseMatrix,
+                          user_scores: np.ndarray) -> np.ndarray:
+        """Per-user amount invested into each chosen option: ``s_u / n_u``."""
+        answers = np.maximum(response.answers_per_user, 1)
+        return user_scores / answers
+
+    def update_option_weights(self, response: ResponseMatrix,
+                              user_scores: np.ndarray) -> np.ndarray:
+        per_user = self._invested_amounts(response, user_scores)
+        invested = np.asarray(response.binary.T @ per_user).ravel()
+        return np.power(np.maximum(invested, 0.0), self.growth_exponent)
+
+    def update_user_scores(self, response: ResponseMatrix,
+                           option_weights: np.ndarray,
+                           previous_scores: np.ndarray) -> np.ndarray:
+        per_user = self._invested_amounts(response, previous_scores)
+        total_invested = np.asarray(response.binary.T @ per_user).ravel()
+        # Each user's return from an option is proportional to their share of
+        # the total investment into that option.
+        share_denominator = np.where(total_invested > 0, total_invested, 1.0)
+        option_return = option_weights / share_denominator
+        per_option_return = np.asarray(response.binary @ option_return).ravel()
+        return per_user * per_option_return
+
+    def normalize_scores(self, scores: np.ndarray) -> np.ndarray:
+        peak = scores.max()
+        return scores / peak if peak > 0 else scores
+
+
+class PooledInvestmentRanker(InvestmentRanker):
+    """PooledInvestment: Investment with per-item pooling of option credibility."""
+
+    name = "PooledInv"
+
+    def __init__(self, *, growth_exponent: float = 1.4,
+                 num_iterations: int = 10) -> None:
+        super().__init__(growth_exponent=growth_exponent, num_iterations=num_iterations)
+
+    def update_option_weights(self, response: ResponseMatrix,
+                              user_scores: np.ndarray) -> np.ndarray:
+        per_user = self._invested_amounts(response, user_scores)
+        invested = np.asarray(response.binary.T @ per_user).ravel()
+        grown = np.power(np.maximum(invested, 0.0), self.growth_exponent)
+        weights = np.zeros_like(invested)
+        offsets = response.column_offsets
+        for item in range(response.num_items):
+            start, stop = offsets[item], offsets[item + 1]
+            block_grown = grown[start:stop]
+            block_invested = invested[start:stop]
+            total = block_grown.sum()
+            if total > 0:
+                weights[start:stop] = block_invested * block_grown / total
+        return weights

@@ -1,0 +1,38 @@
+"""Majority vote: the simplest truth-discovery baseline.
+
+The discovered "truth" of each item is its most frequently chosen option;
+users are ranked by how often they agree with the majority.  The paper's
+code repository includes majority vote as a reference method, and it also
+serves as the initialization of the Dawid–Skene EM baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.ranking import AbilityRanker, AbilityRanking
+from repro.core.response import NO_ANSWER, ResponseMatrix
+
+
+class MajorityVoteRanker(AbilityRanker):
+    """Rank users by their agreement rate with the per-item majority option."""
+
+    name = "MajorityVote"
+
+    def __init__(self, *, normalize_by_answers: bool = True) -> None:
+        self.normalize_by_answers = normalize_by_answers
+
+    def rank(self, response: ResponseMatrix) -> AbilityRanking:
+        majority = response.majority_choices()
+        choices = response.choices
+        answered = choices != NO_ANSWER
+        agreements = ((choices == majority[np.newaxis, :]) & answered).sum(axis=1)
+        if self.normalize_by_answers:
+            scores = agreements / np.maximum(response.answers_per_user, 1)
+        else:
+            scores = agreements.astype(float)
+        return AbilityRanking(
+            scores=scores,
+            method=self.name,
+            diagnostics={"discovered_truths": majority},
+        )

@@ -1,0 +1,104 @@
+"""Tests for the ABH spectral seriation rankers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.c1p.abh import ABHDirect, ABHPower
+from repro.c1p.properties import is_p_matrix
+from repro.core.hitsndiffs import HNDPower
+from repro.evaluation.metrics import orientation_agnostic_accuracy, spearman_accuracy
+from repro.irt.generators import generate_c1p_dataset, generate_dataset
+
+
+class TestABHIdealCase:
+    @pytest.mark.parametrize("ranker_cls", [ABHDirect, ABHPower])
+    def test_recovers_c1p_ordering(self, ranker_cls):
+        dataset = generate_c1p_dataset(30, 60, 3, random_state=1)
+        kwargs = {"break_symmetry": False}
+        if ranker_cls is ABHPower:
+            kwargs["random_state"] = 0
+        ranking = ranker_cls(**kwargs).rank(dataset.response)
+        assert is_p_matrix(dataset.response.binary_dense[ranking.order])
+
+    def test_abh_and_hnd_agree_on_ideal_input(self):
+        dataset = generate_c1p_dataset(40, 80, 3, random_state=2)
+        abh = ABHDirect(break_symmetry=False).rank(dataset.response)
+        hnd = HNDPower(break_symmetry=False, random_state=1).rank(dataset.response)
+        correlation = abs(spearman_accuracy(abh, hnd.scores))
+        assert correlation > 0.99
+
+    def test_symmetry_breaking_orients_correctly(self):
+        dataset = generate_c1p_dataset(60, 100, 3, random_state=3)
+        ranking = ABHDirect().rank(dataset.response)
+        assert spearman_accuracy(ranking, dataset.abilities) > 0.99
+
+
+class TestABHGeneralCase:
+    def test_reasonable_accuracy_on_high_discrimination_irt_data(self):
+        # ABH degrades quickly away from the ideal case (Section IV-D), so we
+        # only require a decent ranking on strongly discriminative data.
+        dataset = generate_dataset("grm", 80, 120, 3,
+                                   discrimination_range=(5.0, 10.0), random_state=5)
+        ranking = ABHDirect().rank(dataset.response)
+        assert orientation_agnostic_accuracy(ranking, dataset.abilities) > 0.5
+
+    def test_power_variant_reports_beta_and_iterations(self):
+        dataset = generate_dataset("grm", 40, 60, 3, random_state=7)
+        ranking = ABHPower(random_state=2).rank(dataset.response)
+        assert ranking.diagnostics["beta"] > 0
+        assert ranking.diagnostics["iterations"] >= 1
+
+    def test_power_beta_override(self):
+        dataset = generate_dataset("grm", 30, 40, 3, random_state=9)
+        default_beta = ABHPower(random_state=3).rank(dataset.response).diagnostics["beta"]
+        large_beta = ABHPower(beta=10 * default_beta, random_state=3).rank(dataset.response)
+        assert large_beta.diagnostics["beta"] >= 10 * default_beta * 0.99
+
+    def test_larger_beta_needs_more_iterations(self):
+        # Appendix E-B / Figure 14a: iteration count grows with beta.
+        dataset = generate_dataset("grm", 50, 60, 3, random_state=11)
+        base = ABHPower(random_state=4, max_iterations=50_000).rank(dataset.response)
+        slow = ABHPower(beta=5 * base.diagnostics["beta"], random_state=4,
+                        max_iterations=50_000).rank(dataset.response)
+        assert slow.diagnostics["iterations"] >= base.diagnostics["iterations"]
+
+    def test_single_user_degenerate_case(self):
+        from repro.core.response import ResponseMatrix
+
+        response = ResponseMatrix(np.array([[0, 1]]), num_options=2)
+        ranking = ABHDirect().rank(response)
+        assert ranking.num_users == 1
+
+    def test_abh_variants_agree(self):
+        dataset = generate_dataset("grm", 50, 80, 3, random_state=13)
+        direct = ABHDirect(break_symmetry=False).rank(dataset.response)
+        power = ABHPower(break_symmetry=False, random_state=5,
+                         max_iterations=100_000).rank(dataset.response)
+        correlation = abs(spearman_accuracy(direct, power.scores))
+        assert correlation > 0.95
+
+
+class TestHNDBeatsABHOnPerturbedData:
+    def test_hnd_at_least_as_accurate_on_average(self):
+        """Section IV-D's headline: HND generalizes better than ABH.
+
+        Averaged over several moderately discriminative Samejima instances,
+        HND should not lose to ABH.
+        """
+        hnd_scores = []
+        abh_scores = []
+        for seed in range(5):
+            dataset = generate_dataset(
+                "samejima", 60, 80, 3,
+                discrimination_range=(0.0, 5.0), random_state=100 + seed,
+            )
+            hnd_scores.append(
+                spearman_accuracy(HNDPower(random_state=seed).rank(dataset.response),
+                                  dataset.abilities)
+            )
+            abh_scores.append(
+                spearman_accuracy(ABHDirect().rank(dataset.response), dataset.abilities)
+            )
+        assert np.mean(hnd_scores) >= np.mean(abh_scores) - 0.05

@@ -1,0 +1,116 @@
+"""Tests for the AVGHITS update matrices (Lemmas 3-6 of the paper)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.c1p.generators import random_pre_p_matrix, staircase_matrix
+from repro.c1p.properties import is_r_matrix
+from repro.core.avghits import (
+    avghits_fixed_point,
+    avghits_step,
+    difference_update_matrix,
+    hnd_difference_step,
+    spectral_gap,
+    update_matrix,
+)
+from repro.core.response import ResponseMatrix
+from repro.linalg.operators import cumulative_matrix, difference_matrix
+
+
+def _c1p_response(num_users: int = 12, num_items: int = 10) -> ResponseMatrix:
+    """A complete-response C1P instance: users sorted by ability."""
+    thresholds = np.linspace(0.1, 0.9, 2)
+    abilities = np.linspace(0.0, 1.0, num_users)
+    rng = np.random.default_rng(3)
+    item_thresholds = np.sort(rng.uniform(0.05, 0.95, size=(num_items, 2)), axis=1)
+    choices = (abilities[:, None, None] > item_thresholds[None, :, :]).sum(axis=2)
+    return ResponseMatrix(choices.astype(int), num_options=3)
+
+
+class TestUpdateMatrix:
+    def test_rows_sum_to_one(self, paper_example_response):
+        u = update_matrix(paper_example_response)
+        np.testing.assert_allclose(u.sum(axis=1), np.ones(4), atol=1e-12)
+
+    def test_rows_sum_to_one_with_missing_answers(self):
+        choices = np.array([[0, -1, 1], [1, 0, -1], [0, 0, 1]])
+        response = ResponseMatrix(choices, num_options=2)
+        u = update_matrix(response)
+        np.testing.assert_allclose(u.sum(axis=1), np.ones(3), atol=1e-12)
+
+    def test_all_ones_is_fixed_point(self, paper_example_response):
+        u = update_matrix(paper_example_response)
+        ones = np.ones(4)
+        np.testing.assert_allclose(u @ ones, ones, atol=1e-12)
+
+    def test_symmetric_for_equal_row_sums_p_matrix(self):
+        response = _c1p_response()
+        u = update_matrix(response)
+        np.testing.assert_allclose(u, u.T, atol=1e-12)
+
+    def test_r_matrix_for_sorted_c1p_input(self):
+        # Lemma 6: P-matrix with equal row sums => U is an R-matrix.
+        response = _c1p_response()
+        u = update_matrix(response)
+        assert is_r_matrix(u, atol=1e-9)
+
+    def test_nonnegative_entries(self, small_grm_dataset):
+        u = update_matrix(small_grm_dataset.response)
+        assert np.all(u >= -1e-15)
+
+
+class TestDifferenceUpdateMatrix:
+    def test_shape(self, paper_example_response):
+        udiff = difference_update_matrix(paper_example_response)
+        assert udiff.shape == (3, 3)
+
+    def test_equals_s_u_t(self, small_grm_dataset):
+        response = small_grm_dataset.response
+        m = response.num_users
+        u = update_matrix(response)
+        expected = difference_matrix(m) @ u @ cumulative_matrix(m)
+        np.testing.assert_allclose(difference_update_matrix(response), expected, atol=1e-10)
+
+    def test_nonnegative_for_sorted_c1p_input(self):
+        # Key step of Theorem 1: U_diff of a row-sorted P-matrix is non-negative.
+        response = _c1p_response()
+        udiff = difference_update_matrix(response)
+        assert np.all(udiff >= -1e-10)
+
+    def test_spectrum_matches_u_without_top_eigenvalue(self):
+        response = _c1p_response(num_users=8, num_items=6)
+        u = update_matrix(response)
+        udiff = difference_update_matrix(response)
+        u_eigs = np.sort(np.linalg.eigvals(u).real)
+        udiff_eigs = np.sort(np.linalg.eigvals(udiff).real)
+        # Lemma 1: U_diff has exactly the eigenvalues of U except the top 1.
+        np.testing.assert_allclose(udiff_eigs, u_eigs[:-1], atol=1e-8)
+
+
+class TestMatrixFreeSteps:
+    def test_avghits_step_matches_matrix(self, small_grm_dataset):
+        response = small_grm_dataset.response
+        step = avghits_step(response)
+        u = update_matrix(response)
+        rng = np.random.default_rng(0)
+        vector = rng.standard_normal(response.num_users)
+        np.testing.assert_allclose(step(vector), u @ vector, atol=1e-10)
+
+    def test_hnd_difference_step_matches_matrix(self, small_grm_dataset):
+        response = small_grm_dataset.response
+        diff_step = hnd_difference_step(response)
+        udiff = difference_update_matrix(response)
+        rng = np.random.default_rng(1)
+        vector = rng.standard_normal(response.num_users - 1)
+        np.testing.assert_allclose(diff_step(vector), udiff @ vector, atol=1e-10)
+
+    def test_fixed_point_is_unit_ones_direction(self, paper_example_response):
+        fixed = avghits_fixed_point(paper_example_response)
+        np.testing.assert_allclose(fixed, np.ones(4) / 2.0)
+
+    def test_spectral_gap_top_eigenvalue_is_one(self, paper_example_response):
+        top, second = spectral_gap(paper_example_response)
+        assert top == pytest.approx(1.0, abs=1e-9)
+        assert second <= top + 1e-9

@@ -1,0 +1,152 @@
+"""Tests for the C1P predicates (P-matrix, pre-P-matrix, R-matrix)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.c1p.generators import random_p_matrix, random_pre_p_matrix, staircase_matrix
+from repro.c1p.properties import (
+    brute_force_c1p_ordering,
+    column_is_consecutive,
+    is_p_matrix,
+    is_pre_p_matrix,
+    is_r_matrix,
+    monotonicity_violations,
+)
+
+
+class TestColumnIsConsecutive:
+    def test_single_block(self):
+        assert column_is_consecutive(np.array([0, 1, 1, 1, 0]))
+
+    def test_split_block(self):
+        assert not column_is_consecutive(np.array([1, 0, 1]))
+
+    def test_empty_and_singleton_columns(self):
+        assert column_is_consecutive(np.zeros(4))
+        assert column_is_consecutive(np.array([0, 1, 0]))
+
+    def test_full_column(self):
+        assert column_is_consecutive(np.ones(5))
+
+
+class TestIsPMatrix:
+    def test_figure1_matrix_is_p(self, paper_example_response):
+        # The paper's Figure 1 binary matrix (rows sorted by ability) has C1P.
+        assert is_p_matrix(paper_example_response.binary_dense)
+
+    def test_shuffled_matrix_is_not_p(self):
+        matrix = staircase_matrix(8, 5)
+        shuffled = matrix[[3, 0, 6, 1, 7, 2, 5, 4]]
+        assert is_p_matrix(matrix)
+        assert not is_p_matrix(shuffled)
+
+    def test_sparse_input_accepted(self):
+        matrix = sp.csr_matrix(staircase_matrix(6, 4))
+        assert is_p_matrix(matrix)
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError):
+            is_p_matrix(np.array([[0, 2], [1, 0]]))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            is_p_matrix(np.array([1, 0, 1]))
+
+
+class TestIsPrePMatrix:
+    def test_shuffled_p_matrix_is_pre_p(self):
+        matrix, _ = random_pre_p_matrix(10, 8, random_state=0)
+        assert is_pre_p_matrix(matrix)
+
+    def test_tucker_forbidden_matrix_is_not_pre_p(self):
+        # The smallest Tucker forbidden configuration M_I(1): no row
+        # permutation makes all three columns consecutive.
+        matrix = np.array([
+            [1, 1, 0],
+            [0, 1, 1],
+            [1, 0, 1],
+        ])
+        assert not is_pre_p_matrix(matrix)
+        assert brute_force_c1p_ordering(matrix) is None
+
+    def test_brute_force_limits(self):
+        with pytest.raises(ValueError):
+            brute_force_c1p_ordering(np.zeros((10, 2), dtype=int))
+
+
+class TestIsRMatrix:
+    def test_banded_matrix_is_r(self):
+        matrix = np.array([
+            [3.0, 2.0, 1.0, 0.0],
+            [2.0, 3.0, 2.0, 1.0],
+            [1.0, 2.0, 3.0, 2.0],
+            [0.0, 1.0, 2.0, 3.0],
+        ])
+        assert is_r_matrix(matrix)
+
+    def test_non_symmetric_rejected(self):
+        matrix = np.array([[1.0, 2.0], [0.0, 1.0]])
+        assert not is_r_matrix(matrix)
+
+    def test_violation_detected(self):
+        matrix = np.array([
+            [3.0, 1.0, 2.0],
+            [1.0, 3.0, 1.0],
+            [2.0, 1.0, 3.0],
+        ])
+        assert not is_r_matrix(matrix)
+
+    def test_non_square_rejected(self):
+        assert not is_r_matrix(np.ones((2, 3)))
+
+    def test_cct_of_sorted_p_matrix_is_r(self):
+        # Appendix B: C C^T of a P-matrix is an R-matrix.
+        matrix = staircase_matrix(10, 7)
+        assert is_r_matrix((matrix @ matrix.T).astype(float))
+
+
+class TestMonotonicityViolations:
+    def test_monotone_vectors_have_zero_violations(self):
+        assert monotonicity_violations(np.array([1.0, 2.0, 3.0])) == 0
+        assert monotonicity_violations(np.array([3.0, 2.0, 1.0])) == 0
+        assert monotonicity_violations(np.array([1.0, 1.0, 2.0])) == 0
+
+    def test_single_violation_counted(self):
+        assert monotonicity_violations(np.array([1.0, 3.0, 2.0, 4.0])) == 1
+
+
+class TestGenerators:
+    def test_random_p_matrix_is_p(self):
+        for seed in range(20):
+            assert is_p_matrix(random_p_matrix(12, 9, random_state=seed))
+
+    def test_random_pre_p_matrix_order_realizes_c1p(self):
+        for seed in range(20):
+            matrix, order = random_pre_p_matrix(10, 8, random_state=seed)
+            assert is_p_matrix(matrix[order])
+
+    def test_staircase_matrix_is_p(self):
+        assert is_p_matrix(staircase_matrix(12, 6))
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            random_p_matrix(0, 3)
+        with pytest.raises(ValueError):
+            staircase_matrix(1, 3)
+
+    @given(
+        num_rows=st.integers(min_value=2, max_value=9),
+        num_columns=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_p_matrix_property(self, num_rows, num_columns, seed):
+        matrix = random_p_matrix(num_rows, num_columns, random_state=seed)
+        assert is_p_matrix(matrix)
+        assert matrix.shape == (num_rows, num_columns)
+        assert set(np.unique(matrix)).issubset({0, 1})

@@ -1,0 +1,67 @@
+"""Tests for the experiment CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands_parse(self):
+        parser = build_parser()
+        for command in ("list", "fig4", "fig5", "fig6", "fig7", "fig12", "fig13"):
+            args = parser.parse_args([command])
+            assert callable(args.func)
+
+    def test_fig4_arguments(self):
+        args = build_parser().parse_args(
+            ["fig4", "--model", "grm", "--vary", "num_users", "--trials", "2"]
+        )
+        assert args.model == "grm"
+        assert args.vary == "num_users"
+        assert args.trials == 2
+
+    def test_invalid_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig4", "--model", "rasch"])
+
+
+class TestCommands:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "pokemon" in output
+        assert "science" in output
+
+    def test_fig4_small_run(self, capsys):
+        exit_code = main(
+            ["fig4", "--vary", "num_items", "--users", "20", "--options", "3",
+             "--trials", "1", "--values", "20", "30"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "HnD" in output
+
+    def test_fig5_small_run(self, capsys):
+        exit_code = main(
+            ["fig5", "--dimension", "users", "--fixed-size", "20", "--repeats", "1",
+             "--values", "20", "30", "--max-size", "100"]
+        )
+        assert exit_code == 0
+        assert "HnD-Power" in capsys.readouterr().out
+
+    def test_fig6_small_run(self, capsys):
+        exit_code = main(["fig6", "--users", "25", "--items", "25", "--repeats", "1",
+                          "--values", "4"])
+        assert exit_code == 0
+        assert "ABH" in capsys.readouterr().out
+
+    def test_fig13_small_run(self, capsys):
+        exit_code = main(["fig13", "--users", "25", "--items", "25", "--runs", "1"])
+        assert exit_code == 0
+        assert "HnD" in capsys.readouterr().out

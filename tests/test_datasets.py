@@ -1,0 +1,79 @@
+"""Tests for the dataset registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    REAL_DATASET_SPECS,
+    dataset_spec,
+    dataset_summary_table,
+    list_datasets,
+    load_all_datasets,
+    load_dataset,
+)
+from repro.exceptions import DatasetError
+
+#: Shapes from Figure 10 of the paper.
+EXPECTED_SHAPES = {
+    "chinese": (50, 24, 5),
+    "english": (63, 30, 5),
+    "it": (36, 25, 4),
+    "medicine": (45, 36, 4),
+    "pokemon": (55, 20, 6),
+    "science": (111, 20, 5),
+}
+
+
+class TestRegistry:
+    def test_all_six_datasets_registered(self):
+        assert set(list_datasets()) == set(EXPECTED_SHAPES)
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_SHAPES))
+    def test_spec_shapes_match_paper(self, name):
+        spec = dataset_spec(name)
+        assert (spec.num_users, spec.num_questions, spec.num_options) == EXPECTED_SHAPES[name]
+
+    def test_spec_lookup_case_insensitive(self):
+        assert dataset_spec("Chinese").name == "chinese"
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(DatasetError):
+            dataset_spec("nonexistent")
+
+    def test_summary_table_rows(self):
+        rows = dataset_summary_table()
+        assert len(rows) == 6
+        assert ("pokemon", 55, 20, 6) in rows
+
+
+class TestLoading:
+    @pytest.mark.parametrize("name", sorted(EXPECTED_SHAPES))
+    def test_loaded_dataset_has_registered_shape(self, name):
+        dataset = load_dataset(name)
+        users, questions, options = EXPECTED_SHAPES[name]
+        assert dataset.num_users == users
+        assert dataset.num_items == questions
+        assert dataset.response.max_options == options
+
+    def test_loading_is_deterministic(self):
+        first = load_dataset("it")
+        second = load_dataset("it")
+        np.testing.assert_array_equal(first.response.choices, second.response.choices)
+
+    def test_custom_seed_changes_data(self):
+        default = load_dataset("it")
+        other = load_dataset("it", random_state=999)
+        assert not np.array_equal(default.response.choices, other.response.choices)
+
+    def test_model_name_records_dataset(self):
+        assert load_dataset("science").model_name == "real/science"
+
+    def test_load_all_datasets(self):
+        datasets = load_all_datasets()
+        assert set(datasets) == set(EXPECTED_SHAPES)
+
+    def test_loaded_datasets_are_connected(self):
+        for name in list_datasets():
+            assert load_dataset(name).response.is_connected()

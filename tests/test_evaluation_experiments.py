@@ -1,0 +1,145 @@
+"""Tests for the experiment harness (sweeps, stability, timing)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation.experiments import (
+    accuracy_sweep,
+    c1p_dataset_factory,
+    default_ranker_suite,
+    evaluate_rankers,
+    irt_dataset_factory,
+)
+from repro.evaluation.stability import stability_experiment, structured_grm_dataset
+from repro.evaluation.timing import measure_scalability, scalability_ranker_suite
+from repro.irt.generators import generate_dataset
+
+
+class TestDefaultSuite:
+    def test_unsupervised_suite_members(self):
+        suite = default_ranker_suite()
+        assert set(suite) == {"HnD", "ABH", "HITS", "TruthFinder", "Invest", "PooledInv"}
+
+    def test_cheating_suite_requires_correct_options(self):
+        with pytest.raises(ValueError):
+            default_ranker_suite(include_cheating=True)
+
+    def test_cheating_suite_members(self):
+        suite = default_ranker_suite(include_cheating=True, correct_options=np.zeros(5, dtype=int))
+        assert "True-Answer" in suite and "GRM-estimator" in suite
+
+    def test_majority_vote_optional(self):
+        suite = default_ranker_suite(include_majority=True)
+        assert "MajorityVote" in suite
+
+
+class TestEvaluateRankers:
+    def test_accuracies_and_durations_reported(self):
+        dataset = generate_dataset("grm", 40, 50, 3, random_state=0)
+        suite = default_ranker_suite(random_state=0)
+        result = evaluate_rankers(dataset, suite)
+        assert set(result.accuracies) == set(suite)
+        assert all(duration >= 0 for duration in result.durations.values())
+
+    def test_reference_abilities_override(self):
+        dataset = generate_dataset("grm", 30, 40, 3, random_state=1)
+        suite = {"HnD": default_ranker_suite(random_state=1)["HnD"]}
+        against_truth = evaluate_rankers(dataset, suite)
+        against_reverse = evaluate_rankers(dataset, suite,
+                                           reference_abilities=-dataset.abilities)
+        assert against_truth.accuracies["HnD"] == pytest.approx(
+            -against_reverse.accuracies["HnD"], abs=1e-9
+        )
+
+    def test_to_rows_sorted_by_accuracy(self):
+        dataset = generate_dataset("grm", 30, 40, 3, random_state=2)
+        result = evaluate_rankers(dataset, default_ranker_suite(random_state=2))
+        rows = result.to_rows()
+        accuracies = [row[1] for row in rows]
+        assert accuracies == sorted(accuracies, reverse=True)
+
+
+class TestAccuracySweep:
+    def test_sweep_shapes_and_methods(self):
+        factory = irt_dataset_factory("grm", num_users=30, num_options=3, vary="num_items")
+        sweep = accuracy_sweep("num_items", [20, 40], factory,
+                               methods=["HnD", "HITS"], num_trials=2, random_state=3)
+        assert sweep.parameter_values == [20, 40]
+        assert set(sweep.mean_accuracy) == {"HnD", "HITS"}
+        assert sweep.mean_accuracy["HnD"].shape == (2,)
+        assert len(sweep.to_rows()) == 4
+
+    def test_best_method_per_value(self):
+        factory = c1p_dataset_factory(num_users=30)
+        sweep = accuracy_sweep("n", [30], factory, methods=["HnD", "HITS"],
+                               num_trials=1, random_state=4)
+        winners = sweep.best_method_per_value()
+        assert len(winners) == 1
+        assert winners[0][1] in {"HnD", "HITS"}
+
+    def test_c1p_factory_gives_hnd_perfect_accuracy(self):
+        factory = c1p_dataset_factory(num_users=40)
+        sweep = accuracy_sweep("n", [60], factory, methods=["HnD"],
+                               num_trials=2, random_state=5)
+        assert sweep.mean_accuracy["HnD"][0] > 0.99
+
+    def test_vary_answer_probability(self):
+        factory = irt_dataset_factory("samejima", num_users=30, num_items=40,
+                                      vary="answer_probability")
+        sweep = accuracy_sweep("p", [0.7, 1.0], factory, methods=["HnD"],
+                               num_trials=1, random_state=6)
+        assert np.all(np.isfinite(sweep.mean_accuracy["HnD"]))
+
+
+class TestStability:
+    def test_structured_dataset_properties(self):
+        dataset = structured_grm_dataset(4.0, num_users=20, num_items=30, random_state=0)
+        assert dataset.num_users == 20
+        np.testing.assert_allclose(np.diff(dataset.abilities).min(), np.diff(dataset.abilities).max())
+
+    def test_stability_experiment_outputs(self):
+        result = stability_experiment([2.0, 8.0], num_users=30, num_items=30,
+                                      num_repeats=2, random_state=1)
+        assert result.discriminations == [2.0, 8.0]
+        assert set(result.accuracy) == {"HnD", "ABH"}
+        assert len(result.accuracy["HnD"]) == 2
+        assert len(result.to_rows()) == 4
+
+    def test_hnd_eigenvector_variance_not_larger_than_abh(self):
+        # Figure 6a: the HnD difference eigenvector has smaller variance.
+        result = stability_experiment([4.0], num_users=40, num_items=40,
+                                      num_repeats=2, random_state=2)
+        assert result.eigenvector_variance["HnD"][0] <= result.eigenvector_variance["ABH"][0] + 1e-6
+
+
+class TestScalabilityHarness:
+    def test_measure_scalability_users(self):
+        rankers = {name: ranker for name, ranker in scalability_ranker_suite(random_state=0).items()
+                   if name in {"HnD-Power", "ABH-Direct"}}
+        result = measure_scalability([20, 40], dimension="users", fixed_size=30,
+                                     rankers=rankers, num_repeats=1, random_state=0)
+        assert result.sizes == [20, 40]
+        assert set(result.median_seconds) == {"HnD-Power", "ABH-Direct"}
+        assert all(len(times) == 2 for times in result.median_seconds.values())
+
+    def test_measure_scalability_items_dimension(self):
+        rankers = {"HnD-Power": scalability_ranker_suite(random_state=1)["HnD-Power"]}
+        result = measure_scalability([20, 30], dimension="items", fixed_size=20,
+                                     rankers=rankers, num_repeats=1, random_state=1)
+        assert result.dimension == "items"
+        assert len(result.to_rows()) == 2
+
+    def test_invalid_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            measure_scalability([10], dimension="options")
+
+    def test_timeout_skips_larger_sizes(self):
+        rankers = {"HnD-Power": scalability_ranker_suite(random_state=2)["HnD-Power"]}
+        result = measure_scalability([20, 30, 40], dimension="users", fixed_size=20,
+                                     rankers=rankers, num_repeats=1,
+                                     timeout_seconds=0.0, random_state=2)
+        # After the first (timed-out) size, subsequent entries are NaN.
+        assert np.isnan(result.median_seconds["HnD-Power"][1])
+        assert np.isnan(result.median_seconds["HnD-Power"][2])

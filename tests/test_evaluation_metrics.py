@@ -1,0 +1,137 @@
+"""Tests for the evaluation metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.ranking import AbilityRanking
+from repro.evaluation.metrics import (
+    kendall_accuracy,
+    normalized_displacement,
+    orientation_agnostic_accuracy,
+    pairwise_ranking_accuracy,
+    rank_vector,
+    spearman_accuracy,
+    top_fraction_precision,
+)
+
+
+class TestSpearman:
+    def test_perfect_correlation(self):
+        assert spearman_accuracy([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+
+    def test_perfect_anticorrelation(self):
+        assert spearman_accuracy([4, 3, 2, 1], [1, 2, 3, 4]) == pytest.approx(-1.0)
+
+    def test_accepts_ability_ranking_objects(self):
+        ranking = AbilityRanking(scores=np.array([0.1, 0.5, 0.9]), method="x")
+        assert spearman_accuracy(ranking, [1, 2, 3]) == pytest.approx(1.0)
+
+    def test_constant_input_returns_zero(self):
+        assert spearman_accuracy([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            spearman_accuracy([1, 2], [1, 2, 3])
+
+    def test_orientation_agnostic(self):
+        assert orientation_agnostic_accuracy([3, 2, 1], [1, 2, 3]) == pytest.approx(1.0)
+
+
+class TestKendallAndPairwise:
+    def test_kendall_perfect(self):
+        assert kendall_accuracy([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_kendall_constant_returns_zero(self):
+        assert kendall_accuracy([5, 5], [1, 2]) == 0.0
+
+    def test_pairwise_accuracy_perfect_and_reversed(self):
+        assert pairwise_ranking_accuracy([1, 2, 3], [1, 2, 3]) == pytest.approx(1.0)
+        assert pairwise_ranking_accuracy([3, 2, 1], [1, 2, 3]) == pytest.approx(0.0)
+
+    def test_pairwise_relates_to_kendall(self):
+        rng = np.random.default_rng(0)
+        predicted = rng.random(30)
+        truth = rng.random(30)
+        tau = kendall_accuracy(predicted, truth)
+        pairwise = pairwise_ranking_accuracy(predicted, truth)
+        assert pairwise == pytest.approx((tau + 1) / 2, abs=1e-9)
+
+    def test_pairwise_single_user(self):
+        assert pairwise_ranking_accuracy([1.0], [2.0]) == 1.0
+
+
+class TestDisplacementAndRanks:
+    def test_rank_vector_with_ties(self):
+        np.testing.assert_allclose(rank_vector([1.0, 1.0, 3.0]), [0.5, 0.5, 2.0])
+
+    def test_zero_displacement_for_identical_rankings(self):
+        assert normalized_displacement([1, 2, 3], [10, 20, 30]) == 0.0
+
+    def test_maximal_displacement_for_reversed_ranking(self):
+        displacement = normalized_displacement([1, 2, 3, 4], [4, 3, 2, 1])
+        assert displacement == pytest.approx(2.0 / 3.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_displacement([1, 2], [1, 2, 3])
+
+    @given(
+        hnp.arrays(dtype=float, shape=st.integers(2, 30),
+                   elements=st.floats(-10, 10, allow_nan=False))
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_displacement_bounded_property(self, scores):
+        rng = np.random.default_rng(0)
+        other = rng.permutation(scores)
+        value = normalized_displacement(scores, other)
+        assert 0.0 <= value <= 1.0
+
+
+class TestTopFractionPrecision:
+    def test_perfect_top_selection(self):
+        truth = np.arange(20, dtype=float)
+        assert top_fraction_precision(truth, truth, fraction=0.2) == 1.0
+
+    def test_disjoint_top_selection(self):
+        predicted = np.arange(10, dtype=float)
+        truth = -predicted
+        assert top_fraction_precision(predicted, truth, fraction=0.2) == 0.0
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            top_fraction_precision([1, 2], [1, 2], fraction=0.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            top_fraction_precision([1, 2], [1, 2, 3])
+
+
+class TestSymmetryProperties:
+    @given(
+        hnp.arrays(dtype=float, shape=st.integers(2, 25),
+                   elements=st.floats(-100, 100, allow_nan=False)),
+        st.integers(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_spearman_is_symmetric(self, scores, seed):
+        rng = np.random.default_rng(seed)
+        other = rng.random(scores.size)
+        assert spearman_accuracy(scores, other) == pytest.approx(
+            spearman_accuracy(other, scores), abs=1e-12
+        )
+
+    @given(
+        hnp.arrays(dtype=float, shape=st.integers(2, 25),
+                   elements=st.floats(-100, 100, allow_nan=False))
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_spearman_bounded(self, scores):
+        rng = np.random.default_rng(1)
+        other = rng.random(scores.size)
+        value = spearman_accuracy(scores, other)
+        assert -1.0 - 1e-9 <= value <= 1.0 + 1e-9

@@ -1,0 +1,64 @@
+"""Tests for the GLAD EM baseline ranker."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.response import ResponseMatrix
+from repro.evaluation.metrics import spearman_accuracy
+from repro.irt.generators import generate_dataset
+from repro.truth_discovery.glad import GLADRanker
+
+
+@pytest.fixture(scope="module")
+def glad_friendly_dataset():
+    """Data matching GLAD's own assumptions: correctness driven by ability."""
+    return generate_dataset("grm", 60, 80, 3, discrimination_range=(2.0, 8.0),
+                            random_state=71)
+
+
+class TestGLADRanker:
+    def test_scores_finite_and_one_per_user(self, glad_friendly_dataset):
+        ranking = GLADRanker(max_iterations=10).rank(glad_friendly_dataset.response)
+        assert ranking.num_users == 60
+        assert np.all(np.isfinite(ranking.scores))
+
+    def test_recovers_ability_ordering(self, glad_friendly_dataset):
+        ranking = GLADRanker(max_iterations=20).rank(glad_friendly_dataset.response)
+        assert spearman_accuracy(ranking, glad_friendly_dataset.abilities) > 0.7
+
+    def test_discovers_majority_truths_on_easy_data(self):
+        dataset = generate_dataset("grm", 80, 40, 3, discrimination_range=(5.0, 10.0),
+                                   random_state=73)
+        ranking = GLADRanker(max_iterations=15).rank(dataset.response)
+        truths = ranking.diagnostics["discovered_truths"]
+        assert np.mean(truths == dataset.correct_options) > 0.8
+
+    def test_diagnostics_reported(self, glad_friendly_dataset):
+        ranking = GLADRanker(max_iterations=5).rank(glad_friendly_dataset.response)
+        assert ranking.diagnostics["iterations"] >= 1
+        assert "item_log_difficulty" in ranking.diagnostics
+        assert ranking.diagnostics["item_log_difficulty"].shape == (80,)
+
+    def test_handles_missing_answers(self):
+        dataset = generate_dataset("samejima", 40, 60, 3, answer_probability=0.7,
+                                   random_state=75)
+        ranking = GLADRanker(max_iterations=10).rank(dataset.response)
+        assert np.all(np.isfinite(ranking.scores))
+
+    def test_better_than_random_on_small_handcrafted_instance(self):
+        # Three reliable users always agree; two noisy users answer randomly.
+        rng = np.random.default_rng(0)
+        truth = rng.integers(0, 3, size=30)
+        reliable = np.tile(truth, (3, 1))
+        noisy = rng.integers(0, 3, size=(2, 30))
+        response = ResponseMatrix(np.vstack([reliable, noisy]), num_options=3)
+        ranking = GLADRanker(max_iterations=15).rank(response)
+        assert ranking.scores[:3].min() > ranking.scores[3:].max()
+
+    def test_items_with_no_answers_are_tolerated(self):
+        choices = np.array([[0, -1, 2], [1, -1, 2], [0, -1, 1]])
+        response = ResponseMatrix(choices, num_options=3)
+        ranking = GLADRanker(max_iterations=5).rank(response)
+        assert np.all(np.isfinite(ranking.scores))

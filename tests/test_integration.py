@@ -1,0 +1,120 @@
+"""End-to-end integration tests across the whole library.
+
+These tests exercise the public API exactly the way the examples and the
+benchmark harness do: generate data with the IRT substrate, rank users with
+every method, and evaluate rankings with the metrics — asserting the
+qualitative relationships the paper reports rather than exact numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    ABHDirect,
+    HNDPower,
+    ResponseMatrix,
+    TrueAnswerRanker,
+    default_ranker_suite,
+    evaluate_rankers,
+    generate_c1p_dataset,
+    generate_dataset,
+    load_dataset,
+    spearman_accuracy,
+)
+from repro.c1p import find_c1p_ordering, is_p_matrix
+from repro.evaluation import UNSUPERVISED_METHODS
+
+
+class TestPublicAPI:
+    def test_version_exposed(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_docstring_flow(self):
+        dataset = generate_dataset("grm", num_users=50, num_items=80, random_state=0)
+        ranking = HNDPower(random_state=0).rank(dataset.response)
+        assert spearman_accuracy(ranking, dataset.abilities) > 0.8
+
+
+class TestIdealCaseEndToEnd:
+    def test_only_spectral_c1p_methods_recover_the_ideal_ordering(self):
+        """Figure 4h: HND and ABH recover the C1P permutation; HITS-style
+        baselines do not."""
+        dataset = generate_c1p_dataset(80, 120, 3, random_state=3)
+        suite = default_ranker_suite(random_state=3)
+        result = evaluate_rankers(dataset, suite)
+        assert result.accuracies["HnD"] > 0.99
+        assert result.accuracies["ABH"] > 0.99
+        for method in ("HITS", "TruthFinder", "Invest", "PooledInv"):
+            assert result.accuracies[method] < 0.95
+
+    def test_spectral_ordering_matches_booth_lueker(self):
+        dataset = generate_c1p_dataset(30, 60, 3, random_state=4)
+        binary = dataset.response.binary_dense
+        hnd_order = HNDPower(break_symmetry=False, random_state=1).rank(dataset.response).order
+        bl_order = find_c1p_ordering(binary)
+        assert bl_order is not None
+        assert is_p_matrix(binary[hnd_order])
+        assert is_p_matrix(binary[bl_order])
+
+
+class TestGeneralCaseEndToEnd:
+    @pytest.mark.parametrize("model", ["grm", "bock", "samejima"])
+    def test_hnd_is_competitive_on_every_model(self, model):
+        """Figure 4a-4c: HND's accuracy is consistently high on all models."""
+        dataset = generate_dataset(model, 100, 100, 3, random_state=8)
+        suite = default_ranker_suite(random_state=8)
+        result = evaluate_rankers(dataset, suite)
+        best_unsupervised = max(result.accuracies[m] for m in UNSUPERVISED_METHODS)
+        assert result.accuracies["HnD"] > 0.85
+        assert result.accuracies["HnD"] >= best_unsupervised - 0.1
+
+    def test_hnd_competitive_with_cheating_baselines(self):
+        """Figure 4: HND is competitive with True-answer and GRM-estimator."""
+        dataset = generate_dataset("samejima", 100, 150, 3, random_state=9)
+        suite = default_ranker_suite(include_cheating=True,
+                                     correct_options=dataset.correct_options,
+                                     random_state=9)
+        result = evaluate_rankers(dataset, suite)
+        assert result.accuracies["HnD"] >= result.accuracies["True-Answer"] - 0.1
+
+    def test_real_dataset_protocol(self):
+        """Figure 7 protocol: rank against the True-answer reference ranking."""
+        dataset = load_dataset("it")
+        reference = TrueAnswerRanker(dataset.correct_options).rank(dataset.response)
+        suite = default_ranker_suite(random_state=10)
+        result = evaluate_rankers(dataset, suite, reference_abilities=reference.scores)
+        assert set(result.accuracies) == set(suite)
+        assert all(-1.0 <= value <= 1.0 for value in result.accuracies.values())
+
+    def test_incomplete_data_end_to_end(self):
+        dataset = generate_dataset("samejima", 80, 100, 3, answer_probability=0.6,
+                                   random_state=11)
+        hnd = HNDPower(random_state=11).rank(dataset.response)
+        abh = ABHDirect().rank(dataset.response)
+        assert spearman_accuracy(hnd, dataset.abilities) > 0.5
+        assert np.all(np.isfinite(abh.scores))
+
+
+class TestCrossValidationOfImplementations:
+    def test_binary_roundtrip_through_public_api(self):
+        dataset = generate_dataset("bock", 20, 30, 4, random_state=12)
+        rebuilt = ResponseMatrix.from_binary(dataset.response.binary_dense,
+                                             num_options=4)
+        assert rebuilt == dataset.response
+
+    def test_hnd_variants_consistent_ranking_quality(self):
+        from repro import HNDDeflation, HNDDirect
+
+        dataset = generate_dataset("grm", 60, 80, 3, random_state=13)
+        accuracies = [
+            spearman_accuracy(ranker.rank(dataset.response), dataset.abilities)
+            for ranker in (HNDPower(random_state=13), HNDDirect(), HNDDeflation(random_state=13))
+        ]
+        assert max(accuracies) - min(accuracies) < 0.05

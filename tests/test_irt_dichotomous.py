@@ -1,0 +1,126 @@
+"""Tests for the binary IRT models (1PL, 2PL, GLAD, 3PL)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.irt.dichotomous import (
+    DichotomousItemBank,
+    GLADModel,
+    OnePLModel,
+    ThreePLModel,
+    TwoPLModel,
+    sigmoid,
+)
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_limits(self):
+        assert sigmoid(np.array([50.0]))[0] == pytest.approx(1.0)
+        assert sigmoid(np.array([-50.0]))[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_no_overflow_for_extreme_inputs(self):
+        values = sigmoid(np.array([-1e4, 1e4]))
+        assert np.all(np.isfinite(values))
+
+    @given(st.floats(-500, 500))
+    @settings(max_examples=50, deadline=None)
+    def test_symmetry_property(self, x):
+        assert sigmoid(np.array([x]))[0] + sigmoid(np.array([-x]))[0] == pytest.approx(1.0)
+
+
+class TestItemBank:
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            DichotomousItemBank(
+                difficulty=np.zeros(3), discrimination=np.ones(2), guessing=np.zeros(3)
+            )
+
+    def test_invalid_guessing_rejected(self):
+        with pytest.raises(ValueError):
+            DichotomousItemBank(
+                difficulty=np.zeros(1), discrimination=np.ones(1), guessing=np.array([1.0])
+            )
+
+    def test_num_items(self):
+        bank = DichotomousItemBank(np.zeros(4), np.ones(4), np.zeros(4))
+        assert bank.num_items == 4
+
+
+class TestResponseFunctions:
+    def test_1pl_probability_at_difficulty_is_half(self):
+        model = OnePLModel(difficulty=np.array([0.3]))
+        assert model.probability(0.3)[0, 0] == pytest.approx(0.5)
+
+    def test_1pl_monotone_in_ability(self):
+        model = OnePLModel(difficulty=np.array([0.0]))
+        probabilities = model.probability(np.linspace(-3, 3, 20))[:, 0]
+        assert np.all(np.diff(probabilities) > 0)
+
+    def test_2pl_discrimination_sharpens_curve(self):
+        flat = TwoPLModel(difficulty=np.array([0.0]), discrimination=np.array([0.5]))
+        steep = TwoPLModel(difficulty=np.array([0.0]), discrimination=np.array([5.0]))
+        spread_flat = flat.probability(1.0)[0, 0] - flat.probability(-1.0)[0, 0]
+        spread_steep = steep.probability(1.0)[0, 0] - steep.probability(-1.0)[0, 0]
+        assert spread_steep > spread_flat
+
+    def test_2pl_reduces_to_1pl_with_unit_discrimination(self):
+        theta = np.linspace(-2, 2, 7)
+        one_pl = OnePLModel(difficulty=np.array([0.4]))
+        two_pl = TwoPLModel(difficulty=np.array([0.4]), discrimination=np.array([1.0]))
+        np.testing.assert_allclose(one_pl.probability(theta), two_pl.probability(theta))
+
+    def test_glad_ability_zero_gives_half(self):
+        model = GLADModel(discrimination=np.array([2.0, 7.0]))
+        np.testing.assert_allclose(model.probability(0.0)[0], [0.5, 0.5])
+
+    def test_3pl_lower_asymptote_is_guessing(self):
+        model = ThreePLModel(
+            difficulty=np.array([0.0]), discrimination=np.array([2.0]),
+            guessing=np.array([0.25]),
+        )
+        assert model.probability(-50.0)[0, 0] == pytest.approx(0.25, abs=1e-6)
+
+    def test_3pl_reduces_to_2pl_without_guessing(self):
+        theta = np.linspace(-2, 2, 5)
+        two_pl = TwoPLModel(difficulty=np.array([0.1]), discrimination=np.array([1.5]))
+        three_pl = ThreePLModel(
+            difficulty=np.array([0.1]), discrimination=np.array([1.5]),
+            guessing=np.array([0.0]),
+        )
+        np.testing.assert_allclose(two_pl.probability(theta), three_pl.probability(theta))
+
+    def test_probability_shape(self):
+        model = OnePLModel(difficulty=np.zeros(6))
+        assert model.probability(np.zeros(4)).shape == (4, 6)
+
+
+class TestSampling:
+    def test_sample_shape_and_binary_values(self):
+        model = TwoPLModel(difficulty=np.zeros(10), discrimination=np.ones(10))
+        sample = model.sample(np.linspace(-2, 2, 15), random_state=0)
+        assert sample.shape == (15, 10)
+        assert set(np.unique(sample)).issubset({0, 1})
+
+    def test_sampling_is_deterministic_given_seed(self):
+        model = OnePLModel(difficulty=np.zeros(5))
+        abilities = np.linspace(-1, 1, 8)
+        first = model.sample(abilities, random_state=3)
+        second = model.sample(abilities, random_state=3)
+        np.testing.assert_array_equal(first, second)
+
+    def test_high_ability_users_answer_more_correctly(self):
+        model = TwoPLModel(difficulty=np.zeros(200), discrimination=np.full(200, 2.0))
+        sample = model.sample(np.array([-2.0, 2.0]), random_state=1)
+        assert sample[1].sum() > sample[0].sum()
+
+    def test_empirical_rate_matches_probability(self):
+        model = OnePLModel(difficulty=np.zeros(2000))
+        sample = model.sample(np.array([0.0]), random_state=5)
+        assert sample.mean() == pytest.approx(0.5, abs=0.05)

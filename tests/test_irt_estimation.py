@@ -1,0 +1,87 @@
+"""Tests for the GRM estimator (the GIRTH replacement)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.response import NO_ANSWER, ResponseMatrix
+from repro.exceptions import EstimationError
+from repro.irt.estimation import GRMEstimator, grade_responses
+from repro.irt.generators import generate_dataset
+from repro.irt.polytomous import GradedResponseModel
+from repro.evaluation.metrics import spearman_accuracy
+
+
+class TestGRMEstimator:
+    def test_recovers_ability_ordering_on_grm_data(self):
+        rng = np.random.default_rng(0)
+        model = GradedResponseModel(
+            discrimination=np.full(60, 2.0),
+            thresholds=np.sort(rng.uniform(-1.5, 1.5, size=(60, 2)), axis=1),
+        )
+        abilities = rng.normal(0, 1, size=80)
+        responses = model.sample(abilities, random_state=1)
+        estimate = GRMEstimator(max_iterations=10).fit(responses)
+        assert spearman_accuracy(estimate.abilities, abilities) > 0.85
+
+    def test_discrimination_estimates_positive(self):
+        dataset = generate_dataset("grm", 50, 30, 3, random_state=2)
+        estimate = GRMEstimator(max_iterations=5).fit(dataset.response)
+        assert np.all(estimate.discrimination > 0)
+
+    def test_thresholds_ordered(self):
+        dataset = generate_dataset("grm", 50, 20, 4, random_state=3)
+        estimate = GRMEstimator(max_iterations=5).fit(dataset.response)
+        finite = ~np.isnan(estimate.thresholds)
+        for row, mask in zip(estimate.thresholds, finite):
+            values = row[mask]
+            assert np.all(np.diff(values) > 0)
+
+    def test_handles_missing_responses(self):
+        dataset = generate_dataset("grm", 40, 30, 3, answer_probability=0.7,
+                                   random_state=4)
+        estimate = GRMEstimator(max_iterations=5).fit(dataset.response)
+        assert estimate.abilities.shape == (40,)
+        assert np.all(np.isfinite(estimate.abilities))
+
+    def test_reports_iterations_and_likelihood(self):
+        dataset = generate_dataset("grm", 30, 15, 3, random_state=5)
+        estimate = GRMEstimator(max_iterations=4).fit(dataset.response)
+        assert estimate.iterations >= 1
+        assert np.isfinite(estimate.log_likelihood)
+
+    def test_rejects_tiny_inputs(self):
+        with pytest.raises(EstimationError):
+            GRMEstimator().fit(np.array([[0, 1, 2]]))
+
+    def test_rejects_non_2d_inputs(self):
+        with pytest.raises(EstimationError):
+            GRMEstimator().fit(np.array([0, 1, 2]))
+
+    def test_quadrature_validation(self):
+        with pytest.raises(ValueError):
+            GRMEstimator(num_quadrature=2)
+
+
+class TestGradeResponses:
+    def test_identity_order_keeps_choices(self):
+        response = ResponseMatrix(np.array([[0, 2], [1, 1]]), num_options=3)
+        order = np.tile(np.arange(3), (2, 1))
+        np.testing.assert_array_equal(grade_responses(response, order), response.choices)
+
+    def test_reversed_order_flips_grades(self):
+        response = ResponseMatrix(np.array([[0, 2]]), num_options=3)
+        order = np.array([[2, 1, 0], [2, 1, 0]])
+        np.testing.assert_array_equal(grade_responses(response, order), [[2, 0]])
+
+    def test_missing_answers_preserved(self):
+        response = ResponseMatrix(np.array([[NO_ANSWER, 1]]), num_options=3)
+        order = np.tile(np.arange(3), (2, 1))
+        graded = grade_responses(response, order)
+        assert graded[0, 0] == NO_ANSWER
+
+    def test_wrong_order_shape_rejected(self):
+        response = ResponseMatrix(np.array([[0, 1]]), num_options=3)
+        with pytest.raises(ValueError):
+            grade_responses(response, np.array([[0, 1, 2]]))

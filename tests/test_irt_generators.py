@@ -1,0 +1,153 @@
+"""Tests for the synthetic IRT dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.c1p.properties import is_pre_p_matrix
+from repro.core.response import NO_ANSWER
+from repro.irt.generators import (
+    MODEL_NAMES,
+    build_model,
+    generate_c1p_dataset,
+    generate_dataset,
+    make_bock_model,
+    make_grm_model,
+    make_samejima_model,
+    sample_abilities,
+)
+
+
+class TestParameterSamplers:
+    def test_sample_abilities_range(self):
+        abilities = sample_abilities(1000, (0.2, 0.8), random_state=0)
+        assert abilities.min() >= 0.2
+        assert abilities.max() <= 0.8
+
+    def test_make_grm_model_shapes(self):
+        model = make_grm_model(10, 4, random_state=0)
+        assert model.num_items == 10
+        assert model.num_categories == 4
+
+    def test_grm_bock_discrimination_calibration(self):
+        # Appendix D-D: GRM discrimination range is 2*a_max/(k+1).
+        model = make_grm_model(500, 3, discrimination_range=(0.0, 10.0),
+                               calibrate_to_bock=True, random_state=1)
+        assert model.discrimination.max() <= 2 * 10.0 / 4 + 1e-9
+
+    def test_grm_without_calibration_uses_full_range(self):
+        model = make_grm_model(500, 3, discrimination_range=(0.0, 10.0),
+                               calibrate_to_bock=False, random_state=1)
+        assert model.discrimination.max() > 2 * 10.0 / 4
+
+    def test_make_bock_model_slopes_increasing(self):
+        model = make_bock_model(5, 4, random_state=2)
+        assert np.all(np.diff(model.slopes, axis=1) > 0)
+
+    def test_make_samejima_model_latent_option(self):
+        model = make_samejima_model(5, 3, random_state=3)
+        assert model.slopes.shape == (5, 4)
+        np.testing.assert_allclose(model.slopes[:, 0], 0.0)
+
+    def test_build_model_dispatch(self):
+        for name in MODEL_NAMES:
+            model = build_model(name, 4, 3, random_state=0)
+            assert model.num_items == 4
+
+    def test_build_model_unknown_name(self):
+        with pytest.raises(ValueError):
+            build_model("rasch", 4, 3)
+
+    @pytest.mark.parametrize("factory", [make_grm_model, make_bock_model, make_samejima_model])
+    def test_too_few_options_rejected(self, factory):
+        with pytest.raises(ValueError):
+            factory(3, 1)
+
+
+class TestGenerateDataset:
+    @pytest.mark.parametrize("model", MODEL_NAMES)
+    def test_shapes_and_ground_truth(self, model):
+        dataset = generate_dataset(model, 20, 30, 4, random_state=0)
+        assert dataset.response.num_users == 20
+        assert dataset.response.num_items == 30
+        assert dataset.abilities.shape == (20,)
+        assert dataset.correct_options.shape == (30,)
+        assert dataset.model_name == model
+
+    def test_deterministic_given_seed(self):
+        first = generate_dataset("grm", 15, 20, 3, random_state=42)
+        second = generate_dataset("grm", 15, 20, 3, random_state=42)
+        np.testing.assert_array_equal(first.response.choices, second.response.choices)
+        np.testing.assert_allclose(first.abilities, second.abilities)
+
+    def test_answer_probability_creates_missing_answers(self):
+        dataset = generate_dataset("grm", 40, 60, 3, answer_probability=0.5,
+                                   random_state=1)
+        missing_fraction = np.mean(dataset.response.choices == NO_ANSWER)
+        assert 0.3 < missing_fraction < 0.7
+
+    def test_answer_probability_one_gives_complete_data(self):
+        dataset = generate_dataset("grm", 10, 10, 3, answer_probability=1.0,
+                                   random_state=2)
+        assert dataset.response.is_complete
+
+    def test_every_user_and_item_keeps_at_least_one_answer(self):
+        dataset = generate_dataset("samejima", 30, 30, 3, answer_probability=0.6,
+                                   random_state=3)
+        assert np.all(dataset.response.answers_per_user >= 1)
+        assert np.all(dataset.response.answers_per_item >= 1)
+
+    def test_invalid_answer_probability_rejected(self):
+        with pytest.raises(ValueError):
+            generate_dataset("grm", 5, 5, 3, answer_probability=0.0)
+
+    def test_true_ranking_property(self):
+        dataset = generate_dataset("grm", 25, 10, 3, random_state=5)
+        ranking = dataset.true_ranking
+        assert np.all(np.diff(dataset.abilities[ranking]) >= 0)
+
+    def test_high_ability_users_answer_better(self):
+        dataset = generate_dataset("grm", 100, 200, 3,
+                                   discrimination_range=(5.0, 10.0), random_state=6)
+        correct = (dataset.response.choices == dataset.correct_options).sum(axis=1)
+        top = correct[np.argsort(dataset.abilities)[-20:]].mean()
+        bottom = correct[np.argsort(dataset.abilities)[:20]].mean()
+        assert top > bottom
+
+    def test_metadata_records_parameters(self):
+        dataset = generate_dataset("bock", 10, 10, 3, random_state=7)
+        assert "discrimination_range" in dataset.metadata
+        assert "model" in dataset.metadata
+
+
+class TestGenerateC1PDataset:
+    def test_binary_matrix_is_pre_p(self):
+        dataset = generate_c1p_dataset(15, 25, 3, random_state=0)
+        assert is_pre_p_matrix(dataset.response.binary_dense)
+
+    def test_responses_consistent_with_abilities(self):
+        dataset = generate_c1p_dataset(40, 30, 3, random_state=1)
+        order = np.argsort(dataset.abilities)
+        choices = dataset.response.choices[order]
+        # Sorted by ability, every column of the raw choice matrix must be
+        # non-decreasing (better users pick equal-or-better options).
+        assert np.all(np.diff(choices, axis=0) >= 0)
+
+    def test_ability_split_ninety_ten(self):
+        dataset = generate_c1p_dataset(200, 30, 3, random_state=2)
+        low = np.sum(dataset.abilities < 0.5)
+        assert 10 <= low <= 30  # about 10% of 200
+
+    def test_complete_responses(self):
+        dataset = generate_c1p_dataset(10, 10, 3, random_state=3)
+        assert dataset.response.is_complete
+
+    @given(seed=st.integers(min_value=0, max_value=300),
+           num_options=st.integers(min_value=2, max_value=5))
+    @settings(max_examples=25, deadline=None)
+    def test_c1p_property_holds_for_any_seed(self, seed, num_options):
+        dataset = generate_c1p_dataset(12, 15, num_options, random_state=seed)
+        assert is_pre_p_matrix(dataset.response.binary_dense)

@@ -1,0 +1,165 @@
+"""Tests for the polytomous IRT models (GRM, Bock, Samejima)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.irt.polytomous import BockModel, GradedResponseModel, SamejimaModel, softmax
+
+
+class TestSoftmax:
+    def test_sums_to_one(self):
+        probabilities = softmax(np.array([[1.0, 2.0, 3.0]]))
+        assert probabilities.sum() == pytest.approx(1.0)
+
+    def test_invariant_to_constant_shift(self):
+        logits = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(softmax(logits), softmax(logits + 100.0))
+
+    def test_no_overflow(self):
+        probabilities = softmax(np.array([1e4, 0.0]))
+        assert np.all(np.isfinite(probabilities))
+
+
+class TestGradedResponseModel:
+    def _model(self, a=2.0):
+        return GradedResponseModel(
+            discrimination=np.array([a, a]),
+            thresholds=np.array([[-0.5, 0.5], [-1.0, 1.0]]),
+        )
+
+    def test_shapes(self):
+        model = self._model()
+        assert model.num_items == 2
+        assert model.num_categories == 3
+        probabilities = model.option_probabilities(np.array([0.0, 1.0]))
+        assert probabilities.shape == (2, 2, 3)
+
+    def test_probabilities_sum_to_one(self):
+        model = self._model()
+        probabilities = model.option_probabilities(np.linspace(-3, 3, 9))
+        np.testing.assert_allclose(probabilities.sum(axis=2), 1.0, atol=1e-9)
+
+    def test_correct_option_is_last_category(self):
+        np.testing.assert_array_equal(self._model().correct_options, [2, 2])
+
+    def test_high_ability_prefers_best_option(self):
+        model = self._model(a=8.0)
+        probabilities = model.option_probabilities(np.array([5.0]))
+        assert np.all(probabilities[0, :, -1] > 0.95)
+
+    def test_low_ability_prefers_worst_option(self):
+        model = self._model(a=8.0)
+        probabilities = model.option_probabilities(np.array([-5.0]))
+        assert np.all(probabilities[0, :, 0] > 0.95)
+
+    def test_large_discrimination_approaches_heaviside(self):
+        # Section II-D: GRM with a -> infinity becomes the consistent (C1P) case.
+        model = GradedResponseModel(
+            discrimination=np.array([500.0]), thresholds=np.array([[-0.5, 0.5]])
+        )
+        probabilities = model.option_probabilities(np.array([0.0]))
+        assert probabilities[0, 0, 1] > 0.999
+
+    def test_unordered_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            GradedResponseModel(
+                discrimination=np.array([1.0]), thresholds=np.array([[0.5, -0.5]])
+            )
+
+    def test_threshold_row_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            GradedResponseModel(
+                discrimination=np.array([1.0, 2.0]), thresholds=np.array([[0.0, 1.0]])
+            )
+
+    def test_cumulative_probabilities_bracketed(self):
+        model = self._model()
+        cumulative = model.cumulative_probabilities(np.array([0.3]))
+        np.testing.assert_allclose(cumulative[:, :, 0], 1.0)
+        np.testing.assert_allclose(cumulative[:, :, -1], 0.0)
+        assert np.all(np.diff(cumulative, axis=2) <= 1e-12)
+
+
+class TestBockModel:
+    def _model(self):
+        return BockModel(
+            slopes=np.array([[1.0, 2.0, 3.0], [0.5, 1.5, 2.5]]),
+            intercepts=np.zeros((2, 3)),
+        )
+
+    def test_probabilities_sum_to_one(self):
+        probabilities = self._model().option_probabilities(np.linspace(-2, 2, 5))
+        np.testing.assert_allclose(probabilities.sum(axis=2), 1.0)
+
+    def test_correct_option_has_largest_slope(self):
+        np.testing.assert_array_equal(self._model().correct_options, [2, 2])
+
+    def test_high_ability_picks_largest_slope_option(self):
+        probabilities = self._model().option_probabilities(np.array([10.0]))
+        np.testing.assert_array_equal(probabilities[0].argmax(axis=1), [2, 2])
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            BockModel(slopes=np.ones((2, 3)), intercepts=np.ones((2, 2)))
+
+    def test_needs_at_least_two_options(self):
+        with pytest.raises(ValueError):
+            BockModel(slopes=np.ones((2, 1)), intercepts=np.ones((2, 1)))
+
+
+class TestSamejimaModel:
+    def _model(self):
+        # Latent "don't know" option (index 0) plus 3 visible options.
+        slopes = np.array([[0.0, 1.0, 2.0, 3.0]])
+        intercepts = np.array([[0.0, -0.5, -1.0, -1.5]])
+        return SamejimaModel(slopes=slopes, intercepts=intercepts)
+
+    def test_visible_categories_only(self):
+        model = self._model()
+        assert model.num_categories == 3
+        probabilities = model.option_probabilities(np.array([0.0]))
+        assert probabilities.shape == (1, 1, 3)
+
+    def test_probabilities_sum_to_one(self):
+        probabilities = self._model().option_probabilities(np.linspace(-3, 3, 7))
+        np.testing.assert_allclose(probabilities.sum(axis=2), 1.0)
+
+    def test_low_ability_guesses_nearly_uniformly(self):
+        probabilities = self._model().option_probabilities(np.array([-20.0]))
+        np.testing.assert_allclose(probabilities[0, 0], np.full(3, 1 / 3), atol=0.01)
+
+    def test_high_ability_picks_correct_option(self):
+        probabilities = self._model().option_probabilities(np.array([20.0]))
+        assert probabilities[0, 0, -1] > 0.99
+
+    def test_correct_option_indices_exclude_latent(self):
+        np.testing.assert_array_equal(self._model().correct_options, [2])
+
+    def test_too_few_options_rejected(self):
+        with pytest.raises(ValueError):
+            SamejimaModel(slopes=np.ones((1, 2)), intercepts=np.ones((1, 2)))
+
+
+class TestSampling:
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_samples_within_category_range(self, seed):
+        model = GradedResponseModel(
+            discrimination=np.full(6, 2.0),
+            thresholds=np.tile(np.array([-0.5, 0.5]), (6, 1)),
+        )
+        sample = model.sample(np.linspace(-2, 2, 9), random_state=seed)
+        assert sample.shape == (9, 6)
+        assert sample.min() >= 0
+        assert sample.max() <= 2
+
+    def test_sampling_deterministic_given_seed(self):
+        model = BockModel(slopes=np.ones((4, 3)) * [[1, 2, 3]], intercepts=np.zeros((4, 3)))
+        abilities = np.linspace(-1, 1, 6)
+        np.testing.assert_array_equal(
+            model.sample(abilities, random_state=0), model.sample(abilities, random_state=0)
+        )

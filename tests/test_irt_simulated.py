@@ -1,0 +1,81 @@
+"""Tests for the realistic simulated datasets (American Experience, half-moon)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.irt.simulated import (
+    AMERICAN_EXPERIENCE_NUM_ITEMS,
+    american_experience_item_bank,
+    generate_american_experience_dataset,
+    generate_halfmoon_dataset,
+    halfmoon_item_parameters,
+)
+
+
+class TestAmericanExperience:
+    def test_item_bank_size_and_ranges(self):
+        model = american_experience_item_bank(random_state=0)
+        items = model.items
+        assert items.num_items == AMERICAN_EXPERIENCE_NUM_ITEMS
+        assert np.all((items.discrimination >= 0.4) & (items.discrimination <= 2.5))
+        assert np.all((items.difficulty >= -2.5) & (items.difficulty <= 2.5))
+        assert np.all((items.guessing >= 0.1) & (items.guessing <= 0.3))
+
+    def test_dataset_shapes(self):
+        dataset = generate_american_experience_dataset(100, random_state=1)
+        assert dataset.num_users == 100
+        assert dataset.num_items == AMERICAN_EXPERIENCE_NUM_ITEMS
+        assert dataset.response.max_options == 2
+
+    def test_correct_option_is_one(self):
+        dataset = generate_american_experience_dataset(50, random_state=2)
+        np.testing.assert_array_equal(dataset.correct_options, np.ones(40, dtype=int))
+
+    def test_ability_distribution_standard_normal(self):
+        dataset = generate_american_experience_dataset(3000, random_state=3)
+        assert abs(dataset.abilities.mean()) < 0.1
+        assert abs(dataset.abilities.std() - 1.0) < 0.1
+
+    def test_higher_ability_scores_higher(self):
+        dataset = generate_american_experience_dataset(500, random_state=4)
+        correct = (dataset.response.choices == 1).sum(axis=1)
+        top = correct[np.argsort(dataset.abilities)[-100:]].mean()
+        bottom = correct[np.argsort(dataset.abilities)[:100]].mean()
+        assert top > bottom + 5
+
+    def test_deterministic_given_seed(self):
+        first = generate_american_experience_dataset(30, random_state=5)
+        second = generate_american_experience_dataset(30, random_state=5)
+        np.testing.assert_array_equal(first.response.choices, second.response.choices)
+
+
+class TestHalfMoon:
+    def test_parameter_shapes(self):
+        discrimination, difficulty, guessing = halfmoon_item_parameters(200, random_state=0)
+        assert discrimination.shape == difficulty.shape == guessing.shape == (200,)
+        assert np.all(discrimination > 0)
+        assert np.all((guessing >= 0) & (guessing <= 0.5))
+
+    def test_halfmoon_shape_extremes_more_discriminative(self):
+        # The half-moon pattern: items at extreme difficulty have higher
+        # discrimination than mid-difficulty items on average.
+        discrimination, difficulty, _ = halfmoon_item_parameters(3000, random_state=1)
+        extreme = np.abs(difficulty) > 2.0
+        middle = np.abs(difficulty) < 0.5
+        assert discrimination[extreme].mean() > discrimination[middle].mean()
+
+    def test_dataset_shapes(self):
+        dataset = generate_halfmoon_dataset(60, 80, random_state=2)
+        assert dataset.num_users == 60
+        assert dataset.num_items == 80
+
+    def test_metadata_contains_parameters(self):
+        dataset = generate_halfmoon_dataset(20, 30, random_state=3)
+        assert set(dataset.metadata) >= {"discrimination", "difficulty", "guessing"}
+
+    def test_deterministic_given_seed(self):
+        first = generate_halfmoon_dataset(25, 25, random_state=9)
+        second = generate_halfmoon_dataset(25, 25, random_state=9)
+        np.testing.assert_array_equal(first.response.choices, second.response.choices)

@@ -1,0 +1,121 @@
+"""Tests for the from-scratch Lanczos eigensolver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.linalg.lanczos import (
+    fiedler_vector_lanczos,
+    lanczos_eigsh,
+    lanczos_tridiagonalize,
+)
+from repro.linalg.spectral import fiedler_vector, laplacian
+
+
+def _random_symmetric(size: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    matrix = rng.standard_normal((size, size))
+    return (matrix + matrix.T) / 2
+
+
+class TestTridiagonalization:
+    def test_basis_is_orthonormal(self):
+        matrix = _random_symmetric(30, seed=0)
+        basis, alphas, betas = lanczos_tridiagonalize(matrix, 30, 20, random_state=1)
+        gram = basis.T @ basis
+        np.testing.assert_allclose(gram, np.eye(basis.shape[1]), atol=1e-8)
+
+    def test_tridiagonal_is_projection_of_operator(self):
+        matrix = _random_symmetric(25, seed=2)
+        basis, alphas, betas = lanczos_tridiagonalize(matrix, 25, 15, random_state=3)
+        projected = basis.T @ matrix @ basis
+        tridiagonal = np.diag(alphas)
+        if betas.size:
+            tridiagonal += np.diag(betas, 1) + np.diag(betas, -1)
+        np.testing.assert_allclose(projected, tridiagonal, atol=1e-7)
+
+    def test_early_termination_on_invariant_subspace(self):
+        # A rank-deficient projector has a tiny Krylov space for most starts.
+        matrix = np.zeros((10, 10))
+        matrix[0, 0] = 1.0
+        basis, alphas, _ = lanczos_tridiagonalize(
+            matrix, 10, 10, initial=np.eye(10)[0], random_state=0
+        )
+        assert basis.shape[1] <= 2
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            lanczos_tridiagonalize(np.eye(3), 0, 2)
+        with pytest.raises(ValueError):
+            lanczos_tridiagonalize(np.eye(3), 3, 2, initial=np.zeros(3))
+        with pytest.raises(ValueError):
+            lanczos_tridiagonalize(np.eye(3), 3, 2, initial=np.ones(4))
+
+
+class TestLanczosEigsh:
+    @pytest.mark.parametrize("which", ["smallest", "largest"])
+    def test_matches_dense_solver(self, which):
+        matrix = _random_symmetric(40, seed=5)
+        values, vectors = lanczos_eigsh(matrix, 40, 3, which=which, random_state=6)
+        dense_values = np.linalg.eigvalsh(matrix)
+        expected = dense_values[:3] if which == "smallest" else dense_values[::-1][:3]
+        np.testing.assert_allclose(values, expected, atol=1e-6)
+
+    def test_eigenvectors_satisfy_definition(self):
+        matrix = _random_symmetric(30, seed=7)
+        values, vectors = lanczos_eigsh(matrix, 30, 2, which="largest", random_state=8)
+        for index in range(2):
+            residual = matrix @ vectors[:, index] - values[index] * vectors[:, index]
+            assert np.linalg.norm(residual) < 1e-5
+
+    def test_sparse_operator_supported(self):
+        diagonal = np.arange(1.0, 51.0)
+        matrix = sp.diags(diagonal).tocsr()
+        values, _ = lanczos_eigsh(matrix, 50, 2, which="largest", random_state=9)
+        np.testing.assert_allclose(values, [50.0, 49.0], atol=1e-6)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            lanczos_eigsh(np.eye(4), 4, 0)
+        with pytest.raises(ValueError):
+            lanczos_eigsh(np.eye(4), 4, 5)
+        with pytest.raises(ValueError):
+            lanczos_eigsh(np.eye(4), 4, 1, which="middle")
+
+
+class TestFiedlerVectorLanczos:
+    def test_path_graph_fiedler_is_monotone(self):
+        size = 20
+        adjacency = np.zeros((size, size))
+        for i in range(size - 1):
+            adjacency[i, i + 1] = adjacency[i + 1, i] = 1.0
+        lap = laplacian(adjacency)
+        vector = fiedler_vector_lanczos(lap, random_state=0)
+        diffs = np.diff(vector)
+        assert np.all(diffs > 0) or np.all(diffs < 0)
+
+    def test_agrees_with_scipy_fiedler_ordering(self):
+        rng = np.random.default_rng(11)
+        # Random connected graph.
+        adjacency = (rng.random((25, 25)) < 0.3).astype(float)
+        adjacency = np.triu(adjacency, 1)
+        adjacency = adjacency + adjacency.T
+        for i in range(24):
+            adjacency[i, i + 1] = adjacency[i + 1, i] = 1.0
+        lap = laplacian(adjacency)
+        ours = fiedler_vector_lanczos(lap, random_state=1)
+        reference = fiedler_vector(sp.csr_matrix(lap))
+        correlation = abs(float(np.corrcoef(ours, reference)[0, 1]))
+        assert correlation > 0.99
+
+    def test_orthogonal_to_ones(self):
+        adjacency = np.ones((10, 10)) - np.eye(10)
+        lap = laplacian(adjacency)
+        vector = fiedler_vector_lanczos(lap, random_state=2)
+        assert abs(vector.sum()) < 1e-8
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            fiedler_vector_lanczos(np.zeros((1, 1)))

@@ -1,0 +1,85 @@
+"""Tests for repro.linalg.normalize."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.linalg.normalize import (
+    l2_normalize,
+    normalize_columns,
+    normalize_rows,
+    safe_divide,
+)
+
+
+class TestSafeDivide:
+    def test_regular_division(self):
+        result = safe_divide(np.array([2.0, 6.0]), np.array([2.0, 3.0]))
+        np.testing.assert_allclose(result, [1.0, 2.0])
+
+    def test_zero_denominator_maps_to_zero(self):
+        result = safe_divide(np.array([1.0, 2.0]), np.array([0.0, 4.0]))
+        np.testing.assert_allclose(result, [0.0, 0.5])
+
+    def test_broadcasting(self):
+        result = safe_divide(np.ones((2, 3)), np.array([1.0, 0.0, 2.0]))
+        np.testing.assert_allclose(result, [[1.0, 0.0, 0.5]] * 2)
+
+    def test_no_nan_or_inf_ever(self):
+        result = safe_divide(np.array([0.0, 1.0, -1.0]), np.zeros(3))
+        assert np.all(np.isfinite(result))
+
+
+class TestNormalizeRows:
+    def test_dense_rows_sum_to_one(self):
+        matrix = np.array([[1, 1, 0], [0, 0, 2]], dtype=float)
+        normalized = normalize_rows(matrix)
+        np.testing.assert_allclose(normalized.sum(axis=1), [1.0, 1.0])
+
+    def test_sparse_rows_sum_to_one(self):
+        matrix = sp.csr_matrix(np.array([[1, 0, 1], [1, 1, 1]], dtype=float))
+        normalized = normalize_rows(matrix)
+        np.testing.assert_allclose(np.asarray(normalized.sum(axis=1)).ravel(), [1.0, 1.0])
+
+    def test_zero_row_stays_zero(self):
+        matrix = np.array([[0, 0], [1, 1]], dtype=float)
+        normalized = normalize_rows(matrix)
+        np.testing.assert_allclose(normalized[0], [0.0, 0.0])
+
+    def test_original_matrix_unchanged(self):
+        matrix = np.array([[2.0, 2.0]])
+        normalize_rows(matrix)
+        np.testing.assert_allclose(matrix, [[2.0, 2.0]])
+
+
+class TestNormalizeColumns:
+    def test_dense_columns_sum_to_one(self):
+        matrix = np.array([[1, 1], [1, 0], [2, 0]], dtype=float)
+        normalized = normalize_columns(matrix)
+        np.testing.assert_allclose(normalized.sum(axis=0), [1.0, 1.0])
+
+    def test_sparse_columns_sum_to_one(self):
+        matrix = sp.csr_matrix(np.array([[1, 1], [1, 0]], dtype=float))
+        normalized = normalize_columns(matrix)
+        np.testing.assert_allclose(np.asarray(normalized.sum(axis=0)).ravel(), [1.0, 1.0])
+
+    def test_zero_column_stays_zero(self):
+        matrix = np.array([[0, 1], [0, 1]], dtype=float)
+        normalized = normalize_columns(matrix)
+        np.testing.assert_allclose(normalized[:, 0], [0.0, 0.0])
+
+
+class TestL2Normalize:
+    def test_unit_norm(self):
+        vector = l2_normalize(np.array([3.0, 4.0]))
+        assert np.linalg.norm(vector) == pytest.approx(1.0)
+
+    def test_direction_preserved(self):
+        vector = l2_normalize(np.array([3.0, 4.0]))
+        np.testing.assert_allclose(vector, [0.6, 0.8])
+
+    def test_zero_vector_returned_unchanged(self):
+        vector = l2_normalize(np.zeros(4))
+        np.testing.assert_allclose(vector, np.zeros(4))

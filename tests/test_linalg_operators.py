@@ -1,0 +1,107 @@
+"""Tests for the S (difference) and T (cumulative) operators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.linalg.operators import (
+    apply_cumulative,
+    apply_difference,
+    cumulative_matrix,
+    difference_matrix,
+)
+
+
+class TestExplicitMatrices:
+    def test_difference_matrix_shape(self):
+        assert difference_matrix(5).shape == (4, 5)
+
+    def test_cumulative_matrix_shape(self):
+        assert cumulative_matrix(5).shape == (5, 4)
+
+    def test_difference_matrix_values(self):
+        expected = np.array([[-1, 1, 0], [0, -1, 1]], dtype=float)
+        np.testing.assert_allclose(difference_matrix(3), expected)
+
+    def test_cumulative_matrix_is_lower_unit_triangular(self):
+        t = cumulative_matrix(4)
+        expected = np.array([[0, 0, 0], [1, 0, 0], [1, 1, 0], [1, 1, 1]], dtype=float)
+        np.testing.assert_allclose(t, expected)
+
+    def test_ts_is_identity_minus_first_row_projector(self):
+        # TS = I_m - e e_1^T (used in the proof of Lemma 1).
+        m = 6
+        s, t = difference_matrix(m), cumulative_matrix(m)
+        projector = np.zeros((m, m))
+        projector[:, 0] = 1.0
+        np.testing.assert_allclose(t @ s, np.eye(m) - projector)
+
+    def test_st_is_identity(self):
+        m = 6
+        s, t = difference_matrix(m), cumulative_matrix(m)
+        np.testing.assert_allclose(s @ t, np.eye(m - 1))
+
+    @pytest.mark.parametrize("size", [0, 1])
+    def test_too_small_raises(self, size):
+        with pytest.raises(ValueError):
+            difference_matrix(size)
+        with pytest.raises(ValueError):
+            cumulative_matrix(size)
+
+
+class TestMatrixFreeOperators:
+    def test_apply_difference_matches_matrix(self):
+        scores = np.array([1.0, 3.0, 2.0, 7.0])
+        np.testing.assert_allclose(
+            apply_difference(scores), difference_matrix(4) @ scores
+        )
+
+    def test_apply_cumulative_matches_matrix(self):
+        diffs = np.array([2.0, -1.0, 4.0])
+        np.testing.assert_allclose(
+            apply_cumulative(diffs), cumulative_matrix(4) @ diffs
+        )
+
+    def test_apply_cumulative_starts_at_zero(self):
+        assert apply_cumulative(np.array([5.0, 5.0]))[0] == 0.0
+
+    def test_apply_difference_rejects_scalars(self):
+        with pytest.raises(ValueError):
+            apply_difference(np.array([1.0]))
+
+    def test_roundtrip_difference_of_cumulative(self):
+        diffs = np.array([0.5, -2.0, 3.0, 0.0])
+        np.testing.assert_allclose(apply_difference(apply_cumulative(diffs)), diffs)
+
+
+class TestOperatorProperties:
+    @given(
+        hnp.arrays(
+            dtype=float,
+            shape=st.integers(min_value=2, max_value=30),
+            elements=st.floats(-100, 100, allow_nan=False),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_cumsum_then_diff_is_identity_up_to_shift(self, scores):
+        # T(S(s)) reconstructs s up to the constant shift that pins s[0] to 0.
+        reconstructed = apply_cumulative(apply_difference(scores))
+        np.testing.assert_allclose(reconstructed, scores - scores[0], atol=1e-9)
+
+    @given(
+        hnp.arrays(
+            dtype=float,
+            shape=st.integers(min_value=1, max_value=30),
+            elements=st.floats(-100, 100, allow_nan=False),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matrix_free_matches_explicit(self, diffs):
+        m = diffs.size + 1
+        np.testing.assert_allclose(
+            apply_cumulative(diffs), cumulative_matrix(m) @ diffs, atol=1e-9
+        )

@@ -1,0 +1,161 @@
+"""Tests for the power iteration and deflation solvers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConvergenceError
+from repro.linalg.deflation import dominant_pair, hotelling_deflation
+from repro.linalg.power_iteration import power_iteration, power_iteration_matvec
+
+
+def _random_symmetric(size: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    matrix = rng.standard_normal((size, size))
+    return (matrix + matrix.T) / 2
+
+
+class TestPowerIteration:
+    def test_diagonal_matrix_dominant_eigenvector(self):
+        matrix = np.diag([5.0, 2.0, 1.0])
+        result = power_iteration(matrix, random_state=0)
+        assert result.converged
+        assert result.eigenvalue == pytest.approx(5.0, rel=1e-4)
+        np.testing.assert_allclose(np.abs(result.vector), [1.0, 0.0, 0.0], atol=1e-3)
+
+    def test_symmetric_matrix_matches_numpy(self):
+        matrix = _random_symmetric(8, seed=3)
+        # Shift to make the dominant eigenvalue positive and well separated.
+        matrix = matrix + 10 * np.eye(8)
+        result = power_iteration(matrix, random_state=1)
+        values, vectors = np.linalg.eigh(matrix)
+        assert result.eigenvalue == pytest.approx(values[-1], rel=1e-3)
+        expected = vectors[:, -1]
+        cosine = abs(float(np.dot(expected, result.vector)))
+        assert cosine == pytest.approx(1.0, abs=1e-3)
+
+    def test_reports_iterations(self):
+        matrix = np.diag([3.0, 1.0])
+        result = power_iteration(matrix, random_state=0)
+        assert result.iterations >= 1
+
+    def test_non_square_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            power_iteration(np.ones((2, 3)))
+
+    def test_initial_vector_shape_checked(self):
+        with pytest.raises(ValueError):
+            power_iteration(np.eye(3), initial=np.ones(2))
+
+    def test_raise_on_failure(self):
+        # A rotation matrix has complex eigenvalues; the real power method
+        # cannot converge, so the failure path must trigger.
+        rotation = np.array([[0.0, -1.0], [1.0, 0.0]])
+        with pytest.raises(ConvergenceError):
+            power_iteration(rotation, max_iterations=25, raise_on_failure=True,
+                            random_state=0)
+
+    def test_matvec_interface_matches_matrix_interface(self):
+        matrix = np.diag([4.0, 2.0, 1.0])
+        from_matrix = power_iteration(matrix, random_state=5)
+        from_matvec = power_iteration_matvec(lambda v: matrix @ v, 3, random_state=5)
+        np.testing.assert_allclose(np.abs(from_matrix.vector), np.abs(from_matvec.vector),
+                                   atol=1e-6)
+
+    def test_deterministic_with_seed(self):
+        matrix = _random_symmetric(6, seed=9) + 8 * np.eye(6)
+        first = power_iteration(matrix, random_state=42)
+        second = power_iteration(matrix, random_state=42)
+        np.testing.assert_allclose(first.vector, second.vector)
+
+
+class TestDeflation:
+    def test_second_eigenvector_of_diagonal(self):
+        matrix = np.diag([5.0, 3.0, 1.0])
+        result = hotelling_deflation(matrix, random_state=0)
+        assert result.eigenvalue == pytest.approx(3.0, rel=1e-3)
+        np.testing.assert_allclose(np.abs(result.vector), [0.0, 1.0, 0.0], atol=1e-3)
+
+    def test_with_known_dominant_pair(self):
+        matrix = np.diag([5.0, 3.0, 1.0])
+        result = hotelling_deflation(
+            matrix,
+            right_vector=np.array([1.0, 0.0, 0.0]),
+            left_vector=np.array([1.0, 0.0, 0.0]),
+            eigenvalue=5.0,
+            random_state=0,
+        )
+        assert result.eigenvalue == pytest.approx(3.0, rel=1e-3)
+
+    def test_dominant_pair_returns_left_and_right(self):
+        rng = np.random.default_rng(4)
+        matrix = rng.random((5, 5)) + 5 * np.eye(5)
+        right, left = dominant_pair(matrix, random_state=0)
+        assert right.vector.shape == (5,)
+        assert left.vector.shape == (5,)
+        # For any matrix, left and right dominant eigenvalues coincide.
+        assert right.eigenvalue == pytest.approx(left.eigenvalue, rel=1e-3)
+
+    def test_orthogonal_left_right_rejected(self):
+        matrix = np.eye(3)
+        with pytest.raises(ValueError):
+            hotelling_deflation(
+                matrix,
+                right_vector=np.array([1.0, 0.0, 0.0]),
+                left_vector=np.array([0.0, 1.0, 0.0]),
+                eigenvalue=1.0,
+            )
+
+    def test_zero_right_vector_rejected(self):
+        with pytest.raises(ValueError):
+            hotelling_deflation(np.eye(3), right_vector=np.zeros(3), eigenvalue=1.0)
+
+
+class TestSpectralHelpers:
+    def test_second_largest_eigenvector_small(self):
+        from repro.linalg.spectral import second_largest_eigenvector
+
+        matrix = np.diag([4.0, 2.0, 1.0])
+        vector = second_largest_eigenvector(matrix)
+        np.testing.assert_allclose(np.abs(vector), [0.0, 1.0, 0.0], atol=1e-8)
+
+    def test_second_largest_eigenvector_large_sparse(self):
+        import scipy.sparse as sp
+
+        from repro.linalg.spectral import second_largest_eigenvector
+
+        diagonal = np.arange(1.0, 31.0)
+        matrix = sp.diags(diagonal).tocsr()
+        vector = second_largest_eigenvector(matrix)
+        # 2nd largest eigenvalue 29 corresponds to index 28.
+        assert int(np.argmax(np.abs(vector))) == 28
+
+    def test_fiedler_vector_path_graph(self):
+        from repro.linalg.spectral import fiedler_vector, laplacian
+
+        # Path graph adjacency: the Fiedler vector of a path is monotone.
+        size = 10
+        adjacency = np.zeros((size, size))
+        for i in range(size - 1):
+            adjacency[i, i + 1] = adjacency[i + 1, i] = 1.0
+        vector = fiedler_vector(laplacian(adjacency))
+        diffs = np.diff(vector)
+        assert np.all(diffs > 0) or np.all(diffs < 0)
+
+    def test_laplacian_rows_sum_to_zero(self):
+        from repro.linalg.spectral import laplacian
+
+        rng = np.random.default_rng(0)
+        adjacency = rng.random((6, 6))
+        adjacency = (adjacency + adjacency.T) / 2
+        lap = laplacian(adjacency)
+        np.testing.assert_allclose(lap.sum(axis=1), np.zeros(6), atol=1e-12)
+
+    def test_orderings_equivalent(self):
+        from repro.linalg.spectral import orderings_equivalent
+
+        assert orderings_equivalent(np.array([0, 1, 2]), np.array([2, 1, 0]))
+        assert orderings_equivalent(np.array([0, 1, 2]), np.array([0, 1, 2]))
+        assert not orderings_equivalent(np.array([0, 1, 2]), np.array([1, 0, 2]))
+        assert not orderings_equivalent(np.array([0, 1]), np.array([0, 1, 2]))

@@ -1,0 +1,152 @@
+"""Tests for the PQ-tree and the Booth–Lueker C1P algorithm."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.c1p.booth_lueker import (
+    build_pq_tree,
+    count_c1p_violations,
+    find_c1p_ordering,
+    require_c1p_ordering,
+)
+from repro.c1p.generators import perturb_binary_matrix, random_pre_p_matrix
+from repro.c1p.pq_tree import PQTree
+from repro.c1p.properties import brute_force_c1p_ordering, is_p_matrix
+from repro.exceptions import NotC1PError
+from repro.irt.generators import generate_c1p_dataset
+
+
+class TestPQTreeBasics:
+    def test_initial_frontier_contains_universe(self):
+        tree = PQTree(range(5))
+        assert sorted(tree.frontier()) == [0, 1, 2, 3, 4]
+
+    def test_empty_universe_rejected(self):
+        with pytest.raises(ValueError):
+            PQTree([])
+
+    def test_duplicate_elements_rejected(self):
+        with pytest.raises(ValueError):
+            PQTree([1, 1, 2])
+
+    def test_single_element_tree(self):
+        tree = PQTree([7])
+        assert tree.frontier() == [7]
+        assert tree.reduce([7])
+
+    def test_trivial_constraints_always_succeed(self):
+        tree = PQTree(range(4))
+        assert tree.reduce([])
+        assert tree.reduce([2])
+        assert tree.reduce([0, 1, 2, 3])
+
+    def test_unknown_element_rejected(self):
+        tree = PQTree(range(3))
+        with pytest.raises(ValueError):
+            tree.reduce([5])
+
+    def test_single_constraint_groups_elements(self):
+        tree = PQTree(range(5))
+        assert tree.reduce([1, 3])
+        frontier = tree.frontier()
+        positions = sorted(frontier.index(element) for element in (1, 3))
+        assert positions[1] - positions[0] == 1
+
+    def test_incompatible_constraints_fail_and_leave_tree_valid(self):
+        tree = PQTree(range(3))
+        assert tree.reduce([0, 1])
+        assert tree.reduce([1, 2])
+        # Requiring {0, 2} consecutive as well is impossible (Tucker M_I).
+        assert not tree.reduce([0, 2])
+        # The earlier constraints must still hold on the unchanged tree.
+        frontier = tree.frontier()
+        assert abs(frontier.index(0) - frontier.index(1)) == 1
+        assert abs(frontier.index(1) - frontier.index(2)) == 1
+
+    def test_chained_constraints_force_path_order(self):
+        tree = PQTree(range(6))
+        constraints = [[0, 1], [1, 2], [2, 3], [3, 4], [4, 5]]
+        assert tree.reduce_all(constraints)
+        frontier = tree.frontier()
+        assert frontier == list(range(6)) or frontier == list(range(5, -1, -1))
+
+
+class TestBoothLueker:
+    def test_pre_p_matrix_ordering_found(self):
+        matrix, _ = random_pre_p_matrix(12, 10, random_state=4)
+        order = find_c1p_ordering(matrix)
+        assert order is not None
+        assert is_p_matrix(matrix[order])
+
+    def test_non_pre_p_matrix_returns_none(self):
+        tucker = np.array([[1, 1, 0], [0, 1, 1], [1, 0, 1]])
+        assert find_c1p_ordering(tucker) is None
+
+    def test_require_raises_not_c1p(self):
+        tucker = np.array([[1, 1, 0], [0, 1, 1], [1, 0, 1]])
+        with pytest.raises(NotC1PError):
+            require_c1p_ordering(tucker)
+
+    def test_require_returns_order_on_success(self):
+        matrix, _ = random_pre_p_matrix(8, 6, random_state=2)
+        order = require_c1p_ordering(matrix)
+        assert is_p_matrix(matrix[order])
+
+    def test_build_pq_tree_returns_none_on_failure(self):
+        tucker = np.array([[1, 1, 0], [0, 1, 1], [1, 0, 1]])
+        assert build_pq_tree(tucker) is None
+
+    def test_sparse_input_supported(self):
+        import scipy.sparse as sp
+
+        matrix, _ = random_pre_p_matrix(10, 8, random_state=6)
+        order = find_c1p_ordering(sp.csr_matrix(matrix))
+        assert order is not None
+        assert is_p_matrix(matrix[order])
+
+    def test_c1p_response_matrix_from_generator(self):
+        dataset = generate_c1p_dataset(25, 40, 3, random_state=8)
+        binary = dataset.response.binary_dense
+        order = find_c1p_ordering(binary)
+        assert order is not None
+        assert is_p_matrix(binary[order])
+
+    def test_count_c1p_violations(self):
+        matrix = np.array([[1, 1], [0, 0], [1, 1]])
+        assert count_c1p_violations(matrix) == 2
+        assert count_c1p_violations(matrix[[0, 2, 1]]) == 0
+
+
+class TestBoothLuekerAgainstBruteForce:
+    @given(
+        num_rows=st.integers(min_value=2, max_value=7),
+        num_columns=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_pre_p_instances_agree(self, num_rows, num_columns, seed):
+        matrix, _ = random_pre_p_matrix(num_rows, num_columns, random_state=seed)
+        order = find_c1p_ordering(matrix)
+        assert order is not None
+        assert is_p_matrix(matrix[order])
+
+    @given(
+        num_rows=st.integers(min_value=2, max_value=7),
+        num_columns=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=10_000),
+        flip=st.floats(min_value=0.1, max_value=0.5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_perturbed_instances_agree_with_brute_force(self, num_rows, num_columns,
+                                                        seed, flip):
+        base, _ = random_pre_p_matrix(num_rows, num_columns, random_state=seed)
+        matrix = perturb_binary_matrix(base, flip, random_state=seed + 1)
+        pq_result = find_c1p_ordering(matrix)
+        brute_result = brute_force_c1p_ordering(matrix)
+        assert (pq_result is None) == (brute_result is None)
+        if pq_result is not None:
+            assert is_p_matrix(matrix[pq_result])
