@@ -1,0 +1,255 @@
+"""Perf-regression benchmark harness (PR 1).
+
+Times every ranker in the library on fixed, deterministic synthetic sizes —
+driven through :func:`repro.evaluation.timing.benchmark_rankers` — and keeps
+the trajectory file ``benchmarks/BENCH_PR1.json`` that later PRs are
+measured against.
+
+Usage::
+
+    python benchmarks/bench_perf.py                 # full profile, print table
+    python benchmarks/bench_perf.py --update        # full+smoke, rewrite "current"
+    python benchmarks/bench_perf.py --capture-seed  # record the "seed" baseline
+    python benchmarks/bench_perf.py --smoke         # <60 s regression gate:
+                                                    # fails (exit 1) when any
+                                                    # ranker is >2x slower than
+                                                    # the committed numbers
+
+The JSON file holds two sections: ``seed`` (timings captured on the seed
+implementation, before the fused-kernel layer of PR 1) and ``current``
+(timings of the code as committed), plus the cold-path speedup of current
+over seed.  ``--smoke`` compares a fresh run against ``current.smoke`` with
+a 2x tolerance and a small absolute floor so sub-millisecond jitter never
+trips the gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+import scipy
+
+from repro.c1p.abh import ABHDirect, ABHPower
+from repro.core.hitsndiffs import HNDDeflation, HNDDirect, HNDPower
+from repro.evaluation.timing import PerfSpec, benchmark_rankers
+from repro.truth_discovery.dawid_skene import DawidSkeneRanker
+from repro.truth_discovery.glad import GLADRanker
+from repro.truth_discovery.hits import HITSRanker
+from repro.truth_discovery.investment import InvestmentRanker, PooledInvestmentRanker
+from repro.truth_discovery.majority import MajorityVoteRanker
+from repro.truth_discovery.truthfinder import TruthFinderRanker
+
+RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_PR1.json"
+
+#: Regression gate: fail when current/committed > threshold and the
+#: absolute slowdown exceeds the floor (guards against timer jitter on
+#: the fastest rankers).
+REGRESSION_THRESHOLD = 2.0
+REGRESSION_FLOOR_SECONDS = 0.005
+
+
+def _profile(smoke: bool) -> List[PerfSpec]:
+    """The fixed ranker line-up; smoke sizes finish in well under 60 s."""
+
+    def size(full_m: int, full_n: int, smoke_m: int, smoke_n: int):
+        return (smoke_m, smoke_n) if smoke else (full_m, full_n)
+
+    specs = [
+        PerfSpec("HnD-Power", HNDPower(random_state=0), *size(5000, 200, 1000, 100)),
+        PerfSpec("HnD-Deflation", HNDDeflation(random_state=0), *size(1000, 100, 300, 60)),
+        PerfSpec("HnD-Direct", HNDDirect(), *size(1000, 100, 300, 60)),
+        PerfSpec("ABH-Power", ABHPower(random_state=0), *size(2000, 200, 500, 100)),
+        PerfSpec("ABH-Direct", ABHDirect(), *size(1000, 100, 300, 60)),
+        PerfSpec("Dawid-Skene", DawidSkeneRanker(), *size(500, 200, 200, 80)),
+        PerfSpec("GLAD", GLADRanker(), *size(500, 200, 150, 60)),
+        PerfSpec("HITS", HITSRanker(), *size(5000, 200, 1000, 100)),
+        PerfSpec("TruthFinder", TruthFinderRanker(), *size(2000, 200, 500, 100)),
+        PerfSpec("Invest", InvestmentRanker(), *size(2000, 200, 500, 100)),
+        PerfSpec("PooledInv", PooledInvestmentRanker(), *size(2000, 200, 500, 100)),
+        PerfSpec("MajorityVote", MajorityVoteRanker(), *size(5000, 200, 1000, 100)),
+    ]
+    return specs
+
+
+def _run(smoke: bool, num_repeats: int) -> Dict[str, Dict[str, object]]:
+    records = benchmark_rankers(_profile(smoke), num_repeats=num_repeats)
+    return {record.name: record.to_dict() for record in records}
+
+
+def _load() -> Dict[str, object]:
+    if RESULTS_PATH.exists():
+        return json.loads(RESULTS_PATH.read_text())
+    return {}
+
+
+def _save(payload: Dict[str, object]) -> None:
+    # allow_nan=False keeps the committed file strict JSON (bare NaN tokens
+    # break jq / JSON.parse); non-finite values must be mapped to None first.
+    RESULTS_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True, allow_nan=False) + "\n"
+    )
+
+
+def _environment() -> Dict[str, str]:
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "scipy": scipy.__version__,
+    }
+
+
+def _print_table(title: str, results: Dict[str, Dict[str, object]],
+                 baseline: Dict[str, Dict[str, object]] | None = None) -> None:
+    print(title)
+    header = "%-14s %10s %10s %10s %8s" % ("ranker", "size", "cold (s)", "warm (s)", "vs seed")
+    print(header)
+    print("-" * len(header))
+    for name, row in results.items():
+        speedup = ""
+        if baseline and name in baseline:
+            ref = float(baseline[name]["cold_seconds"])
+            now = float(row["cold_seconds"])
+            if now > 0:
+                speedup = "%.1fx" % (ref / now)
+        print("%-14s %10s %10.4f %10.4f %8s" % (
+            name,
+            "%dx%d" % (row["num_users"], row["num_items"]),
+            row["cold_seconds"],
+            row["warm_seconds"],
+            speedup,
+        ))
+    print()
+
+
+def _check_regression(fresh: Dict[str, Dict[str, object]],
+                      committed: Dict[str, Dict[str, object]]) -> List[str]:
+    failures = []
+    for name, row in fresh.items():
+        if name not in committed:
+            continue
+        reference = float(committed[name]["cold_seconds"])
+        measured = float(row["cold_seconds"])
+        if (
+            measured > REGRESSION_THRESHOLD * reference
+            and measured - reference > REGRESSION_FLOOR_SECONDS
+        ):
+            failures.append(
+                "%s regressed: %.4fs vs committed %.4fs (>%.1fx)"
+                % (name, measured, reference, REGRESSION_THRESHOLD)
+            )
+    return failures
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the small profile and gate against committed numbers")
+    parser.add_argument("--update", action="store_true",
+                        help="run full+smoke profiles and rewrite the 'current' section")
+    parser.add_argument("--capture-seed", action="store_true",
+                        help="record the 'seed' baseline section (run on seed code)")
+    parser.add_argument("--repeats", type=int, default=3, help="repeats per ranker")
+    args = parser.parse_args(argv)
+
+    payload = _load()
+    payload.setdefault("protocol", {
+        "model": "grm",
+        "num_options": 3,
+        "random_state": 7,
+        "description": (
+            "median of N repeats; cold = fresh ResponseMatrix per call "
+            "(construction + derived-form builds included), warm = one matrix "
+            "instance reused across calls"
+        ),
+    })
+    payload["protocol"]["num_repeats"] = args.repeats
+
+    if args.capture_seed:
+        payload["environment_seed"] = _environment()
+        payload["seed"] = {
+            "full": _run(smoke=False, num_repeats=args.repeats),
+            "smoke": _run(smoke=True, num_repeats=args.repeats),
+        }
+        _save(payload)
+        _print_table("seed / full profile", payload["seed"]["full"])
+        _print_table("seed / smoke profile", payload["seed"]["smoke"])
+        return 0
+
+    if args.update:
+        payload["environment"] = _environment()
+        current = {
+            "full": _run(smoke=False, num_repeats=args.repeats),
+            "smoke": _run(smoke=True, num_repeats=args.repeats),
+        }
+        payload["current"] = current
+        seed = payload.get("seed", {})
+        payload["speedup_vs_seed"] = {
+            profile: {
+                name: round(
+                    float(seed[profile][name]["cold_seconds"])
+                    / max(float(row["cold_seconds"]), 1e-9),
+                    2,
+                )
+                for name, row in current[profile].items()
+                if name in seed.get(profile, {})
+            }
+            for profile in current
+        }
+        _save(payload)
+        _print_table("current / full profile", current["full"],
+                     seed.get("full"))
+        _print_table("current / smoke profile", current["smoke"],
+                     seed.get("smoke"))
+        return 0
+
+    if args.smoke:
+        fresh = _run(smoke=True, num_repeats=args.repeats)
+        committed = payload.get("current", {}).get("smoke", {})
+        _print_table("smoke profile", fresh, payload.get("seed", {}).get("smoke"))
+        # A gate with nothing to compare against must fail loudly, not pass
+        # vacuously: a deleted baseline file or renamed ranker would
+        # otherwise silently disable regression detection.
+        if not committed:
+            print(
+                "FAIL: no committed current.smoke baseline in %s "
+                "(run --update on a known-good checkout first)" % RESULTS_PATH
+            )
+            return 1
+        missing = sorted(set(fresh) - set(committed))
+        if missing:
+            print(
+                "FAIL: ranker(s) %s missing from the committed baseline; "
+                "rerun --update to re-baseline" % ", ".join(missing)
+            )
+            return 1
+        dropped = sorted(set(committed) - set(fresh))
+        if dropped:
+            print(
+                "FAIL: committed baseline ranker(s) %s no longer measured; "
+                "a removed or renamed spec silently shrinks regression "
+                "coverage — rerun --update to re-baseline" % ", ".join(dropped)
+            )
+            return 1
+        failures = _check_regression(fresh, committed)
+        if failures:
+            for failure in failures:
+                print("FAIL:", failure)
+            return 1
+        print("smoke gate passed: no ranker regressed >%.1fx" % REGRESSION_THRESHOLD)
+        return 0
+
+    fresh = _run(smoke=False, num_repeats=args.repeats)
+    _print_table("full profile", fresh, payload.get("seed", {}).get("full"))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,7 +27,11 @@ import scipy.sparse as sp
 from repro.core.ranking import AbilityRanker, AbilityRanking
 from repro.core.response import ResponseMatrix
 from repro.core.symmetry import orient_scores
-from repro.linalg.operators import apply_cumulative, apply_difference
+from repro.linalg.operators import (
+    apply_cumulative,
+    apply_cumulative_into,
+    apply_difference,
+)
 from repro.linalg.power_iteration import (
     DEFAULT_MAX_ITERATIONS,
     DEFAULT_TOLERANCE,
@@ -111,11 +115,13 @@ class ABHPower(AbilityRanker):
         if m < 2:
             return AbilityRanking(scores=np.zeros(m), method=self.name)
 
-        binary = response.binary
-        binary_t = binary.T.tocsr()
-        # Degrees of C C^T: row sums, computable without materializing the product.
-        degrees = np.asarray(binary @ (binary_t @ np.ones(m))).ravel()
-        diagonal = np.asarray(binary.multiply(binary).sum(axis=1)).ravel()
+        compiled = response.compiled
+        # Degrees of C C^T: the count-weighted column sums per user, computable
+        # from the cached per-column counts without materializing the product.
+        degrees = compiled.user_sums(compiled.column_counts.astype(float))
+        # Diagonal of C C^T: each binary entry is 1, so (C C^T)_uu is simply
+        # the number of answers of user u (cached).
+        diagonal = compiled.answers_per_user.astype(float)
         beta = self.beta if self.beta is not None else float(diagonal.max())
         # beta must upper-bound the entries and eigenvalues of M = S L T; the
         # largest diagonal entry of C C^T is the paper's practical choice but
@@ -123,10 +129,12 @@ class ABHPower(AbilityRanker):
         # the Gershgorin bound 2 * max degree.
         beta = max(beta, 2.0 * float(degrees.max()))
 
+        scores = np.empty(m, dtype=float)
+
         def matvec(score_diffs: np.ndarray) -> np.ndarray:
-            scores = apply_cumulative(score_diffs)              # s = T s_diff
-            weights = binary_t @ scores                          # w = C^T s
-            laplacian_scores = degrees * scores - np.asarray(binary @ weights).ravel()
+            apply_cumulative_into(score_diffs, scores)           # s = T s_diff
+            weights = compiled.option_sums(scores)               # w = C^T s
+            laplacian_scores = degrees * scores - compiled.user_sums(weights)
             return beta * score_diffs - apply_difference(laplacian_scores)
 
         result = power_iteration_matvec(

@@ -14,6 +14,31 @@ difference of that 2nd eigenvector (Lemma 1).
 
 This module exposes both the explicit matrices (for tests, for HND-direct
 and HND-deflation) and matrix-free update callables (for HND-power).
+
+Complexity / speed table
+------------------------
+With ``m`` users, ``n`` items, ``K = sum_i k_i`` option columns,
+``nnz <= mn`` answers, and ``t`` power iterations:
+
+===========================  ================  =================================
+callable                     cost              notes
+===========================  ================  =================================
+``update_matrix``            ``O(m^2 n)``      dense ``(m x m)`` oracle; tests,
+                                               HND-direct, HND-deflation only
+``difference_update_matrix`` ``O(m^2 n)``      dense oracle for ``S U T``
+``avghits_step``             ``O(nnz)``/call   fused kernel: two cached CSR/CSC
+                                               matvecs + ``O(K)+O(m)`` scalings
+``hnd_difference_step``      ``O(nnz)``/call   cumsum, fused step, diff — the
+                                               loop body of Algorithm 1
+``spectral_gap``             ``O(nnz t)``      implicit Arnoldi for ``m > 16``
+                                               (was dense ``O(m^3)`` eigvals)
+===========================  ================  =================================
+
+The fused kernels draw everything from :attr:`ResponseMatrix.compiled`, so
+nothing is rebuilt across calls or iterations: the seed implementation paid
+a ``diags() @ C`` sparse-sparse product for each normalization on *every*
+``rank()`` call, which dominated the end-to-end cost (~0.2 s of the ~0.25 s
+total at ``m = 5000, n = 200``; see ``benchmarks/BENCH_PR1.json``).
 """
 
 from __future__ import annotations
@@ -21,15 +46,19 @@ from __future__ import annotations
 from typing import Callable, Tuple
 
 import numpy as np
-import scipy.sparse as sp
+import scipy.sparse.linalg as spla
 
 from repro.core.response import ResponseMatrix
 from repro.linalg.operators import (
-    apply_cumulative,
+    apply_cumulative_into,
     apply_difference,
     cumulative_matrix,
     difference_matrix,
 )
+
+#: Below this many users the dense eigensolver is more reliable than ARPACK
+#: (which needs ``k < size - 1`` and misbehaves on tiny problems).
+_DENSE_GAP_SIZE = 16
 
 
 def update_matrix(response: ResponseMatrix) -> np.ndarray:
@@ -37,7 +66,8 @@ def update_matrix(response: ResponseMatrix) -> np.ndarray:
 
     Materializing ``U`` costs ``O(m^2 n)`` time and ``O(m^2)`` memory — this
     is exactly what HND-power avoids — so use it for analysis and the direct
-    and deflation variants only.
+    and deflation variants only.  It is also the oracle the fused kernels
+    are tested against.
     """
     c_row = response.row_normalized()
     c_col = response.column_normalized()
@@ -57,30 +87,27 @@ def difference_update_matrix(response: ResponseMatrix) -> np.ndarray:
 def avghits_step(response: ResponseMatrix) -> Callable[[np.ndarray], np.ndarray]:
     """Matrix-free AVGHITS update ``s -> C_row ((C_col)^T s)``.
 
-    Each application costs ``O(mn)`` (two sparse matrix-vector products).
+    Each application costs ``O(nnz)``: one gather/scatter pass per direction
+    over the cached one-hot structure, with the row/column normalizations
+    fused in as diagonal scalings (see
+    :meth:`~repro.core.response.CompiledResponse.avghits_apply`).  No
+    normalized matrix is materialized and nothing is rebuilt per call.
     """
-    c_row = response.row_normalized()
-    c_col_t = response.column_normalized().T.tocsr()
-
-    def step(scores: np.ndarray) -> np.ndarray:
-        weights = c_col_t @ scores
-        return np.asarray(c_row @ weights).ravel()
-
-    return step
+    return response.compiled.avghits_apply
 
 
 def hnd_difference_step(response: ResponseMatrix) -> Callable[[np.ndarray], np.ndarray]:
     """Matrix-free HND update ``s_diff -> S C_row ((C_col)^T (T s_diff))``.
 
     Implements one loop body of Algorithm 1 without the normalization:
-    reconstruct scores by cumulative sum, run the AVGHITS step, and take
-    adjacent differences again.  Cost ``O(mn)`` per application.
+    reconstruct scores by cumulative sum, run the fused AVGHITS step, and
+    take adjacent differences again.  Cost ``O(nnz)`` per application.
     """
-    step = avghits_step(response)
+    compiled = response.compiled
+    scores = np.empty(compiled.num_users, dtype=float)
 
     def diff_step(score_diffs: np.ndarray) -> np.ndarray:
-        scores = apply_cumulative(score_diffs)
-        updated = step(scores)
+        updated = compiled.avghits_apply(apply_cumulative_into(score_diffs, scores))
         return apply_difference(updated)
 
     return diff_step
@@ -98,13 +125,33 @@ def avghits_fixed_point(response: ResponseMatrix) -> np.ndarray:
 
 
 def spectral_gap(response: ResponseMatrix) -> Tuple[float, float]:
-    """Return ``(lambda_1, lambda_2)`` of ``U`` (dense computation).
+    """Return ``(lambda_1, lambda_2)`` of ``U``.
 
     Useful to reason about convergence speed of the HND power iteration:
     the rate is ``|lambda_3 / lambda_2|`` on ``U_diff`` whose spectrum equals
     that of ``U`` minus the top eigenvalue.
+
+    For ``m > 16`` the two leading eigenvalues come from an implicit Arnoldi
+    solve on the fused ``O(nnz)`` kernel — the diagnostic no longer
+    materializes ``U`` or runs a dense ``O(m^3)`` ``eigvals``, so it stays
+    usable at ``m >= 5000``.
     """
-    u = update_matrix(response)
-    eigenvalues = np.linalg.eigvals(u)
+    m = response.num_users
+    if m <= _DENSE_GAP_SIZE:
+        eigenvalues = np.linalg.eigvals(update_matrix(response))
+    else:
+        operator = spla.LinearOperator(
+            (m, m), matvec=response.compiled.avghits_apply, dtype=float
+        )
+        # Fixed start vector: ARPACK otherwise draws a random v0, making
+        # the diagnostic nondeterministic run to run.  (Residual last-ulp
+        # jitter from threaded-BLAS reduction order can remain.)
+        eigenvalues = spla.eigs(
+            operator,
+            k=2,
+            which="LR",
+            return_eigenvectors=False,
+            v0=np.full(m, 1.0 / np.sqrt(m)),
+        )
     ordered = np.sort(eigenvalues.real)[::-1]
     return float(ordered[0]), float(ordered[1]) if ordered.size > 1 else float("nan")

@@ -12,20 +12,209 @@ derives the binary form (sparse), its row/column normalizations, and the
 user-similarity products required by the ranking algorithms.  All spectral
 methods in :mod:`repro.core` and :mod:`repro.c1p` and all baselines in
 :mod:`repro.truth_discovery` consume this class.
+
+Performance model
+-----------------
+Because each user picks *at most one* option per item, every derived form
+is a function of the flat nonzero triples ``(user, item, option)``.  The
+:class:`CompiledResponse` cache (:attr:`ResponseMatrix.compiled`) builds
+those index arrays, the per-user/per-column counts, and the binary CSR
+matrix **once per matrix** in ``O(nnz)`` — with no Python loops, no
+``.tolist()`` round-trips, and no sparse-sparse normalization products:
+
+* the binary CSR is assembled directly from ``(data, indices, indptr)``
+  (``numpy.nonzero`` yields row-major order, which *is* canonical CSR);
+* its transpose is a free ``csc_matrix`` view over the same three arrays;
+* ``C_row`` / ``C_col`` reuse the binary matrix's index structure and only
+  swap the data vector, so normalization costs ``O(nnz)`` array writes
+  instead of a ``diags() @ matrix`` sparse product.
+
+All rankers consume these caches, so repeated ``rank()`` calls on the same
+matrix never rebuild derived state (the hot path of a ranking service).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.exceptions import DisconnectedGraphError, InvalidResponseMatrixError
-from repro.linalg.normalize import normalize_columns, normalize_rows
 
 #: Sentinel used in the raw choice matrix for "user did not answer this item".
 NO_ANSWER = -1
+
+
+class CompiledResponse:
+    """Flat ``O(nnz)`` kernel representation of a :class:`ResponseMatrix`.
+
+    Built once per matrix (see :attr:`ResponseMatrix.compiled`) and shared
+    by every ranker.  Holds the binary CSR matrix, its zero-copy transpose,
+    the per-user/per-column counts with their (zero-safe) inverses, and —
+    lazily — the flat ``(user, item, option)`` triple arrays that the
+    vectorized EM baselines scatter/gather over.
+
+    Attributes
+    ----------
+    binary:
+        The one-hot ``(m x K)`` response matrix ``C`` in CSR form,
+        ``K = sum_i k_i``.
+    binary_t:
+        ``C^T`` as a ``(K x m)`` CSC matrix sharing ``binary``'s data and
+        index arrays (CSR of ``A`` and CSC of ``A^T`` have identical
+        memory layouts, so the transpose costs nothing).
+    answers_per_user, answers_per_item, column_counts:
+        Nonzero counts per user row, item, and binary column.
+    inv_answers_per_user, inv_column_counts:
+        Elementwise inverses with ``1/0 -> 0`` — exactly the diagonal
+        scalings of the paper's ``C_row`` and ``C_col`` normalizations.
+    column_item:
+        Item index of every binary column (length ``K``).
+    """
+
+    __slots__ = (
+        "num_users",
+        "num_items",
+        "num_columns",
+        "column_offsets",
+        "binary",
+        "binary_t",
+        "answers_per_user",
+        "answers_per_item",
+        "column_counts",
+        "inv_answers_per_user",
+        "inv_column_counts",
+        "column_item",
+        "_user_index",
+        "_item_index",
+        "_option_index",
+    )
+
+    def __init__(self, choices: np.ndarray, column_offsets: np.ndarray) -> None:
+        num_users, num_items = choices.shape
+        num_columns = int(column_offsets[-1])
+        self.num_users = num_users
+        self.num_items = num_items
+        self.num_columns = num_columns
+        self.column_offsets = column_offsets
+
+        mask = choices != NO_ANSWER
+        answers_per_user = mask.sum(axis=1)
+        self.answers_per_user = answers_per_user
+        self.answers_per_item = mask.sum(axis=0)
+
+        index_dtype = (
+            np.int32
+            if max(num_columns, num_users, choices.size) < np.iinfo(np.int32).max
+            else np.int64
+        )
+        # Column id of every answered (user, item) pair; the unanswered
+        # entries hold junk (NO_ANSWER + offset) but are masked out below.
+        # numpy's row-major ravel order makes `indices` canonical CSR:
+        # rows ascending, columns sorted within each row.
+        column_matrix = choices + column_offsets[:-1]
+        indices = column_matrix.ravel()[mask.ravel()].astype(index_dtype, copy=False)
+        indptr = np.zeros(num_users + 1, dtype=index_dtype)
+        np.cumsum(answers_per_user, out=indptr[1:])
+        data = np.ones(indices.size, dtype=float)
+        # Assign the arrays directly instead of going through the
+        # (data, indices, indptr) constructor, which copies data/indices;
+        # the triple is canonical CSR by construction (see above), and both
+        # matrices genuinely share one set of arrays this way.
+        self.binary = sp.csr_matrix((num_users, num_columns), dtype=float)
+        self.binary.data, self.binary.indices, self.binary.indptr = data, indices, indptr
+        self.binary_t = sp.csc_matrix((num_columns, num_users), dtype=float)
+        self.binary_t.data, self.binary_t.indices, self.binary_t.indptr = data, indices, indptr
+        # The shared triple also backs every normalized form derived from
+        # it; freeze it so an in-place edit on a returned matrix cannot
+        # silently corrupt the per-matrix cache.
+        for array in (data, indices, indptr):
+            array.flags.writeable = False
+
+        self.column_counts = np.bincount(indices, minlength=num_columns)
+        self.inv_answers_per_user = _safe_inverse(answers_per_user)
+        self.inv_column_counts = _safe_inverse(self.column_counts)
+        self.column_item = np.repeat(
+            np.arange(num_items), np.diff(column_offsets).astype(int)
+        )
+
+        self._user_index: Optional[np.ndarray] = None
+        self._item_index: Optional[np.ndarray] = None
+        self._option_index: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    # Flat triple arrays (lazy; the EM baselines scatter/gather on these)
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nonzero(self) -> int:
+        """Total number of answers (nonzeros of the binary matrix)."""
+        return int(self.binary.indices.size)
+
+    @property
+    def column_index(self) -> np.ndarray:
+        """Binary-column id of each answer, in user-major order."""
+        return self.binary.indices
+
+    @property
+    def user_index(self) -> np.ndarray:
+        """User id of each answer, in user-major order."""
+        if self._user_index is None:
+            self._user_index = np.repeat(
+                np.arange(self.num_users), self.answers_per_user
+            )
+        return self._user_index
+
+    @property
+    def item_index(self) -> np.ndarray:
+        """Item id of each answer, aligned with :attr:`user_index`."""
+        if self._item_index is None:
+            self._item_index = self.column_item[self.binary.indices]
+        return self._item_index
+
+    @property
+    def option_index(self) -> np.ndarray:
+        """Chosen option of each answer, aligned with :attr:`user_index`."""
+        if self._option_index is None:
+            starts = np.asarray(self.column_offsets[:-1])
+            self._option_index = self.binary.indices - starts[self.item_index]
+        return self._option_index
+
+    # ------------------------------------------------------------------ #
+    # O(nnz) kernels
+    # ------------------------------------------------------------------ #
+    def option_sums(self, user_values: np.ndarray) -> np.ndarray:
+        """``C^T v``: sum of ``user_values`` over the users picking each column."""
+        return self.binary_t @ np.asarray(user_values, dtype=float)
+
+    def user_sums(self, option_values: np.ndarray) -> np.ndarray:
+        """``C v``: sum of ``option_values`` over each user's picked columns."""
+        return self.binary @ np.asarray(option_values, dtype=float)
+
+    def avghits_apply(self, scores: np.ndarray) -> np.ndarray:
+        """Fused AVGHITS update ``s -> C_row ((C_col)^T s)`` in ``O(nnz)``.
+
+        The normalizations are folded into two tiny diagonal scalings
+        (length ``K`` and ``m``) around the cached matrix-vector products,
+        so no normalized matrix is ever materialized.
+        """
+        weights = self.binary_t @ scores
+        weights *= self.inv_column_counts
+        updated = self.binary @ weights
+        updated *= self.inv_answers_per_user
+        return updated
+
+
+def _safe_inverse(counts: np.ndarray) -> np.ndarray:
+    """``1 / counts`` with ``1 / 0 -> 0`` (matches ``normalize_rows``' zeros)."""
+    counts = np.asarray(counts, dtype=float)
+    return np.where(counts > 0, 1.0 / np.maximum(counts, 1.0), 0.0)
+
+
+def _read_only(array: np.ndarray) -> np.ndarray:
+    """Mark a cached array read-only so shared caches cannot be corrupted."""
+    array.flags.writeable = False
+    return array
 
 
 class ResponseMatrix:
@@ -47,6 +236,13 @@ class ResponseMatrix:
     InvalidResponseMatrixError
         If the array is empty, non-integer, contains choices outside the
         declared option range, or every entry of some user/item is missing.
+
+    Notes
+    -----
+    Derived forms (:attr:`binary`, :attr:`answered_mask`, the
+    normalizations, and the :attr:`compiled` kernel representation) are
+    computed once and cached; array-valued caches are returned as
+    **read-only** views so accidental mutation cannot corrupt shared state.
     """
 
     def __init__(
@@ -73,8 +269,9 @@ class ResponseMatrix:
         if np.any(self._choices < NO_ANSWER):
             raise InvalidResponseMatrixError("choices must be >= -1")
 
+        max_choice_per_item = self._choices.max(axis=0)
         if num_options is None:
-            per_item = np.maximum(self._choices.max(axis=0) + 1, 2)
+            per_item = np.maximum(max_choice_per_item + 1, 2)
         elif np.isscalar(num_options):
             per_item = np.full(self._n, int(num_options), dtype=int)
         else:
@@ -86,8 +283,8 @@ class ResponseMatrix:
                 )
         if np.any(per_item < 1):
             raise InvalidResponseMatrixError("every item needs at least one option")
-        exceeded = self._choices.max(axis=0) >= per_item
-        if np.any(exceeded & (self._choices.max(axis=0) >= 0)):
+        exceeded = max_choice_per_item >= per_item
+        if np.any(exceeded & (max_choice_per_item >= 0)):
             bad = int(np.flatnonzero(exceeded)[0])
             raise InvalidResponseMatrixError(
                 "item %d has a choice index >= its number of options (%d)"
@@ -99,8 +296,13 @@ class ResponseMatrix:
             raise InvalidResponseMatrixError("the response matrix contains no answers at all")
 
         # Lazily computed caches.
-        self._binary: Optional[sp.csr_matrix] = None
         self._column_offsets: Optional[np.ndarray] = None
+        self._compiled: Optional[CompiledResponse] = None
+        self._answered_mask: Optional[np.ndarray] = None
+        self._answers_per_user: Optional[np.ndarray] = None
+        self._answers_per_item: Optional[np.ndarray] = None
+        self._row_normalized: Optional[sp.csr_matrix] = None
+        self._column_normalized: Optional[sp.csr_matrix] = None
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -112,15 +314,33 @@ class ResponseMatrix:
         The inverse of :attr:`binary`.  ``num_options`` is required because
         the flattened binary form does not record item boundaries on its own
         when items have different numbers of options.
+
+        Sparse inputs are consumed in COO form without densification, and
+        the choice matrix is reconstructed with a single vectorized
+        scatter — ``O(nnz)`` instead of the per-item column scan this
+        method used to perform.
         """
         if sp.issparse(binary):
-            binary = np.asarray(binary.todense())
-        binary = np.asarray(binary)
-        if binary.ndim != 2:
-            raise InvalidResponseMatrixError("binary matrix must be 2-D")
-        if np.any((binary != 0) & (binary != 1)):
-            raise InvalidResponseMatrixError("binary matrix must contain only 0/1")
-        m, total = binary.shape
+            coo = binary.tocoo()
+            # Collapse duplicate stored entries first so validation sees the
+            # effective cell values, exactly like the seed's densified path
+            # (e.g. two stored 0.5s are a valid 1; two stored 1s are an
+            # invalid 2).
+            coo.sum_duplicates()
+            if np.any((coo.data != 0) & (coo.data != 1)):
+                raise InvalidResponseMatrixError("binary matrix must contain only 0/1")
+            keep = coo.data == 1
+            rows = np.asarray(coo.row[keep], dtype=np.int64)
+            cols = np.asarray(coo.col[keep], dtype=np.int64)
+            m, total = binary.shape
+        else:
+            dense = np.asarray(binary)
+            if dense.ndim != 2:
+                raise InvalidResponseMatrixError("binary matrix must be 2-D")
+            if np.any((dense != 0) & (dense != 1)):
+                raise InvalidResponseMatrixError("binary matrix must contain only 0/1")
+            m, total = dense.shape
+            rows, cols = np.nonzero(dense)
         if np.isscalar(num_options):
             k = int(num_options)
             if total % k != 0:
@@ -137,16 +357,20 @@ class ResponseMatrix:
                 )
         n = per_item.size
         offsets = np.concatenate([[0], np.cumsum(per_item)])
+        item_of = np.searchsorted(offsets, cols, side="right") - 1
+        # Detect two picks by one user on one item with an O(nnz log nnz)
+        # sort-and-compare — a bincount over user-item pairs would allocate
+        # O(m*n) memory, defeating the sparse path for large inputs.
+        pair_keys = np.sort(rows * np.int64(n) + item_of)
+        duplicates = pair_keys[1:][pair_keys[1:] == pair_keys[:-1]]
+        if duplicates.size:
+            bad_item = int(duplicates[0] % n)
+            raise InvalidResponseMatrixError(
+                "user may choose at most one option per item (item %d violates this)"
+                % bad_item
+            )
         choices = np.full((m, n), NO_ANSWER, dtype=int)
-        for i in range(n):
-            block = binary[:, offsets[i]:offsets[i + 1]]
-            counts = block.sum(axis=1)
-            if np.any(counts > 1):
-                raise InvalidResponseMatrixError(
-                    "user may choose at most one option per item (item %d violates this)" % i
-                )
-            answered = counts == 1
-            choices[answered, i] = np.argmax(block[answered], axis=1)
+        choices[rows, item_of] = cols - offsets[item_of]
         return cls(choices, num_options=per_item)
 
     # ------------------------------------------------------------------ #
@@ -179,18 +403,35 @@ class ResponseMatrix:
 
     @property
     def answered_mask(self) -> np.ndarray:
-        """Boolean ``(m x n)`` mask of which (user, item) pairs were answered."""
-        return self._choices != NO_ANSWER
+        """Boolean ``(m x n)`` mask of which (user, item) pairs were answered.
+
+        Cached and returned read-only; copy before mutating.
+        """
+        if self._answered_mask is None:
+            self._answered_mask = _read_only(self._choices != NO_ANSWER)
+        return self._answered_mask
 
     @property
     def answers_per_user(self) -> np.ndarray:
-        """Number of items each user answered (length ``m``)."""
-        return self.answered_mask.sum(axis=1)
+        """Number of items each user answered (length ``m``, read-only)."""
+        if self._answers_per_user is None:
+            self._answers_per_user = _read_only(
+                self.compiled.answers_per_user
+                if self._compiled is not None
+                else self.answered_mask.sum(axis=1)
+            )
+        return self._answers_per_user
 
     @property
     def answers_per_item(self) -> np.ndarray:
-        """Number of users who answered each item (length ``n``)."""
-        return self.answered_mask.sum(axis=0)
+        """Number of users who answered each item (length ``n``, read-only)."""
+        if self._answers_per_item is None:
+            self._answers_per_item = _read_only(
+                self.compiled.answers_per_item
+                if self._compiled is not None
+                else self.answered_mask.sum(axis=0)
+            )
+        return self._answers_per_item
 
     @property
     def is_complete(self) -> bool:
@@ -202,9 +443,15 @@ class ResponseMatrix:
     # ------------------------------------------------------------------ #
     @property
     def column_offsets(self) -> np.ndarray:
-        """Start offset of each item's option block in the binary matrix."""
+        """Start offset of each item's option block in the binary matrix.
+
+        Cached and returned read-only (the compiled kernel representation is
+        built on this array); copy before mutating.
+        """
         if self._column_offsets is None:
-            self._column_offsets = np.concatenate([[0], np.cumsum(self._num_options)])
+            self._column_offsets = _read_only(
+                np.concatenate([[0], np.cumsum(self._num_options)])
+            )
         return self._column_offsets
 
     @property
@@ -213,21 +460,16 @@ class ResponseMatrix:
         return int(self.column_offsets[-1])
 
     @property
+    def compiled(self) -> CompiledResponse:
+        """The cached ``O(nnz)`` kernel representation (built on first use)."""
+        if self._compiled is None:
+            self._compiled = CompiledResponse(self._choices, self.column_offsets)
+        return self._compiled
+
+    @property
     def binary(self) -> sp.csr_matrix:
         """Sparse one-hot ``(m x sum_i k_i)`` binary response matrix ``C``."""
-        if self._binary is None:
-            offsets = self.column_offsets
-            rows: List[int] = []
-            cols: List[int] = []
-            user_idx, item_idx = np.nonzero(self.answered_mask)
-            option_idx = self._choices[user_idx, item_idx]
-            rows = user_idx.tolist()
-            cols = (offsets[item_idx] + option_idx).tolist()
-            data = np.ones(len(rows), dtype=float)
-            self._binary = sp.csr_matrix(
-                (data, (rows, cols)), shape=(self._m, self.num_option_columns)
-            )
-        return self._binary
+        return self.compiled.binary
 
     @property
     def binary_dense(self) -> np.ndarray:
@@ -235,12 +477,38 @@ class ResponseMatrix:
         return np.asarray(self.binary.todense())
 
     def row_normalized(self) -> sp.csr_matrix:
-        """``C_row``: the binary matrix with each row scaled to sum 1."""
-        return normalize_rows(self.binary)
+        """``C_row``: the binary matrix with each row scaled to sum 1.
+
+        Cached; built by swapping the binary matrix's data vector for the
+        per-user inverse counts (no sparse-sparse product).
+        """
+        if self._row_normalized is None:
+            compiled = self.compiled
+            data = _read_only(
+                np.repeat(compiled.inv_answers_per_user, compiled.answers_per_user)
+            )
+            self._row_normalized = sp.csr_matrix(
+                (data, compiled.binary.indices, compiled.binary.indptr),
+                shape=compiled.binary.shape,
+                copy=False,
+            )
+        return self._row_normalized
 
     def column_normalized(self) -> sp.csr_matrix:
-        """``C_col``: the binary matrix with each nonzero column scaled to sum 1."""
-        return normalize_columns(self.binary)
+        """``C_col``: the binary matrix with each nonzero column scaled to sum 1.
+
+        Cached; built by gathering the per-column inverse counts into the
+        binary matrix's data slots (no sparse-sparse product).
+        """
+        if self._column_normalized is None:
+            compiled = self.compiled
+            data = _read_only(compiled.inv_column_counts[compiled.binary.indices])
+            self._column_normalized = sp.csr_matrix(
+                (data, compiled.binary.indices, compiled.binary.indptr),
+                shape=compiled.binary.shape,
+                copy=False,
+            )
+        return self._column_normalized
 
     def user_similarity(self) -> np.ndarray:
         """Dense ``C C^T``: counts of common (item, option) picks per user pair."""
@@ -315,9 +583,23 @@ class ResponseMatrix:
         column = column[column != NO_ANSWER]
         return np.bincount(column, minlength=self._num_options[item]).astype(int)
 
+    def _option_count_matrix(
+        self, users: Optional[Sequence[int]] = None
+    ) -> np.ndarray:
+        """``(n x k_max)`` per-item option histograms in one bincount pass."""
+        if users is None:
+            choices = self._choices
+        else:
+            choices = self._choices[np.asarray(users, dtype=int)]
+        k = self.max_options
+        mask = choices != NO_ANSWER
+        item_idx = np.broadcast_to(np.arange(self._n), choices.shape)[mask]
+        flat = item_idx * k + choices[mask]
+        return np.bincount(flat, minlength=self._n * k).reshape(self._n, k)
+
     def majority_choices(self) -> np.ndarray:
         """Most frequently picked option per item (ties broken by index)."""
-        return np.array([int(np.argmax(self.option_counts(i))) for i in range(self._n)])
+        return self._option_count_matrix().argmax(axis=1).astype(int)
 
     def choice_entropy(self, users: Optional[Sequence[int]] = None) -> float:
         """Average per-item Shannon entropy of the option distribution.
@@ -325,24 +607,24 @@ class ResponseMatrix:
         Restricted to the given ``users`` when provided.  This is the
         statistic behind the decile-entropy symmetry-breaking heuristic
         (Section III-D): high-ability users converge on the correct option
-        and therefore produce lower entropy.
+        and therefore produce lower entropy.  Computed for all items in a
+        single vectorized pass; items nobody (in the subset) answered are
+        excluded, like the per-item loop this replaces.
         """
-        if users is None:
-            choices = self._choices
-        else:
-            choices = self._choices[np.asarray(users, dtype=int)]
-        entropies = []
-        for i in range(self._n):
-            column = choices[:, i]
-            column = column[column != NO_ANSWER]
-            if column.size == 0:
-                continue
-            counts = np.bincount(column, minlength=self._num_options[i]).astype(float)
-            probabilities = counts / counts.sum()
-            nonzero = probabilities[probabilities > 0]
-            entropies.append(float(-(nonzero * np.log2(nonzero)).sum()))
-        if not entropies:
+        counts = self._option_count_matrix(users).astype(float)
+        totals = counts.sum(axis=1)
+        answered = totals > 0
+        if not np.any(answered):
             return 0.0
+        probabilities = counts[answered] / totals[answered, np.newaxis]
+        # x * log2(x) -> 0 as x -> 0, so zero-probability options contribute
+        # exactly 0.0 and the sum matches the nonzero-only loop bit for bit.
+        contributions = np.zeros_like(probabilities)
+        positive = probabilities > 0
+        contributions[positive] = probabilities[positive] * np.log2(
+            probabilities[positive]
+        )
+        entropies = -contributions.sum(axis=1)
         return float(np.mean(entropies))
 
     # ------------------------------------------------------------------ #

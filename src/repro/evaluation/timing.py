@@ -4,6 +4,12 @@ Measures wall-clock time of the HND and ABH implementation variants (and
 optionally the GRM-estimator) as the number of users or items grows,
 reporting per-size medians exactly like the paper's Figure 5, plus the
 iteration counts analysed in Figure 14b.
+
+This module also hosts :func:`benchmark_rankers`, the fixed-size timing
+protocol behind ``benchmarks/bench_perf.py`` (the perf-regression harness):
+each ranker is timed both *cold* (a fresh :class:`ResponseMatrix` per run,
+so construction and derived-matrix compilation are included) and *warm*
+(the same matrix instance reused, so per-matrix caches are hot).
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ import numpy as np
 from repro.c1p.abh import ABHDirect, ABHPower
 from repro.core.hitsndiffs import HNDDeflation, HNDDirect, HNDPower
 from repro.core.ranking import AbilityRanker
+from repro.core.response import ResponseMatrix
 from repro.irt.generators import generate_dataset
 from repro.truth_discovery.cheating import GRMEstimatorRanker
 
@@ -130,3 +137,104 @@ def measure_scalability(
         iterations=iteration_counts,
         num_repeats=num_repeats,
     )
+
+
+# --------------------------------------------------------------------------- #
+# Fixed-size perf-regression protocol (benchmarks/bench_perf.py)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class PerfSpec:
+    """One ranker to time at one fixed problem size."""
+
+    name: str
+    ranker: AbilityRanker
+    num_users: int
+    num_items: int
+    num_options: int = 3
+
+
+@dataclass(frozen=True)
+class PerfRecord:
+    """Median timings of one :class:`PerfSpec` run.
+
+    ``cold_seconds`` includes :class:`ResponseMatrix` construction and every
+    derived-form build (the end-to-end service hot path); ``warm_seconds``
+    reuses one matrix instance so per-matrix caches stay hot across calls.
+    """
+
+    name: str
+    num_users: int
+    num_items: int
+    cold_seconds: float
+    warm_seconds: float
+    iterations: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "num_users": self.num_users,
+            "num_items": self.num_items,
+            "cold_seconds": self.cold_seconds,
+            "warm_seconds": self.warm_seconds,
+            # Direct solvers report no iteration count; keep the JSON strict
+            # (null, not a bare NaN token).
+            "iterations": self.iterations if np.isfinite(self.iterations) else None,
+        }
+
+
+def benchmark_rankers(
+    specs: Sequence[PerfSpec],
+    *,
+    num_repeats: int = 3,
+    model_name: str = "grm",
+    random_state: int = 7,
+) -> List[PerfRecord]:
+    """Time every spec cold and warm, reporting per-spec medians.
+
+    The dataset for each spec is generated deterministically from
+    ``random_state`` (one fixed draw per spec, shared by all repeats), so two
+    invocations of the harness — possibly across different versions of the
+    library — time the rankers on byte-identical inputs.
+    """
+    records: List[PerfRecord] = []
+    for spec in specs:
+        dataset = generate_dataset(
+            model_name,
+            spec.num_users,
+            spec.num_items,
+            spec.num_options,
+            random_state=random_state,
+        )
+        choices = dataset.response.choices
+        num_options = dataset.response.num_options
+
+        cold_times: List[float] = []
+        iterations: List[float] = []
+        for _ in range(num_repeats):
+            start = time.perf_counter()
+            response = ResponseMatrix(choices, num_options=num_options)
+            ranking = spec.ranker.rank(response)
+            cold_times.append(time.perf_counter() - start)
+            iterations.append(
+                float(ranking.diagnostics.get("iterations", float("nan")))
+            )
+
+        response = ResponseMatrix(choices, num_options=num_options)
+        spec.ranker.rank(response)  # warm-up fills the per-matrix caches
+        warm_times: List[float] = []
+        for _ in range(num_repeats):
+            start = time.perf_counter()
+            spec.ranker.rank(response)
+            warm_times.append(time.perf_counter() - start)
+
+        finite = [value for value in iterations if np.isfinite(value)]
+        records.append(
+            PerfRecord(
+                name=spec.name,
+                num_users=spec.num_users,
+                num_items=spec.num_items,
+                cold_seconds=float(np.median(cold_times)),
+                warm_seconds=float(np.median(warm_times)),
+                iterations=float(np.median(finite)) if finite else float("nan"),
+            )
+        )
+    return records

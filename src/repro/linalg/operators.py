@@ -65,7 +65,16 @@ def apply_cumulative(diffs: np.ndarray) -> np.ndarray:
     diffs = np.asarray(diffs, dtype=float)
     if diffs.ndim != 1 or diffs.size < 1:
         raise ValueError("apply_cumulative expects a 1-D vector of length >= 1")
-    scores = np.empty(diffs.size + 1, dtype=float)
-    scores[0] = 0.0
-    np.cumsum(diffs, out=scores[1:])
-    return scores
+    return apply_cumulative_into(diffs, np.empty(diffs.size + 1, dtype=float))
+
+
+def apply_cumulative_into(diffs: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """:func:`apply_cumulative` into a preallocated ``len(diffs) + 1`` buffer.
+
+    The matrix-free power iterations apply ``T`` once per iteration on a
+    vector whose length never changes; writing into a reused buffer keeps
+    those loops allocation-free.
+    """
+    out[0] = 0.0
+    np.cumsum(diffs, out=out[1:])
+    return out

@@ -118,21 +118,33 @@ def power_iteration_matvec(
     eigenvalue = 0.0
     iterations = 0
     converged = False
+    # Fixed buffer set reused across iterations: the matvec output is copied
+    # into an internal double buffer immediately, so the driver never holds a
+    # reference to matvec-owned memory across iterations (a matvec may reuse
+    # a retained buffer, or return a read-only view) and all normalization /
+    # sign alignment runs in place with no per-iteration allocations.  The
+    # matvec must not mutate its input vector — the Rayleigh quotient below
+    # needs the pre-update iterate.
+    scratch = np.empty(size, dtype=float)
+    buffers = (np.empty(size, dtype=float), np.empty(size, dtype=float))
     for iterations in range(1, max_iterations + 1):
-        product = np.asarray(matvec(vector), dtype=float).ravel()
+        raw = np.asarray(matvec(vector), dtype=float).ravel()
+        product = buffers[iterations % 2]
+        np.copyto(product, raw)
         eigenvalue = float(np.dot(vector, product))
-        new_vector = l2_normalize(product)
-        if not np.any(new_vector):
+        norm = float(np.linalg.norm(product))
+        if norm == 0.0:
             # The operator annihilated the iterate; restart from a fresh
             # random direction rather than silently returning zeros.
-            new_vector = l2_normalize(rng.standard_normal(size))
-        # Eigenvectors are defined up to sign; align before measuring change.
-        if np.dot(new_vector, vector) < 0:
-            aligned = -new_vector
+            np.copyto(product, l2_normalize(rng.standard_normal(size)))
         else:
-            aligned = new_vector
-        residual = float(np.linalg.norm(aligned - vector))
-        vector = aligned
+            product /= norm
+        # Eigenvectors are defined up to sign; align before measuring change.
+        if np.dot(product, vector) < 0:
+            np.negative(product, out=product)
+        np.subtract(product, vector, out=scratch)
+        residual = float(np.linalg.norm(scratch))
+        vector = product
         if residual < tolerance:
             converged = True
             break

@@ -8,6 +8,10 @@ from repro.truth_discovery.majority import MajorityVoteRanker
 from repro.truth_discovery.cheating import GRMEstimatorRanker, TrueAnswerRanker
 from repro.truth_discovery.dawid_skene import DawidSkeneRanker
 from repro.truth_discovery.glad import GLADRanker
+from repro.truth_discovery.reference import (
+    ReferenceDawidSkeneRanker,
+    ReferenceGLADRanker,
+)
 
 __all__ = [
     "IterativeTruthRanker",
@@ -21,4 +25,6 @@ __all__ = [
     "GRMEstimatorRanker",
     "DawidSkeneRanker",
     "GLADRanker",
+    "ReferenceDawidSkeneRanker",
+    "ReferenceGLADRanker",
 ]

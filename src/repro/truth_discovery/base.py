@@ -101,12 +101,17 @@ def discovered_truths(response: ResponseMatrix, option_weights: np.ndarray) -> n
     examples show the duality between the two problems.
     """
     option_weights = np.asarray(option_weights, dtype=float).ravel()
-    offsets = response.column_offsets
-    truths = np.empty(response.num_items, dtype=int)
-    for item in range(response.num_items):
-        block = option_weights[offsets[item]:offsets[item + 1]]
-        truths[item] = int(np.argmax(block)) if block.size else 0
-    return truths
+    num_items = response.num_items
+    k = response.max_options
+    offsets = np.asarray(response.column_offsets)
+    # Spread the ragged option blocks into an (n, k_max) table padded with
+    # -inf, so one argmax call replaces the per-item block scan.  Ties break
+    # towards the lower option index, exactly like the per-block argmax.
+    table = np.full((num_items, k), -np.inf)
+    column_item = response.compiled.column_item
+    option_of_column = np.arange(offsets[-1]) - offsets[:-1][column_item]
+    table[column_item, option_of_column] = option_weights
+    return table.argmax(axis=1).astype(int)
 
 
 def option_choice_matrix(response: ResponseMatrix) -> sp.csr_matrix:

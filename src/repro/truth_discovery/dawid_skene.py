@@ -10,6 +10,23 @@ heterogeneous MCQs.
 
 Users are ranked by the prior-weighted mean of their confusion-matrix
 diagonal, i.e. their estimated probability of labelling an item correctly.
+
+Both EM steps are pure scatter/gather sums over the ``(user, item, choice)``
+answer triples, so this implementation expresses them as two products with
+one sparse indicator matrix ``M`` of shape ``(m*k, n)`` (a 1 at row
+``u*k + h``, column ``i`` for every answer ``(u, i, h)``):
+
+* M-step confusion counts: ``M @ posteriors`` accumulates the truth
+  posterior of every answered item into the answering user's ``(h, l)``
+  cell — the former per-user ``np.add.at`` loop.
+* E-step log posteriors:   ``M^T @ log_confusion`` accumulates the
+  answering users' log confusion rows into each item — the former second
+  per-user loop.
+
+``M`` is built once per ``rank()`` call in ``O(nnz)``; each EM iteration
+then costs ``O(nnz * k)`` with no Python loop.  The seed loop formulation
+is preserved in :mod:`repro.truth_discovery.reference` as the oracle the
+equivalence tests compare against (scores match element-wise).
 """
 
 from __future__ import annotations
@@ -17,9 +34,10 @@ from __future__ import annotations
 from typing import Dict
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.core.ranking import AbilityRanker, AbilityRanking
-from repro.core.response import NO_ANSWER, ResponseMatrix
+from repro.core.response import ResponseMatrix
 
 
 class DawidSkeneRanker(AbilityRanker):
@@ -43,19 +61,35 @@ class DawidSkeneRanker(AbilityRanker):
         self.smoothing = smoothing
 
     def rank(self, response: ResponseMatrix) -> AbilityRanking:
-        choices = response.choices
-        answered = choices != NO_ANSWER
-        num_users, num_items = choices.shape
+        compiled = response.compiled
+        num_users = response.num_users
+        num_items = response.num_items
         num_classes = response.max_options
+        user_idx = compiled.user_index
+        item_idx = compiled.item_index
+        choice_idx = compiled.option_index
+
+        # Sparse answer indicator: row u*k + h, column i for answer (u, i, h).
+        indicator = sp.csr_matrix(
+            (
+                np.ones(user_idx.size),
+                (user_idx * num_classes + choice_idx, item_idx),
+            ),
+            shape=(num_users * num_classes, num_items),
+        )
+        indicator_t = indicator.T.tocsr()
 
         # Initialization: soft majority vote posteriors per item.
-        posteriors = np.full((num_items, num_classes), 1.0 / num_classes)
-        for item in range(num_items):
-            counts = np.bincount(choices[answered[:, item], item],
-                                 minlength=num_classes).astype(float)
-            total = counts.sum()
-            if total > 0:
-                posteriors[item] = (counts + self.smoothing) / (total + self.smoothing * num_classes)
+        counts = np.bincount(
+            item_idx * num_classes + choice_idx,
+            minlength=num_items * num_classes,
+        ).reshape(num_items, num_classes).astype(float)
+        totals = counts.sum(axis=1, keepdims=True)
+        posteriors = np.where(
+            totals > 0,
+            (counts + self.smoothing) / (totals + self.smoothing * num_classes),
+            1.0 / num_classes,
+        )
 
         confusion = np.zeros((num_users, num_classes, num_classes))
         priors = np.full(num_classes, 1.0 / num_classes)
@@ -65,27 +99,24 @@ class DawidSkeneRanker(AbilityRanker):
             # M-step: class priors and per-user confusion matrices.
             priors = posteriors.mean(axis=0)
             priors = priors / priors.sum()
-            confusion.fill(self.smoothing)
-            for user in range(num_users):
-                items = np.flatnonzero(answered[user])
-                if items.size == 0:
-                    continue
-                reported = choices[user, items]
-                np.add.at(confusion[user], (slice(None), reported),
-                          posteriors[items].T)
+            # (m*k, l) -> (u, h, l) -> transpose to (u, l, h) to match the
+            # "truth l, reported h" convention.
+            counts_flat = np.asarray(indicator @ posteriors)
+            confusion = counts_flat.reshape(
+                num_users, num_classes, num_classes
+            ).transpose(0, 2, 1) + self.smoothing
             confusion /= confusion.sum(axis=2, keepdims=True)
 
             # E-step: truth posterior per item.
             log_confusion = np.log(np.clip(confusion, 1e-12, 1.0))
-            new_posteriors = np.tile(np.log(np.clip(priors, 1e-12, 1.0)), (num_items, 1))
-            for user in range(num_users):
-                items = np.flatnonzero(answered[user])
-                if items.size == 0:
-                    continue
-                reported = choices[user, items]
-                new_posteriors[items] += log_confusion[user][:, reported].T
+            log_confusion_flat = np.ascontiguousarray(
+                log_confusion.transpose(0, 2, 1)
+            ).reshape(num_users * num_classes, num_classes)
+            new_posteriors = np.log(np.clip(priors, 1e-12, 1.0))[np.newaxis, :] + (
+                np.asarray(indicator_t @ log_confusion_flat)
+            )
             new_posteriors -= new_posteriors.max(axis=1, keepdims=True)
-            new_posteriors = np.exp(new_posteriors)
+            np.exp(new_posteriors, out=new_posteriors)
             new_posteriors /= new_posteriors.sum(axis=1, keepdims=True)
 
             change = float(np.abs(new_posteriors - posteriors).max())

@@ -15,6 +15,27 @@ can be used as an additional ability-discovery baseline:
   respect to ``alpha`` (per worker) and ``log beta`` (per item).
 
 Users are ranked by their estimated ability ``alpha_j``.
+
+Implementation notes (PR 1): the E-step runs as two ``np.bincount``
+scatter-adds over the flat ``(user, item, choice)`` answer triples instead
+of a per-item/per-candidate Python loop, and the M-step's inner gradient
+ascent reuses preallocated ``(m, n)`` work buffers with in-place SIMD
+ufuncs (``1 / (1 + exp(-z)`` spelled out, which vectorizes where
+``scipy.special.expit`` does not).  The ``dtype`` parameter optionally
+drops the work buffers to ``float32`` for a further ~30% — measured to
+cost real ranking quality on hard instances, so ``float64`` stays the
+default; the EM parameters ``alpha``/``log beta`` and the truth
+posteriors — including the convergence check — always stay ``float64``.
+
+The dominant remaining cost is irreducible for this model: every gradient
+step must evaluate the sigmoid on all ``(m, n)`` pairs, which bounds the
+achievable speedup well below the loop-free EM of Dawid–Skene.  GLAD's
+EM/gradient dynamics are also chaotic — a ``1e-12`` input perturbation
+changes the converged scores by ``O(1)`` — so any reordering of float ops
+(including this vectorization, at either precision) yields different
+scores; the equivalence tests therefore compare *rankings* against the
+seed-faithful oracle in :mod:`repro.truth_discovery.reference`, not raw
+scores.
 """
 
 from __future__ import annotations
@@ -24,8 +45,7 @@ from typing import Dict
 import numpy as np
 
 from repro.core.ranking import AbilityRanker, AbilityRanking
-from repro.core.response import NO_ANSWER, ResponseMatrix
-from repro.irt.dichotomous import sigmoid
+from repro.core.response import ResponseMatrix
 
 
 class GLADRanker(AbilityRanker):
@@ -43,99 +63,134 @@ class GLADRanker(AbilityRanker):
         uses such priors as well).
     tolerance:
         Early-stopping threshold on the change of the truth posteriors.
+    dtype:
+        Floating dtype of the ``(m, n)`` sigmoid/residual work buffers.
+        ``float32`` cuts the gradient-loop cost by ~30% but measurably
+        degrades ranking quality on hard instances, so the default is
+        ``float64``; parameters and posteriors remain ``float64`` either
+        way.
     """
 
     name = "GLAD"
 
     def __init__(self, *, max_iterations: int = 30, gradient_steps: int = 10,
                  learning_rate: float = 0.05, prior_precision: float = 0.01,
-                 tolerance: float = 1e-5) -> None:
+                 tolerance: float = 1e-5, dtype: "np.typing.DTypeLike" = np.float64) -> None:
         self.max_iterations = max_iterations
         self.gradient_steps = gradient_steps
         self.learning_rate = learning_rate
         self.prior_precision = prior_precision
         self.tolerance = tolerance
-
-    # ------------------------------------------------------------------ #
-    def _correct_probability(self, alpha: np.ndarray, log_beta: np.ndarray) -> np.ndarray:
-        """``P(worker j labels item i correctly)``, shape (m, n)."""
-        return np.clip(
-            sigmoid(alpha[:, np.newaxis] * np.exp(log_beta)[np.newaxis, :]),
-            1e-6, 1.0 - 1e-6,
-        )
-
-    def _truth_posteriors(self, response: ResponseMatrix, alpha: np.ndarray,
-                          log_beta: np.ndarray) -> np.ndarray:
-        """Posterior over each item's true option, shape (n, k_max)."""
-        choices = response.choices
-        answered = response.answered_mask
-        num_items = response.num_items
-        num_classes = response.max_options
-        correct = self._correct_probability(alpha, log_beta)
-        log_posterior = np.zeros((num_items, num_classes))
-        for item in range(num_items):
-            k_i = int(response.num_options[item])
-            users = np.flatnonzero(answered[:, item])
-            if users.size == 0:
-                continue
-            labels = choices[users, item]
-            p_correct = correct[users, item]
-            wrong_share = (1.0 - p_correct) / max(k_i - 1, 1)
-            for candidate in range(k_i):
-                match = labels == candidate
-                log_posterior[item, candidate] = float(
-                    np.sum(np.log(np.where(match, p_correct, wrong_share)))
-                )
-            log_posterior[item, k_i:] = -np.inf
-        log_posterior -= log_posterior.max(axis=1, keepdims=True)
-        posterior = np.exp(log_posterior)
-        posterior /= posterior.sum(axis=1, keepdims=True)
-        return posterior
-
-    def _m_step(self, response: ResponseMatrix, posterior: np.ndarray,
-                alpha: np.ndarray, log_beta: np.ndarray) -> tuple:
-        """Gradient ascent on the expected log-likelihood."""
-        choices = response.choices
-        answered = response.answered_mask
-        # q[j, i]: probability (under the posterior) that worker j's label of
-        # item i equals the true option.
-        agreement = np.zeros(choices.shape)
-        for item in range(response.num_items):
-            users = np.flatnonzero(answered[:, item])
-            if users.size == 0:
-                continue
-            agreement[users, item] = posterior[item, choices[users, item]]
-        for _ in range(self.gradient_steps):
-            correct = self._correct_probability(alpha, log_beta)
-            # d/dz of [q log sigma(z) + (1-q) log(1-sigma(z))] = q - sigma(z).
-            residual = np.where(answered, agreement - correct, 0.0)
-            beta = np.exp(log_beta)
-            grad_alpha = residual @ beta - self.prior_precision * alpha
-            grad_log_beta = (alpha @ residual) * beta - self.prior_precision * log_beta
-            alpha = alpha + self.learning_rate * grad_alpha
-            log_beta = log_beta + self.learning_rate * grad_log_beta
-            log_beta = np.clip(log_beta, -4.0, 4.0)
-            alpha = np.clip(alpha, -10.0, 10.0)
-        return alpha, log_beta
+        self.dtype = np.dtype(dtype)
+        if self.dtype.kind != "f":
+            raise ValueError("dtype must be a floating dtype")
 
     # ------------------------------------------------------------------ #
     def rank(self, response: ResponseMatrix) -> AbilityRanking:
+        compiled = response.compiled
         num_users = response.num_users
         num_items = response.num_items
+        num_classes = response.max_options
+        num_options = response.num_options
+        dtype = self.dtype
+        user_idx = compiled.user_index
+        item_idx = compiled.item_index
+        choice_idx = compiled.option_index
+        # Flat row-major positions of the answers inside (m, n) buffers and
+        # inside the (n, k_max) posterior table.
+        flat_answer = user_idx * num_items + item_idx
+        flat_item_choice = item_idx * num_classes + choice_idx
+        answered = np.asarray(response.answered_mask, dtype=dtype)
+        # Items someone answered keep the seed behaviour of masking the
+        # out-of-range candidate columns to -inf; fully unanswered items
+        # stay uniform over all k_max columns, exactly like the original
+        # per-item loop (which `continue`d before the mask assignment).
+        has_answers = compiled.answers_per_item > 0
+        invalid_candidate = (
+            np.arange(num_classes)[np.newaxis, :] >= num_options[:, np.newaxis]
+        ) & has_answers[:, np.newaxis]
+        wrong_denominator = np.maximum(num_options[item_idx] - 1, 1).astype(dtype)
+
+        # Preallocated (m, n) work buffers for the gradient inner loop.
+        correct = np.empty((num_users, num_items), dtype=dtype)
+        residual = np.empty((num_users, num_items), dtype=dtype)
+        agreement = np.zeros((num_users, num_items), dtype=dtype)
+
+        def correct_probability(alpha: np.ndarray, log_beta: np.ndarray) -> np.ndarray:
+            """``P(worker j labels item i correctly)`` into the shared buffer.
+
+            ``sigma(z) = 1 / (1 + exp(-z))`` written as in-place ufuncs;
+            overflow of ``exp`` saturates to ``inf`` whose reciprocal is 0,
+            which the clip then maps to the same 1e-6 floor the seed used.
+            """
+            np.multiply.outer(alpha, np.exp(log_beta), out=correct)
+            np.negative(correct, out=correct)
+            np.exp(correct, out=correct)
+            np.add(correct, 1.0, out=correct)
+            np.reciprocal(correct, out=correct)
+            np.clip(correct, 1e-6, 1.0 - 1e-6, out=correct)
+            return correct
+
+        def truth_posteriors(alpha: np.ndarray, log_beta: np.ndarray) -> np.ndarray:
+            """Posterior over each item's true option, shape (n, k_max).
+
+            For item ``i`` and candidate ``c`` the log posterior is
+            ``sum_u log(wrong_u)  +  sum_{u: label=c} (log p_u - log wrong_u)``
+            over the users who answered ``i`` — two bincount passes over the
+            answer triples instead of a per-item/per-candidate loop.
+            """
+            probability = correct_probability(alpha, log_beta).ravel()[flat_answer]
+            wrong_share = (1.0 - probability) / wrong_denominator
+            log_wrong = np.log(wrong_share)
+            log_correct = np.log(probability)
+            base = np.bincount(item_idx, weights=log_wrong, minlength=num_items)
+            adjustment = np.bincount(
+                flat_item_choice,
+                weights=log_correct - log_wrong,
+                minlength=num_items * num_classes,
+            ).reshape(num_items, num_classes)
+            log_posterior = base[:, np.newaxis] + adjustment
+            log_posterior[invalid_candidate] = -np.inf
+            log_posterior -= log_posterior.max(axis=1, keepdims=True)
+            posterior = np.exp(log_posterior)
+            posterior /= posterior.sum(axis=1, keepdims=True)
+            return posterior
+
+        def m_step(posterior, alpha, log_beta):
+            """Gradient ascent on the expected log-likelihood (in-place math)."""
+            # q[j, i]: probability (under the posterior) that worker j's label
+            # of item i equals the true option.
+            agreement.ravel()[flat_answer] = posterior.ravel()[flat_item_choice]
+            for _ in range(self.gradient_steps):
+                probability = correct_probability(alpha, log_beta)
+                # d/dz of [q log sigma(z) + (1-q) log(1-sigma(z))] = q - sigma(z).
+                np.subtract(agreement, probability, out=residual)
+                np.multiply(residual, answered, out=residual)
+                beta = np.exp(log_beta)
+                beta_work = beta.astype(dtype, copy=False)
+                alpha_work = alpha.astype(dtype, copy=False)
+                grad_alpha = (residual @ beta_work).astype(float) - self.prior_precision * alpha
+                grad_log_beta = (alpha_work @ residual).astype(float) * beta - self.prior_precision * log_beta
+                alpha = alpha + self.learning_rate * grad_alpha
+                log_beta = log_beta + self.learning_rate * grad_log_beta
+                log_beta = np.clip(log_beta, -4.0, 4.0)
+                alpha = np.clip(alpha, -10.0, 10.0)
+            return alpha, log_beta
+
         alpha = np.ones(num_users)
         log_beta = np.zeros(num_items)
-
-        posterior = self._truth_posteriors(response, alpha, log_beta)
-        iterations = 0
-        converged = False
-        for iterations in range(1, self.max_iterations + 1):
-            alpha, log_beta = self._m_step(response, posterior, alpha, log_beta)
-            new_posterior = self._truth_posteriors(response, alpha, log_beta)
-            change = float(np.abs(new_posterior - posterior).max())
-            posterior = new_posterior
-            if change < self.tolerance:
-                converged = True
-                break
+        with np.errstate(over="ignore"):
+            posterior = truth_posteriors(alpha, log_beta)
+            iterations = 0
+            converged = False
+            for iterations in range(1, self.max_iterations + 1):
+                alpha, log_beta = m_step(posterior, alpha, log_beta)
+                new_posterior = truth_posteriors(alpha, log_beta)
+                change = float(np.abs(new_posterior - posterior).max())
+                posterior = new_posterior
+                if change < self.tolerance:
+                    converged = True
+                    break
 
         diagnostics: Dict[str, object] = {
             "iterations": iterations,

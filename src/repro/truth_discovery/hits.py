@@ -25,14 +25,14 @@ class HITSRanker(IterativeTruthRanker):
 
     def update_option_weights(self, response: ResponseMatrix,
                               user_scores: np.ndarray) -> np.ndarray:
-        weights = np.asarray(response.binary.T @ user_scores).ravel()
+        weights = response.compiled.option_sums(user_scores)
         norm = np.linalg.norm(weights)
         return weights / norm if norm else weights
 
     def update_user_scores(self, response: ResponseMatrix,
                            option_weights: np.ndarray,
                            previous_scores: np.ndarray) -> np.ndarray:
-        return np.asarray(response.binary @ option_weights).ravel()
+        return response.compiled.user_sums(option_weights)
 
     def normalize_scores(self, scores: np.ndarray) -> np.ndarray:
         norm = np.linalg.norm(scores)

@@ -42,19 +42,19 @@ class InvestmentRanker(IterativeTruthRanker):
     def update_option_weights(self, response: ResponseMatrix,
                               user_scores: np.ndarray) -> np.ndarray:
         per_user = self._invested_amounts(response, user_scores)
-        invested = np.asarray(response.binary.T @ per_user).ravel()
+        invested = response.compiled.option_sums(per_user)
         return np.power(np.maximum(invested, 0.0), self.growth_exponent)
 
     def update_user_scores(self, response: ResponseMatrix,
                            option_weights: np.ndarray,
                            previous_scores: np.ndarray) -> np.ndarray:
         per_user = self._invested_amounts(response, previous_scores)
-        total_invested = np.asarray(response.binary.T @ per_user).ravel()
+        total_invested = response.compiled.option_sums(per_user)
         # Each user's return from an option is proportional to their share of
         # the total investment into that option.
         share_denominator = np.where(total_invested > 0, total_invested, 1.0)
         option_return = option_weights / share_denominator
-        per_option_return = np.asarray(response.binary @ option_return).ravel()
+        per_option_return = response.compiled.user_sums(option_return)
         return per_user * per_option_return
 
     def normalize_scores(self, scores: np.ndarray) -> np.ndarray:
@@ -73,16 +73,16 @@ class PooledInvestmentRanker(InvestmentRanker):
 
     def update_option_weights(self, response: ResponseMatrix,
                               user_scores: np.ndarray) -> np.ndarray:
+        compiled = response.compiled
         per_user = self._invested_amounts(response, user_scores)
-        invested = np.asarray(response.binary.T @ per_user).ravel()
+        invested = compiled.option_sums(per_user)
         grown = np.power(np.maximum(invested, 0.0), self.growth_exponent)
-        weights = np.zeros_like(invested)
-        offsets = response.column_offsets
-        for item in range(response.num_items):
-            start, stop = offsets[item], offsets[item + 1]
-            block_grown = grown[start:stop]
-            block_invested = invested[start:stop]
-            total = block_grown.sum()
-            if total > 0:
-                weights[start:stop] = block_invested * block_grown / total
-        return weights
+        # Pool the grown credibility within each item's option block: one
+        # segment sum over the column -> item map replaces the per-item loop.
+        totals = np.bincount(
+            compiled.column_item, weights=grown, minlength=response.num_items
+        )
+        # grown >= 0, so a zero block total forces every weight in the block
+        # to zero on its own; the where() only guards the division.
+        safe_totals = np.where(totals > 0, totals, 1.0)[compiled.column_item]
+        return invested * grown / safe_totals

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.ranking import AbilityRanker, AbilityRanking
-from repro.core.response import NO_ANSWER, ResponseMatrix
+from repro.core.response import ResponseMatrix
 
 
 class MajorityVoteRanker(AbilityRanker):
@@ -25,7 +25,7 @@ class MajorityVoteRanker(AbilityRanker):
     def rank(self, response: ResponseMatrix) -> AbilityRanking:
         majority = response.majority_choices()
         choices = response.choices
-        answered = choices != NO_ANSWER
+        answered = response.answered_mask
         agreements = ((choices == majority[np.newaxis, :]) & answered).sum(axis=1)
         if self.normalize_by_answers:
             scores = agreements / np.maximum(response.answers_per_user, 1)

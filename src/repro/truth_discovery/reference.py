@@ -1,0 +1,206 @@
+"""Seed-faithful loop implementations of the EM baselines (test oracles).
+
+PR 1 replaced the per-user/per-item Python loops of
+:class:`~repro.truth_discovery.dawid_skene.DawidSkeneRanker` and
+:class:`~repro.truth_discovery.glad.GLADRanker` with batched
+einsum/bincount/sparse-matmul updates.  The original loop formulations are
+preserved here, operation for operation, as the cross-check oracle:
+
+* the equivalence tests in ``tests/test_fast_kernels.py`` assert that the
+  vectorized rankers reproduce these references, and
+* ``benchmarks/bench_perf.py`` can time them to demonstrate the speedup on
+  any machine, independent of the numbers committed in ``BENCH_PR1.json``.
+
+Do **not** use these classes in production code paths; they exist to be
+slow in exactly the way the seed implementation was.
+
+A note on GLAD: its EM + inner-gradient-ascent dynamics are chaotic — a
+``1e-12`` perturbation of the initial abilities changes the converged
+scores by ``O(1)`` (verified empirically; the rank ordering stays highly
+correlated).  Any reordering of floating-point operations therefore
+produces different *scores*, so the vectorized GLAD is validated against
+this reference at the ranking level (rank correlation and truth recovery),
+not element-wise.  Dawid–Skene is contractive and matches element-wise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.core.ranking import AbilityRanker, AbilityRanking
+from repro.core.response import NO_ANSWER, ResponseMatrix
+from repro.irt.dichotomous import sigmoid
+
+
+class ReferenceDawidSkeneRanker(AbilityRanker):
+    """The seed Dawid–Skene EM with explicit per-user loops (oracle)."""
+
+    name = "Dawid-Skene-reference"
+
+    def __init__(self, *, max_iterations: int = 100, tolerance: float = 1e-6,
+                 smoothing: float = 0.01) -> None:
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.smoothing = smoothing
+
+    def rank(self, response: ResponseMatrix) -> AbilityRanking:
+        choices = response.choices
+        answered = choices != NO_ANSWER
+        num_users, num_items = choices.shape
+        num_classes = response.max_options
+
+        # Initialization: soft majority vote posteriors per item.
+        posteriors = np.full((num_items, num_classes), 1.0 / num_classes)
+        for item in range(num_items):
+            counts = np.bincount(choices[answered[:, item], item],
+                                 minlength=num_classes).astype(float)
+            total = counts.sum()
+            if total > 0:
+                posteriors[item] = (counts + self.smoothing) / (total + self.smoothing * num_classes)
+
+        confusion = np.zeros((num_users, num_classes, num_classes))
+        priors = np.full(num_classes, 1.0 / num_classes)
+        iterations = 0
+        converged = False
+        for iterations in range(1, self.max_iterations + 1):
+            # M-step: class priors and per-user confusion matrices.
+            priors = posteriors.mean(axis=0)
+            priors = priors / priors.sum()
+            confusion.fill(self.smoothing)
+            for user in range(num_users):
+                items = np.flatnonzero(answered[user])
+                if items.size == 0:
+                    continue
+                reported = choices[user, items]
+                np.add.at(confusion[user], (slice(None), reported),
+                          posteriors[items].T)
+            confusion /= confusion.sum(axis=2, keepdims=True)
+
+            # E-step: truth posterior per item.
+            log_confusion = np.log(np.clip(confusion, 1e-12, 1.0))
+            new_posteriors = np.tile(np.log(np.clip(priors, 1e-12, 1.0)), (num_items, 1))
+            for user in range(num_users):
+                items = np.flatnonzero(answered[user])
+                if items.size == 0:
+                    continue
+                reported = choices[user, items]
+                new_posteriors[items] += log_confusion[user][:, reported].T
+            new_posteriors -= new_posteriors.max(axis=1, keepdims=True)
+            new_posteriors = np.exp(new_posteriors)
+            new_posteriors /= new_posteriors.sum(axis=1, keepdims=True)
+
+            change = float(np.abs(new_posteriors - posteriors).max())
+            posteriors = new_posteriors
+            if change < self.tolerance:
+                converged = True
+                break
+
+        accuracies = np.einsum("ukk,k->u", confusion, priors)
+        truths = posteriors.argmax(axis=1)
+        diagnostics: Dict[str, object] = {
+            "iterations": iterations,
+            "converged": converged,
+            "discovered_truths": truths,
+            "class_priors": priors,
+        }
+        return AbilityRanking(scores=accuracies, method=self.name, diagnostics=diagnostics)
+
+
+class ReferenceGLADRanker(AbilityRanker):
+    """The seed GLAD EM with explicit per-item loops (oracle)."""
+
+    name = "GLAD-reference"
+
+    def __init__(self, *, max_iterations: int = 30, gradient_steps: int = 10,
+                 learning_rate: float = 0.05, prior_precision: float = 0.01,
+                 tolerance: float = 1e-5) -> None:
+        self.max_iterations = max_iterations
+        self.gradient_steps = gradient_steps
+        self.learning_rate = learning_rate
+        self.prior_precision = prior_precision
+        self.tolerance = tolerance
+
+    # ------------------------------------------------------------------ #
+    def _correct_probability(self, alpha: np.ndarray, log_beta: np.ndarray) -> np.ndarray:
+        return np.clip(
+            sigmoid(alpha[:, np.newaxis] * np.exp(log_beta)[np.newaxis, :]),
+            1e-6, 1.0 - 1e-6,
+        )
+
+    def _truth_posteriors(self, response: ResponseMatrix, alpha: np.ndarray,
+                          log_beta: np.ndarray) -> np.ndarray:
+        choices = response.choices
+        answered = response.answered_mask
+        num_items = response.num_items
+        num_classes = response.max_options
+        correct = self._correct_probability(alpha, log_beta)
+        log_posterior = np.zeros((num_items, num_classes))
+        for item in range(num_items):
+            k_i = int(response.num_options[item])
+            users = np.flatnonzero(answered[:, item])
+            if users.size == 0:
+                continue
+            labels = choices[users, item]
+            p_correct = correct[users, item]
+            wrong_share = (1.0 - p_correct) / max(k_i - 1, 1)
+            for candidate in range(k_i):
+                match = labels == candidate
+                log_posterior[item, candidate] = float(
+                    np.sum(np.log(np.where(match, p_correct, wrong_share)))
+                )
+            log_posterior[item, k_i:] = -np.inf
+        log_posterior -= log_posterior.max(axis=1, keepdims=True)
+        posterior = np.exp(log_posterior)
+        posterior /= posterior.sum(axis=1, keepdims=True)
+        return posterior
+
+    def _m_step(self, response: ResponseMatrix, posterior: np.ndarray,
+                alpha: np.ndarray, log_beta: np.ndarray) -> tuple:
+        choices = response.choices
+        answered = response.answered_mask
+        agreement = np.zeros(choices.shape)
+        for item in range(response.num_items):
+            users = np.flatnonzero(answered[:, item])
+            if users.size == 0:
+                continue
+            agreement[users, item] = posterior[item, choices[users, item]]
+        for _ in range(self.gradient_steps):
+            correct = self._correct_probability(alpha, log_beta)
+            residual = np.where(answered, agreement - correct, 0.0)
+            beta = np.exp(log_beta)
+            grad_alpha = residual @ beta - self.prior_precision * alpha
+            grad_log_beta = (alpha @ residual) * beta - self.prior_precision * log_beta
+            alpha = alpha + self.learning_rate * grad_alpha
+            log_beta = log_beta + self.learning_rate * grad_log_beta
+            log_beta = np.clip(log_beta, -4.0, 4.0)
+            alpha = np.clip(alpha, -10.0, 10.0)
+        return alpha, log_beta
+
+    # ------------------------------------------------------------------ #
+    def rank(self, response: ResponseMatrix) -> AbilityRanking:
+        num_users = response.num_users
+        num_items = response.num_items
+        alpha = np.ones(num_users)
+        log_beta = np.zeros(num_items)
+
+        posterior = self._truth_posteriors(response, alpha, log_beta)
+        iterations = 0
+        converged = False
+        for iterations in range(1, self.max_iterations + 1):
+            alpha, log_beta = self._m_step(response, posterior, alpha, log_beta)
+            new_posterior = self._truth_posteriors(response, alpha, log_beta)
+            change = float(np.abs(new_posterior - posterior).max())
+            posterior = new_posterior
+            if change < self.tolerance:
+                converged = True
+                break
+
+        diagnostics: Dict[str, object] = {
+            "iterations": iterations,
+            "converged": converged,
+            "discovered_truths": posterior.argmax(axis=1),
+            "item_log_difficulty": -log_beta,
+        }
+        return AbilityRanking(scores=alpha, method=self.name, diagnostics=diagnostics)

@@ -51,7 +51,7 @@ class TruthFinderRanker(IterativeTruthRanker):
                               user_scores: np.ndarray) -> np.ndarray:
         trust = np.clip(user_scores, 0.0, _MAX_TRUST)
         log_distrust = np.log1p(-trust)
-        aggregated = np.asarray(response.binary.T @ log_distrust).ravel()
+        aggregated = response.compiled.option_sums(log_distrust)
         if self.dampening is None:
             return 1.0 - np.exp(aggregated)
         # Original TruthFinder: confidence score sigma = -sum(log(1 - trust)),

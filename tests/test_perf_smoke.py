@@ -1,0 +1,43 @@
+"""Tier-2 perf smoke gate (PR 1).
+
+Runs ``python benchmarks/bench_perf.py --smoke`` — the <60 s profile — and
+fails when any ranker's cold time regresses more than 2x against the
+numbers committed in ``benchmarks/BENCH_PR1.json``.
+
+Wall-clock assertions are inherently machine- and load-sensitive, so this
+test only runs when explicitly requested::
+
+    REPRO_RUN_PERF=1 python -m pytest -m perf tests/test_perf_smoke.py
+
+Keep it out of correctness CI lanes; give it its own tier-2 lane.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.perf
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_RUN_PERF"),
+    reason="wall-clock gate; set REPRO_RUN_PERF=1 to run",
+)
+def test_bench_perf_smoke_gate():
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "benchmarks" / "bench_perf.py"), "--smoke"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        "perf smoke gate failed:\n%s\n%s" % (result.stdout, result.stderr)
+    )
