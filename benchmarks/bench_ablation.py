@@ -1,7 +1,7 @@
 """Ablation benchmarks for the design choices HITSnDIFFS is built on.
 
-Not a paper figure, but the design decisions DESIGN.md calls out deserve
-their own measurements:
+Not a paper figure, but the design decisions the library is built on
+deserve their own measurements:
 
 * **2nd vs 1st eigenvector** — AVGHITS' dominant eigenvector carries no
   ranking information (it is the all-ones direction); the ranking lives in

@@ -7,7 +7,8 @@ truth on user ability exists.  Figure 10 summarizes the dataset shapes;
 Figure 11 gives per-dataset correlations; Figure 7 averages them.
 
 The original data is not redistributable, so the registry regenerates
-simulated stand-ins with identical shapes (see DESIGN.md); the protocol and
+simulated stand-ins with identical shapes (see
+``repro.datasets.registry``); the protocol and
 the qualitative outcome — no single method wins everywhere, ABH far behind,
 HnD competitive with the HITS-family — are what is reproduced.
 """

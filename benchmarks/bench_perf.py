@@ -1,4 +1,4 @@
-"""Perf-regression benchmark harness (PR 1).
+"""Perf-regression benchmark harness (PR 1; large-sparse scenario PR 2).
 
 Times every ranker in the library on fixed, deterministic synthetic sizes —
 driven through :func:`repro.evaluation.timing.benchmark_rankers` — and keeps
@@ -14,13 +14,23 @@ Usage::
                                                     # fails (exit 1) when any
                                                     # ranker is >2x slower than
                                                     # the committed numbers
+    python benchmarks/bench_perf.py --sparse        # 200k x 5k triples-native
+                                                    # scenario (wall + peak RSS)
+    python benchmarks/bench_perf.py --update-sparse # rewrite BENCH_PR2.json
 
-The JSON file holds two sections: ``seed`` (timings captured on the seed
-implementation, before the fused-kernel layer of PR 1) and ``current``
+The PR 1 JSON file holds two sections: ``seed`` (timings captured on the
+seed implementation, before the fused-kernel layer of PR 1) and ``current``
 (timings of the code as committed), plus the cold-path speedup of current
 over seed.  ``--smoke`` compares a fresh run against ``current.smoke`` with
 a 2x tolerance and a small absolute floor so sub-millisecond jitter never
 trips the gate.
+
+``--sparse`` exercises the PR 2 storage model: a 200k-user x 5k-item crowd
+at ~0.1% density (1M answers) is ingested through
+``ResponseMatrix.from_triples`` and ranked with HnD-Power and Dawid-Skene.
+Peak RSS is recorded alongside wall time; the dense choice matrix this
+workload *would* have needed (~8 GB) is reported for contrast — the whole
+scenario fits in a few hundred MB because no ``(m, n)`` array ever exists.
 """
 
 from __future__ import annotations
@@ -29,6 +39,7 @@ import argparse
 import json
 import platform
 import sys
+import time
 from pathlib import Path
 from typing import Dict, List
 
@@ -39,6 +50,7 @@ import scipy
 
 from repro.c1p.abh import ABHDirect, ABHPower
 from repro.core.hitsndiffs import HNDDeflation, HNDDirect, HNDPower
+from repro.core.response import ResponseMatrix
 from repro.evaluation.timing import PerfSpec, benchmark_rankers
 from repro.truth_discovery.dawid_skene import DawidSkeneRanker
 from repro.truth_discovery.glad import GLADRanker
@@ -48,6 +60,7 @@ from repro.truth_discovery.majority import MajorityVoteRanker
 from repro.truth_discovery.truthfinder import TruthFinderRanker
 
 RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_PR1.json"
+SPARSE_RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_PR2.json"
 
 #: Regression gate: fail when current/committed > threshold and the
 #: absolute slowdown exceeds the floor (guards against timer jitter on
@@ -82,6 +95,99 @@ def _profile(smoke: bool) -> List[PerfSpec]:
 def _run(smoke: bool, num_repeats: int) -> Dict[str, Dict[str, object]]:
     records = benchmark_rankers(_profile(smoke), num_repeats=num_repeats)
     return {record.name: record.to_dict() for record in records}
+
+
+# --------------------------------------------------------------------------- #
+# Large-sparse scenario (PR 2): triples-native ingestion at crowd scale
+# --------------------------------------------------------------------------- #
+def _peak_rss_mb() -> float:
+    """Lifetime peak RSS of this process in MB (ru_maxrss is KB on Linux)."""
+    import resource  # Unix-only; imported here so the other modes run anywhere
+
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - ru_maxrss is bytes there
+        peak /= 1024
+    return peak / 1024.0
+
+
+def _sparse_triples(num_users: int, num_items: int, density: float,
+                    num_options: int, seed: int):
+    """Deterministic random crowd as canonical (already-sorted) triples."""
+    rng = np.random.default_rng(seed)
+    target = int(num_users * num_items * density)
+    # Oversample flat (user, item) keys, unique them (duplicate free, never
+    # anywhere near (m * n) memory), then subsample back to the target
+    # *randomly* — a sorted-prefix cut would silently empty the top of the
+    # user range.
+    keys = np.unique(
+        rng.integers(0, num_users * num_items, size=int(target * 1.1), dtype=np.int64)
+    )
+    if keys.size > target:
+        keys = np.sort(rng.choice(keys, size=target, replace=False))
+    users = keys // num_items
+    items = keys % num_items
+    options = rng.integers(0, num_options, size=keys.size)
+    return users, items, options
+
+
+def _run_sparse(num_users: int = 200_000, num_items: int = 5_000,
+                density: float = 0.001, num_options: int = 4,
+                seed: int = 7) -> Dict[str, object]:
+    users, items, options = _sparse_triples(
+        num_users, num_items, density, num_options, seed
+    )
+    nnz = int(users.size)
+    results: Dict[str, object] = {
+        "num_users": num_users,
+        "num_items": num_items,
+        "density": density,
+        "num_options": num_options,
+        "num_answers": nnz,
+        "dense_equivalent_mb": round(num_users * num_items * 8 / 1024 / 1024, 1),
+        "rss_before_mb": round(_peak_rss_mb(), 1),
+    }
+
+    start = time.perf_counter()
+    response = ResponseMatrix.from_triples(
+        users, items, options,
+        shape=(num_users, num_items), num_options=num_options,
+    )
+    response.compiled  # include the kernel-cache build in ingestion cost
+    results["ingest_seconds"] = round(time.perf_counter() - start, 4)
+
+    for name, ranker in (
+        ("HnD-Power", HNDPower(random_state=0)),
+        ("Dawid-Skene", DawidSkeneRanker()),
+    ):
+        start = time.perf_counter()
+        ranking = ranker.rank(response)
+        results["%s_seconds" % name] = round(time.perf_counter() - start, 4)
+        iterations = ranking.diagnostics.get("iterations")
+        results["%s_iterations" % name] = (
+            int(iterations) if iterations is not None else None
+        )
+
+    results["peak_rss_mb"] = round(_peak_rss_mb(), 1)
+    return results
+
+
+def _print_sparse(results: Dict[str, object]) -> None:
+    print("large-sparse scenario (triples-native ingestion)")
+    print("  crowd:         %dx%d @ %.2f%% density -> %s answers" % (
+        results["num_users"], results["num_items"],
+        100 * float(results["density"]), format(results["num_answers"], ","),
+    ))
+    print("  dense (m, n) choice matrix would need: %.0f MB (never allocated)"
+          % results["dense_equivalent_mb"])
+    print("  ingest (from_triples + compile):       %.3f s" % results["ingest_seconds"])
+    for name in ("HnD-Power", "Dawid-Skene"):
+        print("  %-14s %8.3f s  (%s iterations)" % (
+            name, results["%s_seconds" % name], results["%s_iterations" % name],
+        ))
+    print("  peak RSS: %.0f MB (%.0f MB before ingest)" % (
+        results["peak_rss_mb"], results["rss_before_mb"],
+    ))
+    print()
 
 
 def _load() -> Dict[str, object]:
@@ -156,8 +262,43 @@ def main(argv: List[str] | None = None) -> int:
                         help="run full+smoke profiles and rewrite the 'current' section")
     parser.add_argument("--capture-seed", action="store_true",
                         help="record the 'seed' baseline section (run on seed code)")
+    parser.add_argument("--sparse", action="store_true",
+                        help="run the 200k x 5k triples-native scenario")
+    parser.add_argument("--update-sparse", action="store_true",
+                        help="run the sparse scenario and rewrite BENCH_PR2.json")
     parser.add_argument("--repeats", type=int, default=3, help="repeats per ranker")
     args = parser.parse_args(argv)
+
+    if (args.sparse or args.update_sparse) and (
+        args.smoke or args.update or args.capture_seed
+    ):
+        parser.error(
+            "--sparse/--update-sparse run a standalone scenario and cannot "
+            "be combined with --smoke/--update/--capture-seed"
+        )
+
+    if args.sparse or args.update_sparse:
+        sparse_results = _run_sparse()
+        _print_sparse(sparse_results)
+        if args.update_sparse:
+            payload = {
+                "environment": _environment(),
+                "protocol": {
+                    "description": (
+                        "single run; triples generated deterministically "
+                        "(unique flat keys, seed 7), ingested via "
+                        "ResponseMatrix.from_triples; peak RSS via "
+                        "getrusage(RUSAGE_SELF).ru_maxrss; the dense (m, n) "
+                        "choice matrix is never allocated"
+                    ),
+                },
+                "large_sparse": sparse_results,
+            }
+            SPARSE_RESULTS_PATH.write_text(
+                json.dumps(payload, indent=2, sort_keys=True, allow_nan=False) + "\n"
+            )
+            print("wrote", SPARSE_RESULTS_PATH)
+        return 0
 
     payload = _load()
     payload.setdefault("protocol", {

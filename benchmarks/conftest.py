@@ -1,10 +1,11 @@
 """Shared helpers for the benchmark harness.
 
 Every module in this directory regenerates one table or figure of the paper
-(see DESIGN.md for the index).  Benchmarks run under ``pytest-benchmark``
-(``pytest benchmarks/ --benchmark-only``); in addition to timing, each test
-prints the rows/series the corresponding figure reports so the numbers can
-be compared against the paper (EXPERIMENTS.md records one such run).
+(one ``bench_figN_*.py`` per figure).  Benchmarks run under
+``pytest-benchmark`` (``pytest benchmarks/ --benchmark-only``); in addition
+to timing, each test prints the rows/series the corresponding figure reports
+so the numbers can be compared against the paper (the appended record lives
+in ``benchmarks/results/figures.txt``).
 
 Sizes are scaled down from the paper's server-scale sweeps so the whole
 harness finishes on a laptop; the *shape* of each result (who wins, by
@@ -19,8 +20,8 @@ from typing import Sequence
 import pytest
 
 #: All tables printed by the harness are also appended here, because pytest
-#: captures stdout of passing tests; this file is the record EXPERIMENTS.md
-#: refers to.
+#: captures stdout of passing tests; this file is the durable record of the
+#: reproduced figures.
 RESULTS_FILE = Path(__file__).parent / "results" / "figures.txt"
 
 

@@ -29,6 +29,7 @@ from repro.core import (
     HNDDeflation,
     HNDDirect,
     HNDPower,
+    ResponseBuilder,
     ResponseMatrix,
     hits_n_diffs,
     score_against_truth,
@@ -83,6 +84,7 @@ __all__ = [
     "__version__",
     # core
     "ResponseMatrix",
+    "ResponseBuilder",
     "NO_ANSWER",
     "score_against_truth",
     "AbilityRanker",

@@ -11,7 +11,8 @@ Usage::
     python -m repro.cli fig13
 
 Each command prints a plain-text table with the same rows/series the paper
-reports (see EXPERIMENTS.md for the mapping and the recorded outputs).
+reports; the figure-to-command mapping follows the benchmark scripts in
+``benchmarks/`` (one ``bench_figN_*.py`` per reproduced figure).
 """
 
 from __future__ import annotations

@@ -1,6 +1,12 @@
 """Core package: the response matrix and the HITSnDIFFS algorithm family."""
 
-from repro.core.response import NO_ANSWER, ResponseMatrix, score_against_truth
+from repro.core.response import (
+    NO_ANSWER,
+    CompiledResponse,
+    ResponseBuilder,
+    ResponseMatrix,
+    score_against_truth,
+)
 from repro.core.ranking import (
     AbilityRanker,
     AbilityRanking,
@@ -20,6 +26,8 @@ from repro.core.hitsndiffs import HNDDeflation, HNDDirect, HNDPower, hits_n_diff
 
 __all__ = [
     "NO_ANSWER",
+    "CompiledResponse",
+    "ResponseBuilder",
     "ResponseMatrix",
     "score_against_truth",
     "AbilityRanker",

@@ -1,41 +1,59 @@
-"""Response-matrix data structure for heterogeneous multiclass classification.
+"""Triples-native response storage for heterogeneous multiclass classification.
 
-The paper represents user answers in two equivalent forms (Figure 1b):
+The paper represents user answers in two equivalent forms (Figure 1b): the
+raw ``(m x n)`` *choice matrix* ``C'`` whose entry ``(j, i)`` is the option
+user ``j`` picked for item ``i``, and the one-hot ``(m x kn)`` *binary
+response matrix* ``C``.  Because each user answers each item at most once,
+both are functions of the flat answer triples ``(user, item, option)`` —
+and at crowd scale the triples are the only form that fits in memory: a
+500k-user x 20k-item workload at 0.1% density has ~10M answers but a ~80 GB
+dense choice matrix.
 
-* the raw ``(m x n)`` *choice matrix* ``C'`` where entry ``(j, i)`` is the
-  index of the option user ``j`` picked for item ``i`` (or "no answer"), and
-* the one-hot ``(m x kn)`` *binary response matrix* ``C`` with a column per
-  (item, option) pair.
+Storage model
+-------------
+:class:`ResponseMatrix` therefore stores the **triples as its canonical
+state**: three parallel ``int64`` arrays ``(user_index, item_index,
+option_index)`` in canonical user-major order (sorted by ``(user, item)``),
+plus the shape ``(m, n)`` and the per-item option counts.  Everything else
+is a derived view:
 
-:class:`ResponseMatrix` stores the raw form, validates it, and lazily
-derives the binary form (sparse), its row/column normalizations, and the
-user-similarity products required by the ranking algorithms.  All spectral
-methods in :mod:`repro.core` and :mod:`repro.c1p` and all baselines in
-:mod:`repro.truth_discovery` consume this class.
-
-Performance model
------------------
-Because each user picks *at most one* option per item, every derived form
-is a function of the flat nonzero triples ``(user, item, option)``.  The
-:class:`CompiledResponse` cache (:attr:`ResponseMatrix.compiled`) builds
-those index arrays, the per-user/per-column counts, and the binary CSR
-matrix **once per matrix** in ``O(nnz)`` — with no Python loops, no
-``.tolist()`` round-trips, and no sparse-sparse normalization products:
-
-* the binary CSR is assembled directly from ``(data, indices, indptr)``
-  (``numpy.nonzero`` yields row-major order, which *is* canonical CSR);
-* its transpose is a free ``csc_matrix`` view over the same three arrays;
+* the dense choice matrix and the dense answered mask are **lazily
+  materialized caches** (:attr:`choices`, :attr:`answered_mask`) that only
+  small-scale consumers — tests, the ``reference.py`` oracles, explicit
+  dense exports — ever touch; every production code path works on the
+  triples, and sparse-scale workloads never allocate ``(m, n)`` state;
+* the :class:`CompiledResponse` kernel cache (:attr:`compiled`) builds the
+  binary CSR matrix, its zero-copy CSC transpose, and the per-user /
+  per-column counts and inverses **once per matrix** in ``O(nnz)``;
 * ``C_row`` / ``C_col`` reuse the binary matrix's index structure and only
-  swap the data vector, so normalization costs ``O(nnz)`` array writes
-  instead of a ``diags() @ matrix`` sparse product.
+  swap the data vector, so normalization costs ``O(nnz)`` array writes.
 
-All rankers consume these caches, so repeated ``rank()`` calls on the same
-matrix never rebuild derived state (the hot path of a ranking service).
+Construction paths
+------------------
+* :meth:`ResponseMatrix.from_triples` — the primary constructor: full
+  ``O(nnz)`` validation (``O(nnz log nnz)`` only when the input is not
+  already user-major sorted), never builds dense state.
+* ``ResponseMatrix(choices)`` — dense ingestion for small data; validates
+  the array, extracts the triples, and keeps the validated dense copy as
+  the pre-populated view cache.
+* :meth:`ResponseMatrix.from_binary` — one-hot ingestion (dense or sparse),
+  routed through :meth:`from_triples`.
+* :class:`ResponseBuilder` — incremental ingestion: append answer batches
+  or whole users, then :meth:`ResponseBuilder.build`.
+* :meth:`ResponseMatrix.save` / :meth:`ResponseMatrix.load` — NPZ or CSV
+  round-trip of the canonical triples; saved matrices reload through the
+  sorted fast path, so no ``O(nnz log nnz)`` re-sort is paid.
+
+All transforms (:meth:`subset_users`, :meth:`subset_items`,
+:meth:`permute_users`, :meth:`drop_unanswered_items`) are ``O(nnz)`` /
+``O(nnz log nnz)`` gathers on the triples and never densify.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+import re
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 import scipy.sparse as sp
@@ -45,15 +63,19 @@ from repro.exceptions import DisconnectedGraphError, InvalidResponseMatrixError
 #: Sentinel used in the raw choice matrix for "user did not answer this item".
 NO_ANSWER = -1
 
+#: First header line of the CSV serialization format.
+_CSV_HEADER_RE = re.compile(
+    r"#\s*repro-response-matrix\s+v1\s+m=(\d+)\s+n=(\d+)\s+num_options=([\d,]+)\s*$"
+)
+
 
 class CompiledResponse:
     """Flat ``O(nnz)`` kernel representation of a :class:`ResponseMatrix`.
 
-    Built once per matrix (see :attr:`ResponseMatrix.compiled`) and shared
-    by every ranker.  Holds the binary CSR matrix, its zero-copy transpose,
-    the per-user/per-column counts with their (zero-safe) inverses, and —
-    lazily — the flat ``(user, item, option)`` triple arrays that the
-    vectorized EM baselines scatter/gather over.
+    Built once per matrix (see :attr:`ResponseMatrix.compiled`) from the
+    canonical user-major answer triples and shared by every ranker.  Holds
+    the binary CSR matrix, its zero-copy transpose, and the per-user /
+    per-column counts with their (zero-safe) inverses.
 
     Attributes
     ----------
@@ -89,32 +111,40 @@ class CompiledResponse:
         "_user_index",
         "_item_index",
         "_option_index",
+        "_item_order",
+        "_item_ptr",
     )
 
-    def __init__(self, choices: np.ndarray, column_offsets: np.ndarray) -> None:
-        num_users, num_items = choices.shape
+    def __init__(
+        self,
+        users: np.ndarray,
+        items: np.ndarray,
+        options: np.ndarray,
+        num_users: int,
+        num_items: int,
+        column_offsets: np.ndarray,
+    ) -> None:
         num_columns = int(column_offsets[-1])
+        nnz = users.size
         self.num_users = num_users
         self.num_items = num_items
         self.num_columns = num_columns
         self.column_offsets = column_offsets
 
-        mask = choices != NO_ANSWER
-        answers_per_user = mask.sum(axis=1)
+        answers_per_user = np.bincount(users, minlength=num_users)
         self.answers_per_user = answers_per_user
-        self.answers_per_item = mask.sum(axis=0)
+        self.answers_per_item = np.bincount(items, minlength=num_items)
 
         index_dtype = (
             np.int32
-            if max(num_columns, num_users, choices.size) < np.iinfo(np.int32).max
+            if max(num_columns, num_users, nnz) < np.iinfo(np.int32).max
             else np.int64
         )
-        # Column id of every answered (user, item) pair; the unanswered
-        # entries hold junk (NO_ANSWER + offset) but are masked out below.
-        # numpy's row-major ravel order makes `indices` canonical CSR:
-        # rows ascending, columns sorted within each row.
-        column_matrix = choices + column_offsets[:-1]
-        indices = column_matrix.ravel()[mask.ravel()].astype(index_dtype, copy=False)
+        # Column id of every answer.  The triples are canonical user-major
+        # (rows ascending, items — hence columns — sorted within each row),
+        # which *is* canonical CSR order.
+        starts = np.asarray(column_offsets[:-1])
+        indices = (starts[items] + options).astype(index_dtype, copy=False)
         indptr = np.zeros(num_users + 1, dtype=index_dtype)
         np.cumsum(answers_per_user, out=indptr[1:])
         data = np.ones(indices.size, dtype=float)
@@ -139,12 +169,14 @@ class CompiledResponse:
             np.arange(num_items), np.diff(column_offsets).astype(int)
         )
 
-        self._user_index: Optional[np.ndarray] = None
-        self._item_index: Optional[np.ndarray] = None
-        self._option_index: Optional[np.ndarray] = None
+        self._user_index = users
+        self._item_index = items
+        self._option_index = options
+        self._item_order: Optional[np.ndarray] = None
+        self._item_ptr: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ #
-    # Flat triple arrays (lazy; the EM baselines scatter/gather on these)
+    # Flat triple arrays (the EM baselines scatter/gather on these)
     # ------------------------------------------------------------------ #
     @property
     def num_nonzero(self) -> int:
@@ -158,27 +190,53 @@ class CompiledResponse:
 
     @property
     def user_index(self) -> np.ndarray:
-        """User id of each answer, in user-major order."""
-        if self._user_index is None:
-            self._user_index = np.repeat(
-                np.arange(self.num_users), self.answers_per_user
-            )
+        """User id of each answer, in user-major order (canonical state)."""
         return self._user_index
 
     @property
     def item_index(self) -> np.ndarray:
         """Item id of each answer, aligned with :attr:`user_index`."""
-        if self._item_index is None:
-            self._item_index = self.column_item[self.binary.indices]
         return self._item_index
 
     @property
     def option_index(self) -> np.ndarray:
         """Chosen option of each answer, aligned with :attr:`user_index`."""
-        if self._option_index is None:
-            starts = np.asarray(self.column_offsets[:-1])
-            self._option_index = self.binary.indices - starts[self.item_index]
         return self._option_index
+
+    @property
+    def item_order(self) -> np.ndarray:
+        """Stable permutation reordering the answers item-major.
+
+        ``user_index[item_order]`` groups the answers by item with users
+        ascending inside each group — the gather order that per-item
+        consumers (the GRM estimator, :meth:`ResponseMatrix.subset_items`)
+        slice with ``cumsum(answers_per_item)``.  Lazy, cached.
+        """
+        if self._item_order is None:
+            self._item_order = np.argsort(self._item_index, kind="stable")
+        return self._item_order
+
+    @property
+    def user_ptr(self) -> np.ndarray:
+        """Slice boundaries of each user's answers in user-major order.
+
+        User ``u``'s answers occupy ``[user_ptr[u], user_ptr[u+1])`` of the
+        triple arrays — this is exactly the binary CSR ``indptr``.
+        """
+        return self.binary.indptr
+
+    @property
+    def item_ptr(self) -> np.ndarray:
+        """Slice boundaries of each item's answers in :attr:`item_order`.
+
+        Item ``i``'s answers occupy ``item_order[item_ptr[i]:item_ptr[i+1]]``.
+        Lazy, cached.
+        """
+        if self._item_ptr is None:
+            self._item_ptr = np.concatenate(
+                [[0], np.cumsum(self.answers_per_item)]
+            )
+        return self._item_ptr
 
     # ------------------------------------------------------------------ #
     # O(nnz) kernels
@@ -217,15 +275,53 @@ def _read_only(array: np.ndarray) -> np.ndarray:
     return array
 
 
+def _as_index_array(values, name: str) -> np.ndarray:
+    """Coerce one triple component to a 1-D ``int64`` array (copying)."""
+    array = np.asarray(values)
+    if array.ndim != 1:
+        raise InvalidResponseMatrixError("%s must be a 1-D array" % name)
+    if not np.issubdtype(array.dtype, np.integer):
+        if np.issubdtype(array.dtype, np.floating) and np.all(
+            array == np.floor(array)
+        ):
+            pass  # integral floats are accepted, like the dense constructor
+        else:
+            raise InvalidResponseMatrixError("%s must contain integers" % name)
+    return array.astype(np.int64, copy=True)
+
+
+def _gather_slices(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Positions selecting ``counts[r]`` consecutive entries from ``starts[r]``.
+
+    The vectorized equivalent of ``concatenate([arange(s, s + c) for s, c in
+    zip(starts, counts)])`` — the core gather of the triple transforms.
+    """
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    out_offsets = np.cumsum(counts) - counts
+    return (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(out_offsets, counts)
+        + np.repeat(starts, counts)
+    )
+
+
 class ResponseMatrix:
     """User responses to heterogeneous multiple-choice items.
+
+    Canonical state is the flat answer triples ``(user, item, option)`` in
+    user-major order plus the shape and per-item option counts; the dense
+    choice matrix is a lazily-cached view (see the module docstring).
 
     Parameters
     ----------
     choices:
         Integer array of shape ``(m, n)``.  ``choices[j, i]`` is the 0-based
         option index picked by user ``j`` for item ``i`` or :data:`NO_ANSWER`
-        (-1) when the user skipped the item.
+        (-1) when the user skipped the item.  This dense constructor is the
+        small-data ingestion path; use :meth:`from_triples` or
+        :class:`ResponseBuilder` at sparse scale.
     num_options:
         Number of options per item.  Either a single int (every item has the
         same number of options) or a sequence of length ``n``.  When omitted
@@ -235,7 +331,7 @@ class ResponseMatrix:
     ------
     InvalidResponseMatrixError
         If the array is empty, non-integer, contains choices outside the
-        declared option range, or every entry of some user/item is missing.
+        declared option range, or no item was answered by anyone.
 
     Notes
     -----
@@ -263,26 +359,17 @@ class ResponseMatrix:
                 choices = converted.astype(int)
             else:
                 raise InvalidResponseMatrixError("choices must contain integers")
-        self._choices = choices.astype(int, copy=True)
-        self._m, self._n = self._choices.shape
+        choices = choices.astype(int, copy=True)
+        m, n = choices.shape
 
-        if np.any(self._choices < NO_ANSWER):
+        if np.any(choices < NO_ANSWER):
             raise InvalidResponseMatrixError("choices must be >= -1")
 
-        max_choice_per_item = self._choices.max(axis=0)
+        max_choice_per_item = choices.max(axis=0)
         if num_options is None:
             per_item = np.maximum(max_choice_per_item + 1, 2)
-        elif np.isscalar(num_options):
-            per_item = np.full(self._n, int(num_options), dtype=int)
         else:
-            per_item = np.asarray(list(num_options), dtype=int)
-            if per_item.shape != (self._n,):
-                raise InvalidResponseMatrixError(
-                    "num_options must have one entry per item (%d), got %d"
-                    % (self._n, per_item.size)
-                )
-        if np.any(per_item < 1):
-            raise InvalidResponseMatrixError("every item needs at least one option")
+            per_item = _resolve_num_options(num_options, n)
         exceeded = max_choice_per_item >= per_item
         if np.any(exceeded & (max_choice_per_item >= 0)):
             bad = int(np.flatnonzero(exceeded)[0])
@@ -290,12 +377,44 @@ class ResponseMatrix:
                 "item %d has a choice index >= its number of options (%d)"
                 % (bad, per_item[bad])
             )
-        self._num_options = per_item
 
-        if np.all(self._choices == NO_ANSWER):
-            raise InvalidResponseMatrixError("the response matrix contains no answers at all")
+        mask = choices != NO_ANSWER
+        if not mask.any():
+            raise InvalidResponseMatrixError(
+                "the response matrix contains no answers at all"
+            )
+        # numpy's row-major nonzero order is exactly the canonical
+        # user-major triple order.
+        users, items = (index.astype(np.int64) for index in np.nonzero(mask))
+        options = choices[mask].astype(np.int64)
+        self._set_state(users, items, options, m, n, per_item,
+                        dense=_read_only(choices))
+
+    # ------------------------------------------------------------------ #
+    # Canonical-state plumbing
+    # ------------------------------------------------------------------ #
+    def _set_state(
+        self,
+        users: np.ndarray,
+        items: np.ndarray,
+        options: np.ndarray,
+        num_users: int,
+        num_items: int,
+        per_item: np.ndarray,
+        dense: Optional[np.ndarray] = None,
+    ) -> None:
+        """Install canonical triples (must be validated, user-major sorted)."""
+        for array in (users, items, options):
+            array.flags.writeable = False
+        self._users = users
+        self._items = items
+        self._options = options
+        self._m = int(num_users)
+        self._n = int(num_items)
+        self._num_options = np.asarray(per_item, dtype=int)
 
         # Lazily computed caches.
+        self._dense_choices: Optional[np.ndarray] = dense
         self._column_offsets: Optional[np.ndarray] = None
         self._compiled: Optional[CompiledResponse] = None
         self._answered_mask: Optional[np.ndarray] = None
@@ -304,9 +423,144 @@ class ResponseMatrix:
         self._row_normalized: Optional[sp.csr_matrix] = None
         self._column_normalized: Optional[sp.csr_matrix] = None
 
+    @classmethod
+    def _from_canonical(
+        cls,
+        users: np.ndarray,
+        items: np.ndarray,
+        options: np.ndarray,
+        num_users: int,
+        num_items: int,
+        per_item: np.ndarray,
+    ) -> "ResponseMatrix":
+        """Trusted constructor: triples already validated and user-major."""
+        if users.size == 0:
+            raise InvalidResponseMatrixError(
+                "the response matrix contains no answers at all"
+            )
+        matrix = cls.__new__(cls)
+        matrix._set_state(
+            np.ascontiguousarray(users, dtype=np.int64),
+            np.ascontiguousarray(items, dtype=np.int64),
+            np.ascontiguousarray(options, dtype=np.int64),
+            num_users,
+            num_items,
+            per_item,
+        )
+        return matrix
+
     # ------------------------------------------------------------------ #
     # Constructors
     # ------------------------------------------------------------------ #
+    @classmethod
+    def from_triples(
+        cls,
+        users,
+        items,
+        options,
+        *,
+        shape: Tuple[int, int],
+        num_options: Optional[Sequence[int] | int] = None,
+    ) -> "ResponseMatrix":
+        """Build a matrix from flat ``(user, item, option)`` answer triples.
+
+        This is the **primary constructor**: it validates in ``O(nnz)``
+        (plus one ``O(nnz log nnz)`` sort only when the triples are not
+        already user-major sorted) and never allocates ``(m, n)`` dense
+        state, so it is the ingestion path for sparse-scale workloads.
+
+        Parameters
+        ----------
+        users, items, options:
+            Equal-length 1-D integer arrays; answer ``a`` says user
+            ``users[a]`` picked option ``options[a]`` on item ``items[a]``.
+        shape:
+            ``(num_users, num_items)``.  Required — the triples alone cannot
+            distinguish trailing users/items nobody answered.
+        num_options:
+            As in the dense constructor: scalar, per-item sequence, or
+            ``None`` to infer ``max(option) + 1`` (at least 2) per item.
+
+        Raises
+        ------
+        InvalidResponseMatrixError
+            On empty input, out-of-range indices, options outside an item's
+            declared range, or a duplicate ``(user, item)`` pair.
+        """
+        try:
+            m, n = (int(value) for value in shape)
+        except (TypeError, ValueError):
+            raise InvalidResponseMatrixError(
+                "shape must be a (num_users, num_items) pair, got %r" % (shape,)
+            )
+        if m <= 0 or n <= 0:
+            raise InvalidResponseMatrixError(
+                "shape must be positive, got (%d, %d)" % (m, n)
+            )
+        users = _as_index_array(users, "users")
+        items = _as_index_array(items, "items")
+        options = _as_index_array(options, "options")
+        if not (users.size == items.size == options.size):
+            raise InvalidResponseMatrixError(
+                "users, items and options must have equal lengths, got %d/%d/%d"
+                % (users.size, items.size, options.size)
+            )
+        if users.size == 0:
+            raise InvalidResponseMatrixError(
+                "the response matrix contains no answers at all"
+            )
+        if users.min() < 0 or users.max() >= m:
+            bad = int(users[np.argmax((users < 0) | (users >= m))])
+            raise InvalidResponseMatrixError(
+                "user index %d is outside [0, %d)" % (bad, m)
+            )
+        if items.min() < 0 or items.max() >= n:
+            bad = int(items[np.argmax((items < 0) | (items >= n))])
+            raise InvalidResponseMatrixError(
+                "item index %d is outside [0, %d)" % (bad, n)
+            )
+        if options.min() < 0:
+            raise InvalidResponseMatrixError(
+                "options must be >= 0 (use absence from the triples, not %d, "
+                "for unanswered items)" % int(options.min())
+            )
+
+        if num_options is None:
+            # Per-item max option + 1 (at least 2), matching the dense
+            # constructor's inference, via an O(nnz) scatter-max.
+            per_item = np.ones(n, dtype=np.int64)
+            np.maximum.at(per_item, items, options + 1)
+            per_item = np.maximum(per_item, 2)
+        else:
+            per_item = _resolve_num_options(num_options, n)
+        out_of_range = options >= per_item[items]
+        if np.any(out_of_range):
+            bad = int(items[np.argmax(out_of_range)])
+            raise InvalidResponseMatrixError(
+                "item %d has a choice index >= its number of options (%d)"
+                % (bad, per_item[bad])
+            )
+
+        # Canonical ordering + duplicate detection share one key array.
+        # Already-sorted input (the save/load round-trip, from_binary) takes
+        # the O(nnz) fast path with no argsort.
+        keys = users * np.int64(n) + items
+        deltas = np.diff(keys)
+        if np.any(deltas <= 0):
+            if np.any(deltas < 0):
+                order = np.argsort(keys, kind="stable")
+                users, items, options = users[order], items[order], options[order]
+                keys = keys[order]
+            duplicates = np.flatnonzero(keys[1:] == keys[:-1])
+            if duplicates.size:
+                first = int(duplicates[0]) + 1
+                raise InvalidResponseMatrixError(
+                    "duplicate answer: user %d answered item %d more than once "
+                    "(a user may choose at most one option per item)"
+                    % (int(users[first]), int(items[first]))
+                )
+        return cls._from_canonical(users, items, options, m, n, per_item)
+
     @classmethod
     def from_binary(cls, binary: np.ndarray | sp.spmatrix, num_options: Sequence[int] | int) -> "ResponseMatrix":
         """Build a :class:`ResponseMatrix` from a one-hot ``(m x kn)`` matrix.
@@ -315,15 +569,15 @@ class ResponseMatrix:
         the flattened binary form does not record item boundaries on its own
         when items have different numbers of options.
 
-        Sparse inputs are consumed in COO form without densification, and
-        the choice matrix is reconstructed with a single vectorized
-        scatter — ``O(nnz)`` instead of the per-item column scan this
-        method used to perform.
+        Sparse inputs are consumed in COO form without densification; the
+        nonzero positions map straight to answer triples and the result is
+        routed through :meth:`from_triples`, so no ``(m, n)`` dense state is
+        ever built.
         """
         if sp.issparse(binary):
             coo = binary.tocoo()
             # Collapse duplicate stored entries first so validation sees the
-            # effective cell values, exactly like the seed's densified path
+            # effective cell values, exactly like a densified path would
             # (e.g. two stored 0.5s are a valid 1; two stored 1s are an
             # invalid 2).
             coo.sum_duplicates()
@@ -341,9 +595,11 @@ class ResponseMatrix:
                 raise InvalidResponseMatrixError("binary matrix must contain only 0/1")
             m, total = dense.shape
             rows, cols = np.nonzero(dense)
+            rows = rows.astype(np.int64)
+            cols = cols.astype(np.int64)
         if np.isscalar(num_options):
             k = int(num_options)
-            if total % k != 0:
+            if k < 1 or total % k != 0:
                 raise InvalidResponseMatrixError(
                     "binary width %d is not a multiple of k=%d" % (total, k)
                 )
@@ -356,22 +612,109 @@ class ResponseMatrix:
                     % (per_item.sum(), total)
                 )
         n = per_item.size
+        if m == 0 or n == 0:
+            raise InvalidResponseMatrixError(
+                "binary matrix must be non-empty, got shape %s" % ((m, total),)
+            )
         offsets = np.concatenate([[0], np.cumsum(per_item)])
         item_of = np.searchsorted(offsets, cols, side="right") - 1
-        # Detect two picks by one user on one item with an O(nnz log nnz)
-        # sort-and-compare — a bincount over user-item pairs would allocate
-        # O(m*n) memory, defeating the sparse path for large inputs.
-        pair_keys = np.sort(rows * np.int64(n) + item_of)
-        duplicates = pair_keys[1:][pair_keys[1:] == pair_keys[:-1]]
-        if duplicates.size:
-            bad_item = int(duplicates[0] % n)
-            raise InvalidResponseMatrixError(
-                "user may choose at most one option per item (item %d violates this)"
-                % bad_item
+        # from_triples detects two picks by one user on one item (duplicate
+        # (user, item) pair) and validates everything else in O(nnz).
+        return cls.from_triples(
+            rows, item_of, cols - offsets[item_of],
+            shape=(m, n), num_options=per_item,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Serialization (canonical triples; reload skips the re-sort)
+    # ------------------------------------------------------------------ #
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the canonical triples to ``path`` (``.npz`` or ``.csv``).
+
+        NPZ is the compact binary format for large matrices; CSV is the
+        interchange format (one ``user,item,option`` row per answer, with
+        the shape and per-item option counts on a header comment line).
+        Both store the triples in canonical order, so :meth:`load` takes
+        the sorted ``O(nnz)`` validation fast path — no re-sort.
+        """
+        path = Path(path)
+        if path.suffix == ".npz":
+            np.savez_compressed(
+                path,
+                users=self._users,
+                items=self._items,
+                options=self._options,
+                num_options=self._num_options,
+                shape=np.array([self._m, self._n], dtype=np.int64),
             )
-        choices = np.full((m, n), NO_ANSWER, dtype=int)
-        choices[rows, item_of] = cols - offsets[item_of]
-        return cls(choices, num_options=per_item)
+        elif path.suffix == ".csv":
+            with path.open("w", encoding="utf-8") as handle:
+                handle.write(
+                    "# repro-response-matrix v1 m=%d n=%d num_options=%s\n"
+                    % (self._m, self._n,
+                       ",".join(str(int(k)) for k in self._num_options))
+                )
+                handle.write("user,item,option\n")
+                np.savetxt(
+                    handle,
+                    np.column_stack([self._users, self._items, self._options]),
+                    fmt="%d",
+                    delimiter=",",
+                )
+        else:
+            raise ValueError(
+                "unsupported extension %r (use .npz or .csv)" % path.suffix
+            )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ResponseMatrix":
+        """Reload a matrix written by :meth:`save` (``.npz`` or ``.csv``)."""
+        path = Path(path)
+        if path.suffix == ".npz":
+            with np.load(path) as payload:
+                try:
+                    users = payload["users"]
+                    items = payload["items"]
+                    options = payload["options"]
+                    per_item = payload["num_options"]
+                    shape = payload["shape"]
+                except KeyError as missing:
+                    raise InvalidResponseMatrixError(
+                        "%s is not a ResponseMatrix archive (%s)"
+                        % (path, missing.args[0])
+                    ) from None
+                if shape.shape != (2,):
+                    raise InvalidResponseMatrixError(
+                        "%s has a malformed shape entry %r" % (path, shape)
+                    )
+                m, n = (int(value) for value in shape)
+        elif path.suffix == ".csv":
+            with path.open("r", encoding="utf-8") as handle:
+                header = handle.readline()
+                match = _CSV_HEADER_RE.match(header.strip())
+                if match is None:
+                    raise InvalidResponseMatrixError(
+                        "%s is not a repro-response-matrix CSV (bad header %r)"
+                        % (path, header.strip())
+                    )
+                m, n = int(match.group(1)), int(match.group(2))
+                per_item = np.array(
+                    [int(k) for k in match.group(3).split(",")], dtype=int
+                )
+                handle.readline()  # column-name line
+                table = np.loadtxt(
+                    handle, dtype=np.int64, delimiter=",", ndmin=2
+                )
+            if table.size == 0:
+                table = table.reshape(0, 3)
+            users, items, options = table[:, 0], table[:, 1], table[:, 2]
+        else:
+            raise ValueError(
+                "unsupported extension %r (use .npz or .csv)" % path.suffix
+            )
+        return cls.from_triples(
+            users, items, options, shape=(m, n), num_options=per_item
+        )
 
     # ------------------------------------------------------------------ #
     # Basic shape properties
@@ -397,19 +740,63 @@ class ResponseMatrix:
         return int(self._num_options.max())
 
     @property
+    def num_answers(self) -> int:
+        """Total number of answers (``nnz`` of the canonical triples)."""
+        return int(self._users.size)
+
+    @property
+    def triples(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The canonical ``(users, items, options)`` arrays (read-only views).
+
+        User-major order: sorted by ``(user, item)``.  This is the storage
+        of record; every derived form is a function of these three arrays.
+        """
+        return self._users, self._items, self._options
+
+    # ------------------------------------------------------------------ #
+    # Dense views (lazily materialized; O(m*n) memory — small data only)
+    # ------------------------------------------------------------------ #
+    def _materialize_dense(self) -> np.ndarray:
+        """The dense ``(m, n)`` choice-matrix view (cached, read-only).
+
+        This is the **only** gate through which dense choice state comes
+        into existence; sparse-scale code paths must never call it (tests
+        monkeypatch it to assert that).
+        """
+        if self._dense_choices is None:
+            dense = np.full((self._m, self._n), NO_ANSWER, dtype=int)
+            dense[self._users, self._items] = self._options
+            self._dense_choices = _read_only(dense)
+        return self._dense_choices
+
+    def _materialize_mask(self) -> np.ndarray:
+        """The dense ``(m, n)`` answered-mask view (cached, read-only)."""
+        if self._answered_mask is None:
+            if self._dense_choices is not None:
+                mask = self._dense_choices != NO_ANSWER
+            else:
+                mask = np.zeros((self._m, self._n), dtype=bool)
+                mask[self._users, self._items] = True
+            self._answered_mask = _read_only(mask)
+        return self._answered_mask
+
+    @property
     def choices(self) -> np.ndarray:
-        """Copy of the raw ``(m x n)`` choice matrix (``-1`` = unanswered)."""
-        return self._choices.copy()
+        """Copy of the dense ``(m x n)`` choice-matrix view (``-1`` = unanswered).
+
+        Materialized from the triples on first access and cached; allocates
+        ``O(m*n)`` — use the triples / compiled kernels at sparse scale.
+        """
+        return self._materialize_dense().copy()
 
     @property
     def answered_mask(self) -> np.ndarray:
         """Boolean ``(m x n)`` mask of which (user, item) pairs were answered.
 
-        Cached and returned read-only; copy before mutating.
+        A lazily-materialized dense view (``O(m*n)`` memory); cached and
+        returned read-only; copy before mutating.
         """
-        if self._answered_mask is None:
-            self._answered_mask = _read_only(self._choices != NO_ANSWER)
-        return self._answered_mask
+        return self._materialize_mask()
 
     @property
     def answers_per_user(self) -> np.ndarray:
@@ -418,7 +805,7 @@ class ResponseMatrix:
             self._answers_per_user = _read_only(
                 self.compiled.answers_per_user
                 if self._compiled is not None
-                else self.answered_mask.sum(axis=1)
+                else np.bincount(self._users, minlength=self._m)
             )
         return self._answers_per_user
 
@@ -429,14 +816,14 @@ class ResponseMatrix:
             self._answers_per_item = _read_only(
                 self.compiled.answers_per_item
                 if self._compiled is not None
-                else self.answered_mask.sum(axis=0)
+                else np.bincount(self._items, minlength=self._n)
             )
         return self._answers_per_item
 
     @property
     def is_complete(self) -> bool:
         """True when every user answered every item."""
-        return bool(np.all(self.answered_mask))
+        return self.num_answers == self._m * self._n
 
     # ------------------------------------------------------------------ #
     # Binary (one-hot) representation and normalizations
@@ -463,7 +850,10 @@ class ResponseMatrix:
     def compiled(self) -> CompiledResponse:
         """The cached ``O(nnz)`` kernel representation (built on first use)."""
         if self._compiled is None:
-            self._compiled = CompiledResponse(self._choices, self.column_offsets)
+            self._compiled = CompiledResponse(
+                self._users, self._items, self._options,
+                self._m, self._n, self.column_offsets,
+            )
         return self._compiled
 
     @property
@@ -511,7 +901,10 @@ class ResponseMatrix:
         return self._column_normalized
 
     def user_similarity(self) -> np.ndarray:
-        """Dense ``C C^T``: counts of common (item, option) picks per user pair."""
+        """Dense ``C C^T``: counts of common (item, option) picks per user pair.
+
+        ``O(m^2)`` output — a small-data diagnostic, not a sparse-scale path.
+        """
         product = self.binary @ self.binary.T
         return np.asarray(product.todense(), dtype=float)
 
@@ -528,12 +921,13 @@ class ResponseMatrix:
         adjacency = sp.bmat(
             [[None, binary], [binary.T, None]], format="csr"
         )
-        n_components, _ = sp.csgraph.connected_components(adjacency, directed=False)
-        # Columns with no picks form their own components but carry no
-        # information; ignore them by checking user-reachability instead.
+        n_components, labels = sp.csgraph.connected_components(
+            adjacency, directed=False
+        )
         if n_components == 1:
             return True
-        _, labels = sp.csgraph.connected_components(adjacency, directed=False)
+        # Columns with no picks form their own components but carry no
+        # information; ignore them by checking user-reachability instead.
         user_labels = labels[: self._m]
         return bool(np.unique(user_labels).size == 1)
 
@@ -546,26 +940,84 @@ class ResponseMatrix:
             )
 
     # ------------------------------------------------------------------ #
-    # Transformations
+    # Transformations (O(nnz) triple gathers; never densify)
     # ------------------------------------------------------------------ #
     def permute_users(self, order: Sequence[int]) -> "ResponseMatrix":
         """Return a new matrix with the user rows reordered by ``order``."""
         order = np.asarray(order, dtype=int)
         if sorted(order.tolist()) != list(range(self._m)):
             raise ValueError("order must be a permutation of range(num_users)")
-        return ResponseMatrix(self._choices[order], num_options=self._num_options)
+        inverse = np.empty(self._m, dtype=np.int64)
+        inverse[order] = np.arange(self._m)
+        new_users = inverse[self._users]
+        resort = np.lexsort((self._items, new_users))
+        return ResponseMatrix._from_canonical(
+            new_users[resort], self._items[resort], self._options[resort],
+            self._m, self._n, self._num_options,
+        )
 
     def subset_users(self, indices: Sequence[int]) -> "ResponseMatrix":
-        """Return a new matrix restricted to the given users."""
-        indices = np.asarray(indices, dtype=int)
-        return ResponseMatrix(self._choices[indices], num_options=self._num_options)
+        """Return a new matrix restricted to the given users.
+
+        ``indices`` may repeat or reorder users (fancy-indexing semantics);
+        boolean masks of length ``m`` are also accepted.
+        """
+        indices = self._normalize_indices(indices, self._m, "users")
+        compiled = self.compiled
+        counts = compiled.answers_per_user[indices]
+        # The triples of old user u occupy the contiguous user-major slice
+        # [user_ptr[u], user_ptr[u+1]); gathering the selected slices in
+        # order is already canonical for the new matrix.
+        positions = _gather_slices(compiled.user_ptr[indices], counts)
+        new_users = np.repeat(
+            np.arange(indices.size, dtype=np.int64), counts
+        )
+        return ResponseMatrix._from_canonical(
+            new_users, self._items[positions], self._options[positions],
+            indices.size, self._n, self._num_options,
+        )
 
     def subset_items(self, indices: Sequence[int]) -> "ResponseMatrix":
         """Return a new matrix restricted to the given items."""
-        indices = np.asarray(indices, dtype=int)
-        return ResponseMatrix(
-            self._choices[:, indices], num_options=self._num_options[indices]
+        indices = self._normalize_indices(indices, self._n, "items")
+        compiled = self.compiled
+        counts = compiled.answers_per_item[indices]
+        # Gather item-major, then re-sort the survivors back to user-major.
+        positions = compiled.item_order[
+            _gather_slices(compiled.item_ptr[indices], counts)
+        ]
+        new_items = np.repeat(
+            np.arange(indices.size, dtype=np.int64), counts
         )
+        users = self._users[positions]
+        options = self._options[positions]
+        resort = np.lexsort((new_items, users))
+        return ResponseMatrix._from_canonical(
+            users[resort], new_items[resort], options[resort],
+            self._m, indices.size, self._num_options[indices],
+        )
+
+    @staticmethod
+    def _normalize_indices(indices, size: int, axis_name: str) -> np.ndarray:
+        """Resolve a user/item selection to non-negative ``int64`` indices."""
+        indices = np.asarray(indices)
+        if indices.dtype == bool:
+            if indices.shape != (size,):
+                raise IndexError(
+                    "boolean %s mask must have length %d" % (axis_name, size)
+                )
+            return np.flatnonzero(indices).astype(np.int64)
+        indices = indices.astype(np.int64)
+        if indices.ndim != 1 or indices.size == 0:
+            raise InvalidResponseMatrixError(
+                "%s selection must be a non-empty 1-D index array" % axis_name
+            )
+        indices = np.where(indices < 0, indices + size, indices)
+        if indices.min() < 0 or indices.max() >= size:
+            raise IndexError(
+                "%s index out of bounds for size %d" % (axis_name, size)
+            )
+        return indices
 
     def drop_unanswered_items(self) -> "ResponseMatrix":
         """Drop items that nobody answered (they carry no ranking signal)."""
@@ -579,23 +1031,36 @@ class ResponseMatrix:
     # ------------------------------------------------------------------ #
     def option_counts(self, item: int) -> np.ndarray:
         """How many users picked each option of ``item`` (length ``k_i``)."""
-        column = self._choices[:, item]
-        column = column[column != NO_ANSWER]
-        return np.bincount(column, minlength=self._num_options[item]).astype(int)
+        item = int(item)
+        if item < 0:
+            item += self._n
+        if not 0 <= item < self._n:
+            raise IndexError("item index out of bounds for size %d" % self._n)
+        offsets = self.column_offsets
+        return self.compiled.column_counts[offsets[item]:offsets[item + 1]].astype(int)
 
     def _option_count_matrix(
         self, users: Optional[Sequence[int]] = None
     ) -> np.ndarray:
-        """``(n x k_max)`` per-item option histograms in one bincount pass."""
-        if users is None:
-            choices = self._choices
-        else:
-            choices = self._choices[np.asarray(users, dtype=int)]
+        """``(n x k_max)`` per-item option histograms in one bincount pass.
+
+        With a ``users`` selection the histogram weights each user by its
+        multiplicity in the selection (fancy-indexing semantics) and the
+        result is float-valued.
+        """
         k = self.max_options
-        mask = choices != NO_ANSWER
-        item_idx = np.broadcast_to(np.arange(self._n), choices.shape)[mask]
-        flat = item_idx * k + choices[mask]
-        return np.bincount(flat, minlength=self._n * k).reshape(self._n, k)
+        flat = self._items * k + self._options
+        if users is None:
+            counts = np.bincount(flat, minlength=self._n * k)
+        else:
+            selected = self._normalize_indices(users, self._m, "users")
+            multiplicity = np.bincount(selected, minlength=self._m)
+            counts = np.bincount(
+                flat,
+                weights=multiplicity[self._users].astype(float),
+                minlength=self._n * k,
+            )
+        return counts.reshape(self._n, k)
 
     def majority_choices(self) -> np.ndarray:
         """Most frequently picked option per item (ties broken by index)."""
@@ -608,8 +1073,8 @@ class ResponseMatrix:
         statistic behind the decile-entropy symmetry-breaking heuristic
         (Section III-D): high-ability users converge on the correct option
         and therefore produce lower entropy.  Computed for all items in a
-        single vectorized pass; items nobody (in the subset) answered are
-        excluded, like the per-item loop this replaces.
+        single vectorized bincount over the answer triples; items nobody
+        (in the subset) answered are excluded.
         """
         counts = self._option_count_matrix(users).astype(float)
         totals = counts.sum(axis=1)
@@ -640,20 +1105,175 @@ class ResponseMatrix:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, ResponseMatrix):
             return NotImplemented
+        # Canonical ordering makes the triple arrays a normal form: two
+        # matrices are equal iff their canonical state matches, in O(nnz)
+        # regardless of how either was constructed.
         return bool(
-            np.array_equal(self._choices, other._choices)
+            self._m == other._m
+            and self._n == other._n
             and np.array_equal(self._num_options, other._num_options)
+            and np.array_equal(self._users, other._users)
+            and np.array_equal(self._items, other._items)
+            and np.array_equal(self._options, other._options)
         )
 
     def __hash__(self) -> int:
-        return hash((self._choices.tobytes(), self._num_options.tobytes()))
+        return hash((
+            self._m,
+            self._n,
+            self._num_options.tobytes(),
+            self._users.tobytes(),
+            self._items.tobytes(),
+            self._options.tobytes(),
+        ))
+
+
+def _resolve_num_options(num_options, n: int) -> np.ndarray:
+    """Resolve the scalar-or-sequence ``num_options`` parameter to per-item."""
+    if np.isscalar(num_options):
+        per_item = np.full(n, int(num_options), dtype=int)
+    else:
+        per_item = np.asarray(list(num_options), dtype=int)
+        if per_item.shape != (n,):
+            raise InvalidResponseMatrixError(
+                "num_options must have one entry per item (%d), got %d"
+                % (n, per_item.size)
+            )
+    if np.any(per_item < 1):
+        raise InvalidResponseMatrixError("every item needs at least one option")
+    return per_item
+
+
+class ResponseBuilder:
+    """Incremental triples ingestion: append answers, then :meth:`build`.
+
+    The streaming counterpart of :meth:`ResponseMatrix.from_triples` — feed
+    it answer batches as they arrive (e.g. from a log stream or a chunked
+    file) and it accumulates the flat triples without ever holding dense
+    state.  Appends are ``O(batch)``; :meth:`build` concatenates once and
+    runs the full :meth:`~ResponseMatrix.from_triples` validation.
+
+    Parameters
+    ----------
+    num_items:
+        Fixed item count, when known up front.  Otherwise inferred as
+        ``max(item) + 1`` over everything appended.
+    num_options:
+        Scalar or per-item option counts forwarded to ``from_triples``
+        (inferred from the data when omitted).
+
+    Examples
+    --------
+    >>> builder = ResponseBuilder(num_items=3, num_options=4)
+    >>> builder.add_answers([0, 0], [0, 2], [1, 3])   # batch of answers
+    >>> uid = builder.add_user([0, 1, 2], [2, 2, 0])  # whole new user row
+    >>> matrix = builder.build()
+    >>> matrix.num_users, matrix.num_items
+    (2, 3)
+    """
+
+    def __init__(
+        self,
+        num_items: Optional[int] = None,
+        num_options: Optional[Sequence[int] | int] = None,
+    ) -> None:
+        self._num_items = None if num_items is None else int(num_items)
+        self._num_options = num_options
+        self._user_chunks: List[np.ndarray] = []
+        self._item_chunks: List[np.ndarray] = []
+        self._option_chunks: List[np.ndarray] = []
+        self._num_users = 0
+        self._num_answers = 0
+
+    @property
+    def num_users(self) -> int:
+        """Users seen so far (``max(user) + 1`` over all appends)."""
+        return self._num_users
+
+    @property
+    def num_answers(self) -> int:
+        """Answers appended so far."""
+        return self._num_answers
+
+    def __len__(self) -> int:
+        return self._num_answers
+
+    def add_answer(self, user: int, item: int, option: int) -> "ResponseBuilder":
+        """Append a single ``(user, item, option)`` answer."""
+        return self.add_answers([user], [item], [option])
+
+    def add_answers(self, users, items, options) -> "ResponseBuilder":
+        """Append a batch of answers (three equal-length index arrays)."""
+        users = _as_index_array(users, "users")
+        items = _as_index_array(items, "items")
+        options = _as_index_array(options, "options")
+        if not (users.size == items.size == options.size):
+            raise InvalidResponseMatrixError(
+                "users, items and options must have equal lengths, got %d/%d/%d"
+                % (users.size, items.size, options.size)
+            )
+        if users.size:
+            if users.min() < 0:
+                raise InvalidResponseMatrixError(
+                    "user indices must be >= 0, got %d" % int(users.min())
+                )
+            self._num_users = max(self._num_users, int(users.max()) + 1)
+            self._user_chunks.append(users)
+            self._item_chunks.append(items)
+            self._option_chunks.append(options)
+            self._num_answers += users.size
+        return self
+
+    def add_user(self, items, options) -> int:
+        """Append a whole new user's answers; returns the new user's index."""
+        user = self._num_users
+        items = _as_index_array(items, "items")
+        options = _as_index_array(options, "options")
+        self.add_answers(np.full(items.size, user, dtype=np.int64), items, options)
+        # add_answers only grows _num_users when the batch is non-empty; an
+        # all-skip user still occupies a row.
+        self._num_users = max(self._num_users, user + 1)
+        return user
+
+    def build(
+        self,
+        *,
+        num_users: Optional[int] = None,
+        num_items: Optional[int] = None,
+        num_options: Optional[Sequence[int] | int] = None,
+    ) -> "ResponseMatrix":
+        """Validate the accumulated triples and build a :class:`ResponseMatrix`.
+
+        The explicit ``num_users`` / ``num_items`` / ``num_options``
+        arguments override what the builder saw or was configured with
+        (e.g. to declare trailing users nobody has answered for yet).
+        """
+        if self._num_answers == 0:
+            raise InvalidResponseMatrixError(
+                "the response matrix contains no answers at all"
+            )
+        users = np.concatenate(self._user_chunks)
+        items = np.concatenate(self._item_chunks)
+        options = np.concatenate(self._option_chunks)
+        m = self._num_users if num_users is None else int(num_users)
+        if num_items is not None:
+            n = int(num_items)
+        elif self._num_items is not None:
+            n = self._num_items
+        else:
+            n = int(items.max()) + 1
+        per_item = num_options if num_options is not None else self._num_options
+        return ResponseMatrix.from_triples(
+            users, items, options, shape=(m, n), num_options=per_item
+        )
 
 
 def score_against_truth(response: ResponseMatrix, correct_options: Sequence[int]) -> np.ndarray:
     """Number of correctly answered items per user.
 
     This is the "True-answer" cheating baseline's scoring rule: it assumes
-    the ground-truth correct option of every item is known.
+    the ground-truth correct option of every item is known.  One gather and
+    one bincount over the answer triples — ``O(nnz)``, no dense state.
     """
     correct = np.asarray(correct_options, dtype=int)
     if correct.shape != (response.num_items,):
@@ -661,5 +1281,5 @@ def score_against_truth(response: ResponseMatrix, correct_options: Sequence[int]
             "correct_options must have length %d, got %d"
             % (response.num_items, correct.size)
         )
-    choices = response.choices
-    return np.sum((choices == correct[np.newaxis, :]) & (choices != NO_ANSWER), axis=1)
+    users, items, options = response.triples
+    return np.bincount(users[options == correct[items]], minlength=response.num_users)

@@ -6,7 +6,8 @@ registry records their published shapes and regenerates *simulated
 stand-ins* with identical (users, questions, options) dimensions from a
 mixed-ability Samejima process.  The Figure 7 / Figure 11 experiments only
 compare rankers against the "True-answer" reference ranking, a protocol the
-stand-ins support identically (see DESIGN.md, substitutions).
+stand-ins support identically (the substitution is documented on
+:class:`DatasetSpec` below).
 """
 
 from __future__ import annotations

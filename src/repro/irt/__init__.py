@@ -36,7 +36,12 @@ from repro.irt.generators import (
     make_samejima_model,
     sample_abilities,
 )
-from repro.irt.estimation import GRMEstimate, GRMEstimator, grade_responses
+from repro.irt.estimation import (
+    GRMEstimate,
+    GRMEstimator,
+    grade_response_matrix,
+    grade_responses,
+)
 from repro.irt.simulated import (
     AMERICAN_EXPERIENCE_NUM_ITEMS,
     AMERICAN_EXPERIENCE_NUM_STUDENTS,
@@ -74,6 +79,7 @@ __all__ = [
     "GRMEstimator",
     "GRMEstimate",
     "grade_responses",
+    "grade_response_matrix",
     "american_experience_item_bank",
     "generate_american_experience_dataset",
     "generate_halfmoon_dataset",

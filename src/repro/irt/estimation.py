@@ -157,19 +157,35 @@ class GRMEstimator:
             by correctness.
         """
         if isinstance(graded_responses, ResponseMatrix):
-            responses = graded_responses.choices
+            # Triples-native path: slice the answers item-major straight off
+            # the compiled kernel cache; no dense (m, n) choices view is
+            # ever materialized.
+            num_users = graded_responses.num_users
+            num_items = graded_responses.num_items
             num_options = graded_responses.num_options
+            compiled = graded_responses.compiled
+            order = compiled.item_order
+            item_users = compiled.user_index[order]
+            item_grades = compiled.option_index[order]
+            item_ptr = compiled.item_ptr
         else:
             responses = np.asarray(graded_responses, dtype=int)
             if responses.ndim != 2:
                 raise EstimationError("graded responses must be a 2-D integer matrix")
             num_options = np.maximum(responses.max(axis=0) + 1, 2)
-        num_users, num_items = responses.shape
+            num_users, num_items = responses.shape
+            mask_t = (responses != NO_ANSWER).T
+            # nonzero on the transposed mask is item-major with users
+            # ascending inside each item — same gather order as above.
+            _, item_users = np.nonzero(mask_t)
+            item_grades = responses.T[mask_t]
+            item_ptr = np.concatenate(
+                [[0], np.cumsum(mask_t.sum(axis=1))]
+            )
         if num_users < 2 or num_items < 1:
             raise EstimationError("need at least 2 users and 1 item to fit a GRM")
 
         points, prior = self._grid()
-        answered = responses != NO_ANSWER
 
         # Initial parameters: unit discrimination, equally spaced thresholds.
         discrimination = np.ones(num_items)
@@ -185,15 +201,14 @@ class GRMEstimator:
         for iterations in range(1, self.max_iterations + 1):
             # E-step: posterior over the quadrature grid per user.
             log_posterior = np.tile(np.log(prior)[np.newaxis, :], (num_users, 1))
-            item_probabilities = []
             for i in range(num_items):
                 probs = self._category_probabilities(points, discrimination[i], thresholds[i])
-                item_probabilities.append(probs)
-                observed = responses[:, i]
-                mask = answered[:, i]
-                if not np.any(mask):
+                answers = slice(item_ptr[i], item_ptr[i + 1])
+                if item_ptr[i] == item_ptr[i + 1]:
                     continue
-                log_posterior[mask] += np.log(probs[:, observed[mask]]).T
+                log_posterior[item_users[answers]] += np.log(
+                    probs[:, item_grades[answers]]
+                ).T
             log_marginal = np.logaddexp.reduce(log_posterior, axis=1)
             log_likelihood = float(log_marginal.sum())
             posterior = np.exp(log_posterior - log_marginal[:, np.newaxis])
@@ -207,14 +222,15 @@ class GRMEstimator:
             # maximize each item's expected log-likelihood.
             for i in range(num_items):
                 k_i = int(num_options[i])
-                observed = responses[:, i]
-                mask = answered[:, i]
-                if not np.any(mask):
+                if item_ptr[i] == item_ptr[i + 1]:
                     continue
+                answers = slice(item_ptr[i], item_ptr[i + 1])
+                users_i = item_users[answers]
+                grades_i = item_grades[answers]
                 expected_counts = np.zeros((points.size, k_i))
                 for category in range(k_i):
-                    users_in_category = mask & (observed == category)
-                    if np.any(users_in_category):
+                    users_in_category = users_i[grades_i == category]
+                    if users_in_category.size:
                         expected_counts[:, category] = posterior[users_in_category].sum(axis=0)
                 initial = self._pack(discrimination[i], thresholds[i])
                 result = optimize.minimize(
@@ -242,21 +258,58 @@ class GRMEstimator:
         )
 
 
+def _grade_ranks(option_order: np.ndarray, num_items: int) -> np.ndarray:
+    """Invert the per-item option order into a ``(n, k)`` rank lookup table."""
+    option_order = np.asarray(option_order, dtype=int)
+    if option_order.ndim != 2 or option_order.shape[0] != num_items:
+        raise ValueError("option_order must have one row per item")
+    k = option_order.shape[1]
+    ranks = np.empty_like(option_order)
+    np.put_along_axis(
+        ranks,
+        option_order,
+        np.broadcast_to(np.arange(k), option_order.shape),
+        axis=1,
+    )
+    return ranks
+
+
 def grade_responses(response: ResponseMatrix, option_order: np.ndarray) -> np.ndarray:
-    """Convert raw choices into graded scores given an option-correctness order.
+    """Convert raw choices into a dense graded-score matrix.
 
     ``option_order[i]`` lists item ``i``'s option indices from worst to best;
     the graded score of a choice is its position in that list.  This is the
     ground-truth information the GRM-estimator baseline is allowed to use.
+
+    The output is an explicitly dense ``(m, n)`` array (``O(m*n)`` memory);
+    use :func:`grade_response_matrix` to stay on the triples at scale.
     """
-    option_order = np.asarray(option_order, dtype=int)
-    if option_order.shape[0] != response.num_items:
-        raise ValueError("option_order must have one row per item")
-    choices = response.choices
-    graded = np.full_like(choices, NO_ANSWER)
-    for i in range(response.num_items):
-        ranks = np.empty(option_order.shape[1], dtype=int)
-        ranks[option_order[i]] = np.arange(option_order.shape[1])
-        answered = choices[:, i] != NO_ANSWER
-        graded[answered, i] = ranks[choices[answered, i]]
+    ranks = _grade_ranks(option_order, response.num_items)
+    users, items, options = response.triples
+    graded = np.full((response.num_users, response.num_items), NO_ANSWER, dtype=int)
+    graded[users, items] = ranks[items, options]
     return graded
+
+
+def grade_response_matrix(
+    response: ResponseMatrix, option_order: np.ndarray
+) -> ResponseMatrix:
+    """Triples-native :func:`grade_responses`: regrade without densifying.
+
+    Returns a new :class:`ResponseMatrix` whose option indices are the
+    correctness ranks, built as an ``O(nnz)`` gather over the answer
+    triples — the path :class:`~repro.truth_discovery.cheating.GRMEstimatorRanker`
+    uses so that supervised grading never allocates ``(m, n)`` state.
+    """
+    ranks = _grade_ranks(option_order, response.num_items)
+    users, items, options = response.triples
+    # num_options is inferred from the observed grades (max + 1 per item,
+    # floor 2) — the same per-item category counts the dense-array fit path
+    # inferred, and necessary because an item's graded ranks may exceed its
+    # own option count when option_order rows span the global k_max.
+    return ResponseMatrix.from_triples(
+        users,
+        items,
+        ranks[items, options],
+        shape=(response.num_users, response.num_items),
+    )

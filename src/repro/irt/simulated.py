@@ -7,7 +7,8 @@ Two simulations back the paper's "realistic" accuracy experiments:
   Experience test, answered by either a class-sized cohort (100 students)
   or the original cohort size (2692 students) with ``theta ~ N(0, 1)``.
   The exact per-item table is not reproduced in the paper, so the items are
-  drawn from the published summary ranges (see DESIGN.md, substitutions).
+  drawn from the published summary ranges (the substituted parameter ranges
+  are documented on the generator functions below).
 
 * **Half-moon data** (Figure 13): items whose (log discrimination,
   difficulty) pairs follow the half-moon pattern observed by Vania et al.

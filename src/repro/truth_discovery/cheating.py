@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.core.ranking import AbilityRanking, SupervisedAbilityRanker
 from repro.core.response import ResponseMatrix, score_against_truth
-from repro.irt.estimation import GRMEstimator, grade_responses
+from repro.irt.estimation import GRMEstimator, grade_response_matrix
 
 
 class TrueAnswerRanker(SupervisedAbilityRanker):
@@ -59,10 +59,21 @@ class GRMEstimatorRanker(SupervisedAbilityRanker):
         self.estimator = estimator or GRMEstimator()
 
     def rank(self, response: ResponseMatrix) -> AbilityRanking:
+        # Both branches hand the estimator a ResponseMatrix, which it
+        # consumes item-major off the answer triples — no dense (m, n)
+        # choices matrix is materialized anywhere on this path.  The graded
+        # matrix re-infers num_options from the observed grades (max + 1
+        # per item, floor 2): the estimator must size each item's category
+        # set from the data, not from the response's declared option count,
+        # or never-picked trailing options would add spurious thresholds.
         if self.option_order is None:
-            graded = response.choices
+            users, items, options = response.triples
+            graded = ResponseMatrix.from_triples(
+                users, items, options,
+                shape=(response.num_users, response.num_items),
+            )
         else:
-            graded = grade_responses(response, self.option_order)
+            graded = grade_response_matrix(response, self.option_order)
         estimate = self.estimator.fit(graded)
         return AbilityRanking(
             scores=estimate.abilities,

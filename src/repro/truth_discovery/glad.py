@@ -100,7 +100,12 @@ class GLADRanker(AbilityRanker):
         # inside the (n, k_max) posterior table.
         flat_answer = user_idx * num_items + item_idx
         flat_item_choice = item_idx * num_classes + choice_idx
-        answered = np.asarray(response.answered_mask, dtype=dtype)
+        # The M-step's residual buffer is dense (m, n) by necessity (the
+        # sigmoid is evaluated everywhere), so its 0/1 answered weights are
+        # scattered from the triples rather than going through the dense
+        # answered_mask view.
+        answered = np.zeros((num_users, num_items), dtype=dtype)
+        answered.ravel()[flat_answer] = 1.0
         # Items someone answered keep the seed behaviour of masking the
         # out-of-range candidate columns to -inf; fully unanswered items
         # stay uniform over all k_max columns, exactly like the original

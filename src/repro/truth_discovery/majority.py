@@ -24,9 +24,12 @@ class MajorityVoteRanker(AbilityRanker):
 
     def rank(self, response: ResponseMatrix) -> AbilityRanking:
         majority = response.majority_choices()
-        choices = response.choices
-        answered = response.answered_mask
-        agreements = ((choices == majority[np.newaxis, :]) & answered).sum(axis=1)
+        # Agreement counting on the flat answer triples: O(nnz), no dense
+        # (m, n) comparison matrix.
+        users, items, options = response.triples
+        agreements = np.bincount(
+            users[options == majority[items]], minlength=response.num_users
+        )
         if self.normalize_by_answers:
             scores = agreements / np.maximum(response.answers_per_user, 1)
         else:

@@ -1,0 +1,351 @@
+"""Tests for the triples-native storage model (PR 2).
+
+Covers the :meth:`ResponseMatrix.from_triples` primary constructor, the
+:class:`ResponseBuilder` ingestion path, the NPZ/CSV round-trip, the
+construction-path equivalence properties (dense ``__init__`` vs
+``from_triples`` vs ``from_binary``), and the sparse-scale guarantee that
+ranking never materializes an ``(m, n)`` dense array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.response import (
+    NO_ANSWER,
+    ResponseBuilder,
+    ResponseMatrix,
+    score_against_truth,
+)
+from repro.exceptions import InvalidResponseMatrixError
+from repro.truth_discovery.dawid_skene import DawidSkeneRanker
+from repro.core.hitsndiffs import HNDPower
+
+
+def _triples_of_dense(choices: np.ndarray):
+    users, items = np.nonzero(choices != NO_ANSWER)
+    return users, items, choices[users, items]
+
+
+class TestFromTriples:
+    def test_matches_dense_construction(self, paper_example_response):
+        users, items, options = _triples_of_dense(paper_example_response.choices)
+        rebuilt = ResponseMatrix.from_triples(
+            users, items, options, shape=(4, 3), num_options=3
+        )
+        assert rebuilt == paper_example_response
+        assert hash(rebuilt) == hash(paper_example_response)
+        np.testing.assert_array_equal(rebuilt.choices, paper_example_response.choices)
+
+    def test_unsorted_input_is_canonicalized(self):
+        response = ResponseMatrix.from_triples(
+            [1, 0, 0], [0, 1, 0], [2, 1, 0], shape=(2, 2), num_options=3
+        )
+        expected = ResponseMatrix(np.array([[0, 1], [2, NO_ANSWER]]), num_options=3)
+        assert response == expected
+        users, items, options = response.triples
+        np.testing.assert_array_equal(users, [0, 0, 1])
+        np.testing.assert_array_equal(items, [0, 1, 0])
+        np.testing.assert_array_equal(options, [0, 1, 2])
+
+    def test_trailing_empty_rows_and_columns_kept(self):
+        response = ResponseMatrix.from_triples(
+            [0], [0], [1], shape=(3, 4), num_options=2
+        )
+        assert response.num_users == 3
+        assert response.num_items == 4
+        np.testing.assert_array_equal(response.answers_per_user, [1, 0, 0])
+
+    def test_num_options_inferred_per_item(self):
+        response = ResponseMatrix.from_triples(
+            [0, 0, 1], [0, 1, 1], [0, 4, 1], shape=(2, 3)
+        )
+        # item 0 saw max option 0 -> floor of 2; item 1 saw 4 -> 5;
+        # item 2 unanswered -> floor of 2.
+        np.testing.assert_array_equal(response.num_options, [2, 5, 2])
+
+    def test_duplicate_pair_rejected(self):
+        with pytest.raises(InvalidResponseMatrixError, match="more than once"):
+            ResponseMatrix.from_triples(
+                [0, 0], [1, 1], [0, 1], shape=(2, 2), num_options=2
+            )
+
+    def test_duplicate_pair_rejected_when_presorted(self):
+        with pytest.raises(InvalidResponseMatrixError, match="more than once"):
+            ResponseMatrix.from_triples(
+                [0, 0, 1], [0, 0, 1], [0, 1, 0], shape=(2, 2), num_options=2
+            )
+
+    def test_out_of_range_user_rejected(self):
+        with pytest.raises(InvalidResponseMatrixError, match="user index"):
+            ResponseMatrix.from_triples([2], [0], [0], shape=(2, 2), num_options=2)
+
+    def test_out_of_range_item_rejected(self):
+        with pytest.raises(InvalidResponseMatrixError, match="item index"):
+            ResponseMatrix.from_triples([0], [5], [0], shape=(2, 2), num_options=2)
+
+    def test_option_above_declared_range_rejected(self):
+        with pytest.raises(InvalidResponseMatrixError, match="number of options"):
+            ResponseMatrix.from_triples([0], [0], [3], shape=(2, 2), num_options=3)
+
+    def test_negative_option_rejected(self):
+        with pytest.raises(InvalidResponseMatrixError, match=">= 0"):
+            ResponseMatrix.from_triples([0], [0], [-1], shape=(2, 2), num_options=2)
+
+    def test_empty_triples_rejected(self):
+        with pytest.raises(InvalidResponseMatrixError, match="no answers"):
+            ResponseMatrix.from_triples([], [], [], shape=(2, 2), num_options=2)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(InvalidResponseMatrixError):
+            ResponseMatrix.from_triples([0], [0], [0], shape=(0, 2), num_options=2)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(InvalidResponseMatrixError, match="equal lengths"):
+            ResponseMatrix.from_triples([0, 1], [0], [0], shape=(2, 2), num_options=2)
+
+    def test_triples_are_read_only(self, paper_example_response):
+        users, items, options = paper_example_response.triples
+        for array in (users, items, options):
+            with pytest.raises(ValueError):
+                array[0] = 0
+
+
+class TestConstructionPathEquivalence:
+    """Dense ``__init__``, ``from_triples`` and ``from_binary`` must agree."""
+
+    @given(
+        num_users=st.integers(min_value=1, max_value=12),
+        num_items=st.integers(min_value=1, max_value=8),
+        num_options=st.integers(min_value=2, max_value=5),
+        density=st.floats(min_value=0.2, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_three_paths_agree(self, num_users, num_items, num_options, density, seed):
+        rng = np.random.default_rng(seed)
+        choices = rng.integers(0, num_options, size=(num_users, num_items))
+        choices[rng.random(choices.shape) > density] = NO_ANSWER
+        if np.all(choices == NO_ANSWER):
+            choices[0, 0] = 0
+        via_dense = ResponseMatrix(choices, num_options=num_options)
+
+        users, items = np.nonzero(choices != NO_ANSWER)
+        shuffle = rng.permutation(users.size)
+        via_triples = ResponseMatrix.from_triples(
+            users[shuffle], items[shuffle], choices[users, items][shuffle],
+            shape=(num_users, num_items), num_options=num_options,
+        )
+        via_binary = ResponseMatrix.from_binary(
+            via_dense.binary, num_options=num_options
+        )
+
+        assert via_dense == via_triples == via_binary
+        assert hash(via_dense) == hash(via_triples) == hash(via_binary)
+        for other in (via_triples, via_binary):
+            # The compiled kernels must be bit-identical regardless of the
+            # construction path.
+            np.testing.assert_array_equal(
+                via_dense.compiled.binary.indices, other.compiled.binary.indices
+            )
+            np.testing.assert_array_equal(
+                via_dense.compiled.binary.indptr, other.compiled.binary.indptr
+            )
+            np.testing.assert_array_equal(
+                via_dense.compiled.binary.data, other.compiled.binary.data
+            )
+            np.testing.assert_array_equal(
+                via_dense.compiled.column_counts, other.compiled.column_counts
+            )
+
+    @given(
+        num_users=st.integers(min_value=2, max_value=10),
+        num_items=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_transforms_match_dense_semantics(self, num_users, num_items, seed):
+        rng = np.random.default_rng(seed)
+        choices = rng.integers(-1, 3, size=(num_users, num_items))
+        if np.all(choices == NO_ANSWER):
+            choices[0, 0] = 0
+        response = ResponseMatrix(choices, num_options=3)
+
+        order = rng.permutation(num_users)
+        np.testing.assert_array_equal(
+            response.permute_users(order).choices, choices[order]
+        )
+        rows = rng.integers(0, num_users, size=max(1, num_users // 2))
+        if np.any(choices[rows] != NO_ANSWER):
+            subset = response.subset_users(rows)
+            np.testing.assert_array_equal(subset.choices, choices[rows])
+        columns = rng.integers(0, num_items, size=max(1, num_items // 2))
+        if np.any(choices[:, columns] != NO_ANSWER):
+            item_subset = response.subset_items(columns)
+            np.testing.assert_array_equal(item_subset.choices, choices[:, columns])
+
+    def test_score_against_truth_matches_dense(self, paper_example_response):
+        scores = score_against_truth(paper_example_response, [2, 2, 2])
+        np.testing.assert_array_equal(scores, [0, 1, 1, 2])
+
+
+class TestResponseBuilder:
+    def test_batch_appends_equal_direct_construction(self):
+        builder = ResponseBuilder(num_items=3, num_options=3)
+        builder.add_answers([0, 0], [0, 2], [1, 2])
+        builder.add_answers([1], [1], [0])
+        built = builder.build()
+        expected = ResponseMatrix(
+            np.array([[1, NO_ANSWER, 2], [NO_ANSWER, 0, NO_ANSWER]]), num_options=3
+        )
+        assert built == expected
+        assert len(builder) == 3
+
+    def test_add_user_assigns_sequential_ids(self):
+        builder = ResponseBuilder(num_items=2, num_options=2)
+        assert builder.add_user([0, 1], [1, 0]) == 0
+        assert builder.add_user([0], [1]) == 1
+        built = builder.build()
+        assert built.num_users == 2
+        np.testing.assert_array_equal(
+            built.choices, [[1, 0], [1, NO_ANSWER]]
+        )
+
+    def test_chained_single_answers(self):
+        built = (
+            ResponseBuilder(num_items=2, num_options=2)
+            .add_answer(0, 0, 1)
+            .add_answer(1, 1, 0)
+            .build()
+        )
+        assert built.num_answers == 2
+
+    def test_explicit_shape_overrides(self):
+        builder = ResponseBuilder()
+        builder.add_answers([0], [0], [1])
+        built = builder.build(num_users=5, num_items=4, num_options=2)
+        assert built.num_users == 5
+        assert built.num_items == 4
+
+    def test_duplicate_detected_at_build(self):
+        builder = ResponseBuilder(num_items=2, num_options=2)
+        builder.add_answers([0], [0], [0])
+        builder.add_answers([0], [0], [1])
+        with pytest.raises(InvalidResponseMatrixError, match="more than once"):
+            builder.build()
+
+    def test_empty_builder_rejected(self):
+        with pytest.raises(InvalidResponseMatrixError, match="no answers"):
+            ResponseBuilder(num_items=2).build()
+
+
+class TestSaveLoad:
+    @pytest.mark.parametrize("suffix", [".npz", ".csv"])
+    def test_round_trip(self, tmp_path, suffix, paper_example_response):
+        path = tmp_path / ("matrix" + suffix)
+        paper_example_response.save(path)
+        reloaded = ResponseMatrix.load(path)
+        assert reloaded == paper_example_response
+        assert hash(reloaded) == hash(paper_example_response)
+        np.testing.assert_array_equal(
+            reloaded.compiled.binary.indices,
+            paper_example_response.compiled.binary.indices,
+        )
+
+    @pytest.mark.parametrize("suffix", [".npz", ".csv"])
+    def test_round_trip_sparse_ragged(self, tmp_path, suffix):
+        rng = np.random.default_rng(3)
+        choices = rng.integers(-1, 2, size=(20, 7))
+        choices[0, 0] = 0
+        response = ResponseMatrix(choices, num_options=[2, 3, 2, 4, 2, 2, 5])
+        path = tmp_path / ("ragged" + suffix)
+        response.save(path)
+        assert ResponseMatrix.load(path) == response
+
+    def test_unknown_extension_rejected(self, tmp_path, paper_example_response):
+        with pytest.raises(ValueError, match="unsupported extension"):
+            paper_example_response.save(tmp_path / "matrix.parquet")
+        with pytest.raises(ValueError, match="unsupported extension"):
+            ResponseMatrix.load(tmp_path / "matrix.parquet")
+
+    def test_csv_with_foreign_header_rejected(self, tmp_path):
+        path = tmp_path / "foreign.csv"
+        path.write_text("user,item,option\n0,0,1\n")
+        with pytest.raises(InvalidResponseMatrixError, match="bad header"):
+            ResponseMatrix.load(path)
+
+
+class TestDenseViewsStayLazy:
+    def test_dense_views_materialize_correctly(self):
+        response = ResponseMatrix.from_triples(
+            [0, 1], [1, 0], [1, 0], shape=(2, 2), num_options=2
+        )
+        assert response._dense_choices is None
+        np.testing.assert_array_equal(
+            response.choices, [[NO_ANSWER, 1], [0, NO_ANSWER]]
+        )
+        np.testing.assert_array_equal(
+            response.answered_mask, [[False, True], [True, False]]
+        )
+
+    def test_triples_construction_never_builds_dense(self, monkeypatch):
+        def forbidden(self):  # pragma: no cover - the assertion is the point
+            raise AssertionError("dense (m, n) view materialized on the sparse path")
+
+        monkeypatch.setattr(ResponseMatrix, "_materialize_dense", forbidden)
+        monkeypatch.setattr(ResponseMatrix, "_materialize_mask", forbidden)
+        rng = np.random.default_rng(0)
+        response = ResponseMatrix.from_triples(
+            rng.permutation(50), np.arange(50) % 10, rng.integers(0, 3, 50),
+            shape=(50, 10), num_options=3,
+        )
+        response.compiled
+        response.majority_choices()
+        response.choice_entropy()
+        response.option_counts(0)
+        response.subset_users(np.arange(25)).subset_items([0, 1, 2])
+        response.permute_users(rng.permutation(50))
+        response.drop_unanswered_items()
+        score_against_truth(response, np.zeros(10, dtype=int))
+        assert response.is_connected() in (True, False)
+
+
+@pytest.mark.slow
+class TestSparseScale:
+    """Acceptance gate: a 200k x 5k, ~0.1%-density crowd ranks with no
+    dense ``(m, n)`` allocation anywhere on the path."""
+
+    def test_large_sparse_workload_never_densifies(self, monkeypatch):
+        num_users, num_items, num_options = 200_000, 5_000, 4
+        nnz_target = int(num_users * num_items * 0.001)
+        rng = np.random.default_rng(7)
+        keys = np.unique(
+            rng.integers(0, num_users * num_items, size=int(nnz_target * 1.1))
+        )
+        if keys.size > nnz_target:  # random subsample, not a sorted-prefix cut
+            keys = np.sort(rng.choice(keys, size=nnz_target, replace=False))
+        users = keys // num_items
+        items = keys % num_items
+        options = rng.integers(0, num_options, size=keys.size)
+
+        def forbidden(self):  # pragma: no cover - the assertion is the point
+            raise AssertionError("dense (m, n) view materialized at sparse scale")
+
+        monkeypatch.setattr(ResponseMatrix, "_materialize_dense", forbidden)
+        monkeypatch.setattr(ResponseMatrix, "_materialize_mask", forbidden)
+
+        response = ResponseMatrix.from_triples(
+            users, items, options,
+            shape=(num_users, num_items), num_options=num_options,
+        )
+        assert response.num_answers == keys.size
+
+        # Iteration caps keep the test fast; the assertion is about memory,
+        # not convergence.
+        hnd = HNDPower(random_state=0, max_iterations=5).rank(response)
+        assert hnd.scores.shape == (num_users,)
+        ds = DawidSkeneRanker(max_iterations=2).rank(response)
+        assert ds.scores.shape == (num_users,)
