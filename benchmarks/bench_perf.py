@@ -1,4 +1,4 @@
-"""Perf-regression benchmark harness (PR 1; large-sparse scenario PR 2).
+"""Perf-regression benchmark harness (PR 1; sparse PR 2; sharded PR 3).
 
 Times every ranker in the library on fixed, deterministic synthetic sizes —
 driven through :func:`repro.evaluation.timing.benchmark_rankers` — and keeps
@@ -8,15 +8,25 @@ measured against.
 Usage::
 
     python benchmarks/bench_perf.py                 # full profile, print table
-    python benchmarks/bench_perf.py --update        # full+smoke, rewrite "current"
+    python benchmarks/bench_perf.py --update        # full+smoke+calibration,
+                                                    # rewrite "current"
     python benchmarks/bench_perf.py --capture-seed  # record the "seed" baseline
     python benchmarks/bench_perf.py --smoke         # <60 s regression gate:
                                                     # fails (exit 1) when any
                                                     # ranker is >2x slower than
                                                     # the committed numbers
+    python benchmarks/bench_perf.py --smoke --calibrate
+                                                    # same gate, but machine
+                                                    # speed is normalized out
+                                                    # (enforceable on shared
+                                                    # CI runners)
     python benchmarks/bench_perf.py --sparse        # 200k x 5k triples-native
                                                     # scenario (wall + peak RSS)
     python benchmarks/bench_perf.py --update-sparse # rewrite BENCH_PR2.json
+    python benchmarks/bench_perf.py --sharded       # 200k x 5k through the
+                                                    # sharded engine + rank
+                                                    # cache (PR 3 scenario)
+    python benchmarks/bench_perf.py --update-sharded  # rewrite BENCH_PR3.json
 
 The PR 1 JSON file holds two sections: ``seed`` (timings captured on the
 seed implementation, before the fused-kernel layer of PR 1) and ``current``
@@ -25,12 +35,27 @@ over seed.  ``--smoke`` compares a fresh run against ``current.smoke`` with
 a 2x tolerance and a small absolute floor so sub-millisecond jitter never
 trips the gate.
 
+``--calibrate`` makes the smoke gate *self-calibrating*: the committed
+numbers are machine-specific, so the gate re-times a frozen reference
+workload (the seed-faithful ``ReferenceDawidSkeneRanker`` preserved in
+``repro.truth_discovery.reference`` — code that never changes across PRs)
+on the current machine, derives the machine-speed ratio against the
+committed anchor time, and compares *scaled* ratios instead of absolute
+seconds.  That turns the advisory CI step into an enforced gate.
+
 ``--sparse`` exercises the PR 2 storage model: a 200k-user x 5k-item crowd
 at ~0.1% density (1M answers) is ingested through
 ``ResponseMatrix.from_triples`` and ranked with HnD-Power and Dawid-Skene.
 Peak RSS is recorded alongside wall time; the dense choice matrix this
 workload *would* have needed (~8 GB) is reported for contrast — the whole
 scenario fits in a few hundred MB because no ``(m, n)`` array ever exists.
+
+``--sharded`` exercises the PR 3 execution engine on the same crowd: the
+triples are saved to NPZ and streamed back through the chunked out-of-core
+readers into 8 user-range shards, ranked with the shard-parallel HnD-Power /
+Dawid-Skene / MajorityVote kernels (asserting bit-identical scores against
+the single-process rankers at full scale), and served twice through the
+hash-keyed ``RankCache`` to measure the warm-hit speedup (≥100x required).
 """
 
 from __future__ import annotations
@@ -61,6 +86,10 @@ from repro.truth_discovery.truthfinder import TruthFinderRanker
 
 RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_PR1.json"
 SPARSE_RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_PR2.json"
+SHARDED_RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_PR3.json"
+
+#: Required warm-hit speedup of the rank cache in the sharded scenario.
+CACHE_SPEEDUP_FLOOR = 100.0
 
 #: Regression gate: fail when current/committed > threshold and the
 #: absolute slowdown exceeds the floor (guards against timer jitter on
@@ -95,6 +124,33 @@ def _profile(smoke: bool) -> List[PerfSpec]:
 def _run(smoke: bool, num_repeats: int) -> Dict[str, Dict[str, object]]:
     records = benchmark_rankers(_profile(smoke), num_repeats=num_repeats)
     return {record.name: record.to_dict() for record in records}
+
+
+# --------------------------------------------------------------------------- #
+# Machine-speed calibration (self-calibrating smoke gate)
+# --------------------------------------------------------------------------- #
+def _time_calibration_anchor(num_repeats: int) -> Dict[str, object]:
+    """Cold-time the frozen seed-faithful reference ranker.
+
+    ``ReferenceDawidSkeneRanker`` is the seed implementation preserved
+    verbatim as a test oracle — it never changes across PRs, so its runtime
+    on a machine measures *the machine*, not the library.  The smoke gate
+    divides fresh timings by (fresh anchor / committed anchor) to compare
+    ratios instead of machine-specific absolute seconds.
+
+    The anchor runs at 500x200 — a few hundred milliseconds — so the
+    ratio is driven by machine speed, not by millisecond-scale timer
+    noise (the smoke workloads themselves are only a few ms each).
+    """
+    from repro.truth_discovery.reference import ReferenceDawidSkeneRanker
+
+    records = benchmark_rankers(
+        [PerfSpec("calibration-anchor", ReferenceDawidSkeneRanker(), 500, 200)],
+        num_repeats=num_repeats,
+    )
+    payload = records[0].to_dict()
+    payload["ranker"] = "Dawid-Skene-reference"
+    return payload
 
 
 # --------------------------------------------------------------------------- #
@@ -171,6 +227,142 @@ def _run_sparse(num_users: int = 200_000, num_items: int = 5_000,
     return results
 
 
+# --------------------------------------------------------------------------- #
+# Sharded-engine scenario (PR 3): out-of-core ingest, shard-parallel ranking,
+# and the hash-keyed rank cache, at the same 200k x 5k crowd scale
+# --------------------------------------------------------------------------- #
+def _run_sharded(num_users: int = 200_000, num_items: int = 5_000,
+                 density: float = 0.001, num_options: int = 4,
+                 num_shards: int = 8, max_workers: int = 4,
+                 chunk_size: int = 262_144, seed: int = 7) -> Dict[str, object]:
+    import tempfile
+
+    from repro.engine import (
+        RankCache,
+        ShardedDawidSkeneRanker,
+        ShardedHNDPower,
+        ShardedMajorityVoteRanker,
+        ShardedResponse,
+        load_streaming,
+    )
+
+    users, items, options = _sparse_triples(
+        num_users, num_items, density, num_options, seed
+    )
+    nnz = int(users.size)
+    results: Dict[str, object] = {
+        "num_users": num_users,
+        "num_items": num_items,
+        "density": density,
+        "num_options": num_options,
+        "num_answers": nnz,
+        "num_shards": num_shards,
+        "max_workers": max_workers,
+        "chunk_size": chunk_size,
+        "rss_before_mb": round(_peak_rss_mb(), 1),
+    }
+
+    # Out-of-core ingestion: NPZ on disk -> chunked streams -> builder ->
+    # canonical matrix -> user-range shards.  The raw input is never held
+    # whole; each chunk is bounded by chunk_size rows.
+    source = ResponseMatrix.from_triples(
+        users, items, options,
+        shape=(num_users, num_items), num_options=num_options,
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "crowd.npz"
+        source.save(path)
+        results["npz_bytes"] = path.stat().st_size
+        start = time.perf_counter()
+        response = load_streaming(path, chunk_size=chunk_size)
+        results["stream_ingest_seconds"] = round(time.perf_counter() - start, 4)
+    assert response == source, "streamed reload must reproduce the matrix"
+    start = time.perf_counter()
+    sharded = ShardedResponse.split(response, num_shards, max_workers=max_workers)
+    sharded.columns  # warm the shared kernel state inside the split timing
+    results["split_seconds"] = round(time.perf_counter() - start, 4)
+    results["shard_answers"] = [int(s.num_answers) for s in sharded.shards]
+
+    # Shard-parallel rankers, checked bit-identical against the
+    # single-process kernels at full scale (scores, not just rankings).
+    single = {
+        "HnD-Power": HNDPower(random_state=0),
+        "Dawid-Skene": DawidSkeneRanker(),
+        "MajorityVote": MajorityVoteRanker(),
+    }
+    rankers = {
+        "HnD-Power": ShardedHNDPower(
+            num_shards=num_shards, max_workers=max_workers, random_state=0
+        ),
+        "Dawid-Skene": ShardedDawidSkeneRanker(
+            num_shards=num_shards, max_workers=max_workers
+        ),
+        "MajorityVote": ShardedMajorityVoteRanker(
+            num_shards=num_shards, max_workers=max_workers
+        ),
+    }
+    for name, ranker in rankers.items():
+        start = time.perf_counter()
+        ranking = ranker.rank(sharded)
+        results["%s_sharded_seconds" % name] = round(time.perf_counter() - start, 4)
+        iterations = ranking.diagnostics.get("iterations")
+        results["%s_iterations" % name] = (
+            int(iterations) if iterations is not None else None
+        )
+        start = time.perf_counter()
+        reference = single[name].rank(response)
+        results["%s_single_seconds" % name] = round(time.perf_counter() - start, 4)
+        identical = bool(np.array_equal(ranking.scores, reference.scores))
+        results["%s_bit_identical" % name] = identical
+        assert identical, "%s sharded scores diverged from single-process" % name
+
+    # Rank cache: the second rank() of unchanged data must be served in
+    # O(nnz) hash time, >=100x faster than computing.
+    cache = RankCache()
+    hnd = rankers["HnD-Power"]
+    start = time.perf_counter()
+    cache.rank(hnd, response)
+    cold = time.perf_counter() - start
+    start = time.perf_counter()
+    cache.rank(hnd, response)
+    warm = time.perf_counter() - start
+    results["cache_cold_seconds"] = round(cold, 4)
+    results["cache_warm_seconds"] = round(warm, 6)
+    results["cache_speedup"] = round(cold / max(warm, 1e-9), 1)
+    results["cache_stats"] = cache.stats()
+
+    results["peak_rss_mb"] = round(_peak_rss_mb(), 1)
+    return results
+
+
+def _print_sharded(results: Dict[str, object]) -> None:
+    print("sharded-engine scenario (PR 3)")
+    print("  crowd:   %dx%d @ %.2f%% density -> %s answers, %d shards (%s workers)" % (
+        results["num_users"], results["num_items"], 100 * float(results["density"]),
+        format(results["num_answers"], ","), results["num_shards"],
+        results["max_workers"],
+    ))
+    print("  out-of-core ingest (NPZ stream, %d-row chunks): %.3f s (%.1f MB archive)"
+          % (results["chunk_size"], results["stream_ingest_seconds"],
+             results["npz_bytes"] / 1e6))
+    print("  split into user-range shards:                   %.3f s" % results["split_seconds"])
+    for name in ("HnD-Power", "Dawid-Skene", "MajorityVote"):
+        print("  %-14s sharded %8.3f s | single %8.3f s | bit-identical: %s" % (
+            name,
+            results["%s_sharded_seconds" % name],
+            results["%s_single_seconds" % name],
+            results["%s_bit_identical" % name],
+        ))
+    print("  rank cache: cold %.3f s -> warm hit %.5f s (%.0fx speedup)" % (
+        results["cache_cold_seconds"], results["cache_warm_seconds"],
+        results["cache_speedup"],
+    ))
+    print("  peak RSS: %.0f MB (%.0f MB before ingest)" % (
+        results["peak_rss_mb"], results["rss_before_mb"],
+    ))
+    print()
+
+
 def _print_sparse(results: Dict[str, object]) -> None:
     print("large-sparse scenario (triples-native ingestion)")
     print("  crowd:         %dx%d @ %.2f%% density -> %s answers" % (
@@ -236,20 +428,28 @@ def _print_table(title: str, results: Dict[str, Dict[str, object]],
 
 
 def _check_regression(fresh: Dict[str, Dict[str, object]],
-                      committed: Dict[str, Dict[str, object]]) -> List[str]:
+                      committed: Dict[str, Dict[str, object]],
+                      machine_scale: float = 1.0) -> List[str]:
+    """Compare fresh against committed timings with a 2x tolerance.
+
+    ``machine_scale`` is the calibration ratio (fresh anchor / committed
+    anchor): the committed reference is multiplied by it, so the comparison
+    is between *ratios to the frozen anchor workload* rather than absolute
+    machine-specific seconds.  ``1.0`` preserves the uncalibrated gate.
+    """
     failures = []
     for name, row in fresh.items():
         if name not in committed:
             continue
-        reference = float(committed[name]["cold_seconds"])
+        reference = float(committed[name]["cold_seconds"]) * machine_scale
         measured = float(row["cold_seconds"])
         if (
             measured > REGRESSION_THRESHOLD * reference
-            and measured - reference > REGRESSION_FLOOR_SECONDS
+            and measured - reference > REGRESSION_FLOOR_SECONDS * max(machine_scale, 1.0)
         ):
             failures.append(
-                "%s regressed: %.4fs vs committed %.4fs (>%.1fx)"
-                % (name, measured, reference, REGRESSION_THRESHOLD)
+                "%s regressed: %.4fs vs committed %.4fs (scale %.2f, >%.1fx)"
+                % (name, measured, reference, machine_scale, REGRESSION_THRESHOLD)
             )
     return failures
 
@@ -266,16 +466,62 @@ def main(argv: List[str] | None = None) -> int:
                         help="run the 200k x 5k triples-native scenario")
     parser.add_argument("--update-sparse", action="store_true",
                         help="run the sparse scenario and rewrite BENCH_PR2.json")
+    parser.add_argument("--sharded", action="store_true",
+                        help="run the 200k x 5k sharded-engine scenario")
+    parser.add_argument("--update-sharded", action="store_true",
+                        help="run the sharded scenario and rewrite BENCH_PR3.json")
+    parser.add_argument("--calibrate", action="store_true",
+                        help="with --smoke: normalize out machine speed by "
+                             "re-timing the frozen reference anchor")
     parser.add_argument("--repeats", type=int, default=3, help="repeats per ranker")
     args = parser.parse_args(argv)
 
-    if (args.sparse or args.update_sparse) and (
-        args.smoke or args.update or args.capture_seed
-    ):
+    standalone = (
+        args.sparse or args.update_sparse or args.sharded or args.update_sharded
+    )
+    if standalone and (args.smoke or args.update or args.capture_seed):
         parser.error(
-            "--sparse/--update-sparse run a standalone scenario and cannot "
-            "be combined with --smoke/--update/--capture-seed"
+            "--sparse/--update-sparse/--sharded/--update-sharded run a "
+            "standalone scenario and cannot be combined with "
+            "--smoke/--update/--capture-seed"
         )
+    if args.calibrate and not args.smoke:
+        parser.error("--calibrate only applies to --smoke")
+
+    if args.sharded or args.update_sharded:
+        sharded_results = _run_sharded()
+        _print_sharded(sharded_results)
+        if sharded_results["cache_speedup"] < CACHE_SPEEDUP_FLOOR:
+            print(
+                "FAIL: rank-cache warm-hit speedup %.0fx is below the "
+                "required %.0fx" % (
+                    sharded_results["cache_speedup"], CACHE_SPEEDUP_FLOOR,
+                )
+            )
+            return 1
+        if args.update_sharded:
+            payload = {
+                "environment": _environment(),
+                "protocol": {
+                    "description": (
+                        "single run; the PR 2 crowd (unique flat keys, seed "
+                        "7) is saved to NPZ, streamed back through the "
+                        "chunked out-of-core readers, split into user-range "
+                        "shards, and ranked with the shard-parallel kernels "
+                        "(scores asserted bit-identical to the "
+                        "single-process rankers at full scale); the rank "
+                        "cache is timed cold (miss) vs warm (hit) on "
+                        "repeated rank() of unchanged data; peak RSS via "
+                        "getrusage(RUSAGE_SELF).ru_maxrss"
+                    ),
+                },
+                "sharded_engine": sharded_results,
+            }
+            SHARDED_RESULTS_PATH.write_text(
+                json.dumps(payload, indent=2, sort_keys=True, allow_nan=False) + "\n"
+            )
+            print("wrote", SHARDED_RESULTS_PATH)
+        return 0
 
     if args.sparse or args.update_sparse:
         sparse_results = _run_sparse()
@@ -331,6 +577,7 @@ def main(argv: List[str] | None = None) -> int:
             "smoke": _run(smoke=True, num_repeats=args.repeats),
         }
         payload["current"] = current
+        payload["calibration"] = _time_calibration_anchor(args.repeats)
         seed = payload.get("seed", {})
         payload["speedup_vs_seed"] = {
             profile: {
@@ -352,6 +599,37 @@ def main(argv: List[str] | None = None) -> int:
         return 0
 
     if args.smoke:
+        machine_scale = 1.0
+        if args.calibrate:
+            committed_anchor = payload.get("calibration", {})
+            if not committed_anchor:
+                print(
+                    "FAIL: no committed calibration anchor in %s "
+                    "(run --update on a known-good checkout first)" % RESULTS_PATH
+                )
+                return 1
+            fresh_anchor = _time_calibration_anchor(args.repeats)
+            machine_scale = float(fresh_anchor["cold_seconds"]) / float(
+                committed_anchor["cold_seconds"]
+            )
+            # Calibration exists so a *slower* runner cannot false-fail;
+            # on a faster runner keep the committed reference (scale 1.0)
+            # rather than proportionally tightening the gate — measured
+            # times shrink with the machine anyway, and an unlucky fast
+            # anchor sample must not manufacture regressions.
+            machine_scale = max(machine_scale, 1.0)
+            print(
+                "calibration anchor (%s at %dx%d): %.4fs here vs %.4fs "
+                "committed -> machine scale %.2fx"
+                % (
+                    committed_anchor.get("ranker", "?"),
+                    int(committed_anchor["num_users"]),
+                    int(committed_anchor["num_items"]),
+                    float(fresh_anchor["cold_seconds"]),
+                    float(committed_anchor["cold_seconds"]),
+                    machine_scale,
+                )
+            )
         fresh = _run(smoke=True, num_repeats=args.repeats)
         committed = payload.get("current", {}).get("smoke", {})
         _print_table("smoke profile", fresh, payload.get("seed", {}).get("smoke"))
@@ -379,12 +657,15 @@ def main(argv: List[str] | None = None) -> int:
                 "coverage — rerun --update to re-baseline" % ", ".join(dropped)
             )
             return 1
-        failures = _check_regression(fresh, committed)
+        failures = _check_regression(fresh, committed, machine_scale)
         if failures:
             for failure in failures:
                 print("FAIL:", failure)
             return 1
-        print("smoke gate passed: no ranker regressed >%.1fx" % REGRESSION_THRESHOLD)
+        print(
+            "smoke gate passed: no ranker regressed >%.1fx (machine scale %.2f)"
+            % (REGRESSION_THRESHOLD, machine_scale)
+        )
         return 0
 
     fresh = _run(smoke=False, num_repeats=args.repeats)

@@ -20,6 +20,8 @@ for the full surface:
 * :mod:`repro.truth_discovery` — HITS-style and cheating baselines
 * :mod:`repro.datasets` — the real-world-shaped benchmark datasets
 * :mod:`repro.evaluation` — metrics, accuracy sweeps, stability and timing
+* :mod:`repro.engine` — sharded execution: user-range shards, streaming
+  ingestion, and the hash-keyed rank cache
 """
 
 from repro.core import (
@@ -59,6 +61,15 @@ from repro.truth_discovery import (
     TruthFinderRanker,
 )
 from repro.datasets import list_datasets, load_dataset
+from repro.engine import (
+    RankCache,
+    ShardedDawidSkeneRanker,
+    ShardedHNDPower,
+    ShardedMajorityVoteRanker,
+    ShardedResponse,
+    load_sharded,
+    load_streaming,
+)
 from repro.evaluation import (
     accuracy_sweep,
     default_ranker_suite,
@@ -117,6 +128,14 @@ __all__ = [
     # datasets
     "list_datasets",
     "load_dataset",
+    # engine
+    "ShardedResponse",
+    "ShardedHNDPower",
+    "ShardedDawidSkeneRanker",
+    "ShardedMajorityVoteRanker",
+    "RankCache",
+    "load_streaming",
+    "load_sharded",
     # evaluation
     "spearman_accuracy",
     "kendall_accuracy",

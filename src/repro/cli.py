@@ -9,10 +9,16 @@ Usage::
     python -m repro.cli fig7
     python -m repro.cli fig12 --students 100
     python -m repro.cli fig13
+    python -m repro.cli rank crowd.npz --method HnD --shards 8 --repeat 3
 
-Each command prints a plain-text table with the same rows/series the paper
-reports; the figure-to-command mapping follows the benchmark scripts in
-``benchmarks/`` (one ``bench_figN_*.py`` per reproduced figure).
+Each ``figN`` command prints a plain-text table with the same rows/series
+the paper reports; the figure-to-command mapping follows the benchmark
+scripts in ``benchmarks/`` (one ``bench_figN_*.py`` per reproduced figure).
+
+``rank`` is the serving entry point: it streams a saved matrix (NPZ or
+CSV triples) through the chunked readers, ranks it — shard-parallel when
+``--shards`` > 1 — and serves repeated calls from the hash-keyed
+:class:`~repro.engine.cache.RankCache`.
 """
 
 from __future__ import annotations
@@ -24,6 +30,13 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.datasets import dataset_summary_table, list_datasets, load_dataset
+from repro.engine import (
+    RankCache,
+    ShardedDawidSkeneRanker,
+    ShardedHNDPower,
+    ShardedMajorityVoteRanker,
+    load_streaming,
+)
 from repro.evaluation import (
     accuracy_sweep,
     c1p_dataset_factory,
@@ -190,6 +203,76 @@ def command_fig13(args: argparse.Namespace) -> int:
     return 0
 
 
+def command_rank(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.core.hitsndiffs import HNDPower
+    from repro.truth_discovery import DawidSkeneRanker, MajorityVoteRanker
+
+    start = time.perf_counter()
+    response = load_streaming(args.input, chunk_size=args.chunk_size)
+    load_seconds = time.perf_counter() - start
+    print(
+        "loaded %s: %d users x %d items, %s answers (%.3f s, %d-row chunks)"
+        % (
+            args.input,
+            response.num_users,
+            response.num_items,
+            format(response.num_answers, ","),
+            load_seconds,
+            args.chunk_size,
+        )
+    )
+
+    sharded = args.shards > 1
+    if args.method == "HnD":
+        ranker = (
+            ShardedHNDPower(
+                num_shards=args.shards,
+                max_workers=args.workers,
+                random_state=args.seed,
+            )
+            if sharded
+            else HNDPower(random_state=args.seed)
+        )
+    elif args.method == "Dawid-Skene":
+        ranker = (
+            ShardedDawidSkeneRanker(
+                num_shards=args.shards, max_workers=args.workers
+            )
+            if sharded
+            else DawidSkeneRanker()
+        )
+    else:
+        ranker = (
+            ShardedMajorityVoteRanker(
+                num_shards=args.shards, max_workers=args.workers
+            )
+            if sharded
+            else MajorityVoteRanker()
+        )
+
+    cache = RankCache(maxsize=args.cache_size)
+    ranking = None
+    for call in range(max(args.repeat, 1)):
+        before = cache.stats()["hits"]
+        start = time.perf_counter()
+        ranking = cache.rank(ranker, response)
+        elapsed = time.perf_counter() - start
+        served = "cache hit" if cache.stats()["hits"] > before else "computed"
+        print("rank() call %d: %.4f s (%s)" % (call + 1, elapsed, served))
+    print("cache stats:", cache.stats())
+
+    top = ranking.top_users(args.top)
+    rows = [
+        (int(rank + 1), int(user), float(ranking.scores[user]))
+        for rank, user in enumerate(top)
+    ]
+    print("top %d users by %s score:" % (len(rows), ranking.method))
+    _print_table(("rank", "user", "score"), rows)
+    return 0
+
+
 # --------------------------------------------------------------------------- #
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -247,6 +330,30 @@ def build_parser() -> argparse.ArgumentParser:
     fig13.add_argument("--items", type=int, default=100)
     fig13.add_argument("--runs", type=int, default=3)
     fig13.set_defaults(func=command_fig13)
+
+    rank = subparsers.add_parser(
+        "rank", help="rank users of a saved matrix (sharded engine + rank cache)"
+    )
+    rank.add_argument("input", help="saved ResponseMatrix (.npz or .csv triples)")
+    rank.add_argument(
+        "--method",
+        default="HnD",
+        choices=["HnD", "Dawid-Skene", "MajorityVote"],
+        help="ranking method (sharded twin used when --shards > 1)",
+    )
+    rank.add_argument("--shards", type=int, default=1,
+                      help="user-range shards (1 = single-process kernels)")
+    rank.add_argument("--workers", type=int, default=None,
+                      help="worker threads for shard dispatch (default serial)")
+    rank.add_argument("--repeat", type=int, default=2,
+                      help="rank() calls to issue (later calls hit the cache)")
+    rank.add_argument("--top", type=int, default=10,
+                      help="how many top-ranked users to print")
+    rank.add_argument("--chunk-size", type=int, default=65536,
+                      help="rows per streamed ingestion chunk")
+    rank.add_argument("--cache-size", type=int, default=16,
+                      help="rank-cache capacity (LRU entries)")
+    rank.set_defaults(func=command_rank)
 
     return parser
 

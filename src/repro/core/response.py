@@ -51,6 +51,7 @@ All transforms (:meth:`subset_users`, :meth:`subset_items`,
 
 from __future__ import annotations
 
+import hashlib
 import re
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple, Union
@@ -67,6 +68,44 @@ NO_ANSWER = -1
 _CSV_HEADER_RE = re.compile(
     r"#\s*repro-response-matrix\s+v1\s+m=(\d+)\s+n=(\d+)\s+num_options=([\d,]+)\s*$"
 )
+
+
+def parse_csv_header(header: str, path) -> Tuple[int, int, np.ndarray]:
+    """Parse a triples-CSV header line into ``(m, n, per_item)``.
+
+    The single owner of the CSV header format: :meth:`ResponseMatrix.load`
+    and the streaming readers in :mod:`repro.engine.ingest` both call this,
+    so the format cannot drift between the two ingestion paths.
+    """
+    match = _CSV_HEADER_RE.match(header.strip())
+    if match is None:
+        raise InvalidResponseMatrixError(
+            "%s is not a repro-response-matrix CSV (bad header %r)"
+            % (path, header.strip())
+        )
+    per_item = np.array([int(k) for k in match.group(3).split(",")], dtype=int)
+    return int(match.group(1)), int(match.group(2)), per_item
+
+
+def npz_metadata(payload, path) -> Tuple[int, int, np.ndarray]:
+    """Extract ``(m, n, per_item)`` from an open NPZ archive's members.
+
+    The single owner of the NPZ metadata layout (see :func:`parse_csv_header`
+    for the rationale).  ``payload`` is an open :class:`numpy.lib.npyio.NpzFile`.
+    """
+    try:
+        per_item = np.asarray(payload["num_options"], dtype=int)
+        shape = payload["shape"]
+    except KeyError as missing:
+        raise InvalidResponseMatrixError(
+            "%s is not a ResponseMatrix archive (%s)" % (path, missing.args[0])
+        ) from None
+    if shape.shape != (2,):
+        raise InvalidResponseMatrixError(
+            "%s has a malformed shape entry %r" % (path, shape)
+        )
+    m, n = (int(value) for value in shape)
+    return m, n, per_item
 
 
 class CompiledResponse:
@@ -672,35 +711,19 @@ class ResponseMatrix:
         path = Path(path)
         if path.suffix == ".npz":
             with np.load(path) as payload:
+                m, n, per_item = npz_metadata(payload, path)
                 try:
                     users = payload["users"]
                     items = payload["items"]
                     options = payload["options"]
-                    per_item = payload["num_options"]
-                    shape = payload["shape"]
                 except KeyError as missing:
                     raise InvalidResponseMatrixError(
                         "%s is not a ResponseMatrix archive (%s)"
                         % (path, missing.args[0])
                     ) from None
-                if shape.shape != (2,):
-                    raise InvalidResponseMatrixError(
-                        "%s has a malformed shape entry %r" % (path, shape)
-                    )
-                m, n = (int(value) for value in shape)
         elif path.suffix == ".csv":
             with path.open("r", encoding="utf-8") as handle:
-                header = handle.readline()
-                match = _CSV_HEADER_RE.match(header.strip())
-                if match is None:
-                    raise InvalidResponseMatrixError(
-                        "%s is not a repro-response-matrix CSV (bad header %r)"
-                        % (path, header.strip())
-                    )
-                m, n = int(match.group(1)), int(match.group(2))
-                per_item = np.array(
-                    [int(k) for k in match.group(3).split(",")], dtype=int
-                )
+                m, n, per_item = parse_csv_header(handle.readline(), path)
                 handle.readline()  # column-name line
                 table = np.loadtxt(
                     handle, dtype=np.int64, delimiter=",", ndmin=2
@@ -1126,6 +1149,22 @@ class ResponseMatrix:
             self._items.tobytes(),
             self._options.tobytes(),
         ))
+
+    def content_hash(self) -> str:
+        """Stable hex digest of the canonical state, in ``O(nnz)``.
+
+        Unlike :meth:`__hash__` (whose value is salted per process via
+        ``PYTHONHASHSEED``), this digest is reproducible across processes and
+        machines, so it can key persistent caches: two matrices have the same
+        digest iff they compare equal, because the canonical user-major
+        triples are a normal form of the answers.
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(np.array([self._m, self._n], dtype=np.int64).tobytes())
+        digest.update(self._num_options.astype(np.int64, copy=False).tobytes())
+        for array in (self._users, self._items, self._options):
+            digest.update(array.tobytes())
+        return digest.hexdigest()
 
 
 def _resolve_num_options(num_options, n: int) -> np.ndarray:

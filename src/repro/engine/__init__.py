@@ -1,0 +1,66 @@
+"""Sharded execution engine: user-range shards, out-of-core ingestion, caching.
+
+Built on the triples-native storage of PR 2: the canonical user-major
+triples make user-range sharding a pure slice
+(:class:`~repro.engine.sharding.ShardedResponse`), the paper's ranking
+methods reduce over per-user contributions so their sufficient statistics
+merge across shards (:mod:`~repro.engine.kernels`,
+:mod:`~repro.engine.rankers` — bit-identical to the single-process paths),
+the chunked readers stream datasets bigger than the raw input buffers
+(:mod:`~repro.engine.ingest`), and the ``O(nnz)`` content hash keys an LRU
+cache over repeated ``rank()`` calls (:mod:`~repro.engine.cache`).
+"""
+
+from repro.engine.sharding import ResponseShard, ShardedResponse
+from repro.engine.kernels import (
+    avghits_apply,
+    dawid_skene_accumulators,
+    hnd_difference_step,
+    majority_vote_scores,
+    majority_votes,
+    option_histograms,
+    option_sums,
+    user_sums,
+)
+from repro.engine.rankers import (
+    ShardedDawidSkeneRanker,
+    ShardedHNDPower,
+    ShardedMajorityVoteRanker,
+)
+from repro.engine.ingest import (
+    DEFAULT_CHUNK_SIZE,
+    build_from_chunks,
+    iter_triples_csv,
+    iter_triples_npz,
+    load_sharded,
+    load_streaming,
+    read_csv_header,
+    read_npz_metadata,
+)
+from repro.engine.cache import RankCache, ranker_fingerprint
+
+__all__ = [
+    "ResponseShard",
+    "ShardedResponse",
+    "option_histograms",
+    "majority_votes",
+    "majority_vote_scores",
+    "option_sums",
+    "user_sums",
+    "avghits_apply",
+    "hnd_difference_step",
+    "dawid_skene_accumulators",
+    "ShardedMajorityVoteRanker",
+    "ShardedDawidSkeneRanker",
+    "ShardedHNDPower",
+    "DEFAULT_CHUNK_SIZE",
+    "iter_triples_npz",
+    "iter_triples_csv",
+    "read_csv_header",
+    "read_npz_metadata",
+    "build_from_chunks",
+    "load_streaming",
+    "load_sharded",
+    "RankCache",
+    "ranker_fingerprint",
+]

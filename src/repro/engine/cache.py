@@ -1,0 +1,182 @@
+"""Hash-keyed LRU cache for repeated ``rank()`` calls on unchanged data.
+
+A ranking is a pure function of ``(matrix canonical state, ranker class +
+parameters)``.  PR 2 made the first half cheap to key — the canonical
+triples are a normal form, so :meth:`ResponseMatrix.content_hash
+<repro.core.response.ResponseMatrix.content_hash>` is an ``O(nnz)`` digest
+that collides exactly on equal matrices — and :func:`ranker_fingerprint`
+derives the second half from a ranker's constructor state.
+
+:class:`RankCache` combines the two into an LRU map, so a service answering
+repeated ranking queries over a slowly-changing crowd pays the full
+``rank()`` cost once per (matrix, method) pair and ``O(nnz)`` hashing per
+hit — at the committed 200k x 5k scenario that turns a roughly two-minute
+sharded HnD-Power call into a ~38 ms warm hit, three orders of magnitude
+(see ``benchmarks/BENCH_PR3.json``).  Both :class:`ResponseMatrix` and an
+already-split :class:`~repro.engine.sharding.ShardedResponse` are accepted;
+the key is always the underlying matrix's digest, and a pre-split sharding
+is passed through to the ranker so its shard state is reused on a miss.
+
+Nondeterministic rankers (a ``random_state`` of ``None`` or a live
+``Generator``) are detected by the fingerprint and **bypass** the cache:
+two calls would legitimately return different rankings, so serving a memo
+would silently change semantics.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.ranking import AbilityRanker, AbilityRanking
+from repro.core.response import ResponseMatrix
+from repro.engine.sharding import ShardedResponse
+
+RankInput = Union[ResponseMatrix, ShardedResponse]
+
+
+def _fingerprint_value(value: object) -> Optional[object]:
+    """A hashable, equality-faithful token for one ranker attribute.
+
+    Returns ``None`` when the value cannot be fingerprinted faithfully
+    (which marks the whole ranker uncacheable).
+    """
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return (type(value).__name__, value)
+    if isinstance(value, np.generic):
+        return (type(value).__name__, value.item())
+    if isinstance(value, np.ndarray):
+        return ("ndarray", value.dtype.str, value.shape, value.tobytes())
+    if isinstance(value, (tuple, list)):
+        tokens = tuple(_fingerprint_value(item) for item in value)
+        if any(token is None for token in tokens):
+            return None
+        return (type(value).__name__, tokens)
+    if isinstance(value, dict):
+        tokens = tuple(
+            (key, _fingerprint_value(item)) for key, item in sorted(value.items())
+        )
+        if any(token is None for _, token in tokens):
+            return None
+        return ("dict", tokens)
+    return None
+
+
+def ranker_fingerprint(ranker: AbilityRanker) -> Optional[Tuple]:
+    """A hashable key identifying a ranker's class and parameters.
+
+    Two rankers with equal fingerprints produce equal rankings on equal
+    matrices.  Returns ``None`` — *uncacheable* — when that cannot be
+    guaranteed: an attribute that cannot be faithfully tokenized, or a
+    nondeterministic random state (``random_state`` of ``None`` draws a
+    fresh seed per call; a live ``Generator`` mutates between calls).
+
+    Attributes a ranker class names in ``cache_excluded_attributes`` are
+    *execution* parameters that provably do not affect the result (the
+    sharded rankers are bit-identical at any shard/worker count), so two
+    configurations of the same method share one cache entry.
+    """
+    excluded = frozenset(getattr(type(ranker), "cache_excluded_attributes", ()))
+    tokens = []
+    for name, value in sorted(vars(ranker).items()):
+        if name in excluded:
+            continue
+        if name == "random_state" and (
+            value is None or isinstance(value, np.random.Generator)
+        ):
+            return None
+        token = _fingerprint_value(value)
+        if token is None:
+            return None
+        tokens.append((name, token))
+    return (type(ranker).__module__, type(ranker).__qualname__, tuple(tokens))
+
+
+class RankCache:
+    """Thread-safe LRU cache of :class:`AbilityRanking` results.
+
+    Keys are ``(matrix content hash, ranker fingerprint)``; a hit costs one
+    ``O(nnz)`` digest and one dict lookup, independent of the ranking
+    method's cost.  Hits return the *stored* ranking object — treat cached
+    rankings as read-only (their score arrays are shared across callers).
+
+    Parameters
+    ----------
+    maxsize:
+        Entries kept; the least recently used entry is evicted beyond it.
+    """
+
+    def __init__(self, maxsize: int = 128) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1, got %d" % maxsize)
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self.bypasses = 0
+        self._entries: "OrderedDict[Tuple, AbilityRanking]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def key_for(
+        self, ranker: AbilityRanker, response: RankInput
+    ) -> Optional[Tuple]:
+        """The cache key, or ``None`` when the ranker is uncacheable.
+
+        A :class:`ShardedResponse` keys by its underlying matrix: the
+        sharding is an execution detail, not part of the answer identity
+        (the sharded rankers are bit-identical at any shard count).
+        """
+        fingerprint = ranker_fingerprint(ranker)
+        if fingerprint is None:
+            return None
+        matrix = (
+            response.source if isinstance(response, ShardedResponse) else response
+        )
+        return (matrix.content_hash(), fingerprint)
+
+    def rank(self, ranker: AbilityRanker, response: RankInput) -> AbilityRanking:
+        """``ranker.rank(response)``, served from the cache when possible.
+
+        ``response`` may be a matrix or a pre-split
+        :class:`ShardedResponse`; the latter is forwarded to the ranker on
+        a miss so its shard state (columns, thread pool) is reused.
+        """
+        key = self.key_for(ranker, response)
+        if key is None:
+            with self._lock:
+                self.bypasses += 1
+            return ranker.rank(response)
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return cached
+            self.misses += 1
+        ranking = ranker.rank(response)
+        with self._lock:
+            self._entries[key] = ranking
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+        return ranking
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = self.misses = self.bypasses = 0
+
+    def stats(self) -> Dict[str, int]:
+        """Counters: ``hits`` / ``misses`` / ``bypasses`` / ``size``."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "bypasses": self.bypasses,
+                "size": len(self._entries),
+            }

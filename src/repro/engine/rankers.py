@@ -1,0 +1,211 @@
+"""Shard-parallel rankers: drop-in twins of the single-process methods.
+
+Each ranker here splits the input matrix into user-range shards and runs the
+shard-parallel kernels of :mod:`repro.engine.kernels`, producing **the same
+scores, bit for bit,** as its single-process counterpart (``MajorityVoteRanker``,
+``DawidSkeneRanker``, ``HNDPower``) at any shard count and worker count —
+that equivalence is pinned by ``tests/test_engine_sharding.py``.  The method
+``name`` is therefore kept identical too; the execution engine is reported
+in the diagnostics (``engine``, ``num_shards``) instead.
+
+All three follow the same template::
+
+    sharded = ShardedResponse.split(response, num_shards, max_workers=...)
+    statistics = map over shards  ->  deterministic reduce
+    scores     = the shared finishing code of the single-process ranker
+
+so anything not a sufficient statistic (power-iteration driver, EM loop,
+symmetry breaking) is literally the same code object as the single-process
+path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.core.ranking import AbilityRanker, AbilityRanking
+from repro.core.response import ResponseMatrix
+from repro.core.symmetry import orient_scores
+from repro.engine.kernels import (
+    dawid_skene_accumulators,
+    hnd_difference_step,
+    majority_vote_scores,
+)
+from repro.engine.sharding import ShardedResponse
+from repro.linalg.operators import apply_cumulative
+from repro.linalg.power_iteration import (
+    DEFAULT_MAX_ITERATIONS,
+    DEFAULT_TOLERANCE,
+    power_iteration_matvec,
+)
+from repro.truth_discovery.dawid_skene import dawid_skene_em, initial_posteriors
+
+RandomState = Optional[Union[int, np.random.Generator]]
+
+
+def _as_sharded(
+    response: Union[ResponseMatrix, ShardedResponse],
+    num_shards: int,
+    max_workers: Optional[int],
+) -> ShardedResponse:
+    """Split a matrix, or adopt an existing sharding as-is."""
+    if isinstance(response, ShardedResponse):
+        return response
+    return ShardedResponse.split(response, num_shards, max_workers=max_workers)
+
+
+class ShardedMajorityVoteRanker(AbilityRanker):
+    """Shard-parallel :class:`~repro.truth_discovery.majority.MajorityVoteRanker`."""
+
+    name = "MajorityVote"
+    #: Execution-only knobs: results are bit-identical at any shard/worker
+    #: count, so the rank cache keys ignore them (see ranker_fingerprint).
+    cache_excluded_attributes = ("num_shards", "max_workers")
+
+    def __init__(self, *, num_shards: int = 4, max_workers: Optional[int] = None,
+                 normalize_by_answers: bool = True) -> None:
+        self.num_shards = num_shards
+        self.max_workers = max_workers
+        self.normalize_by_answers = normalize_by_answers
+
+    def rank(
+        self, response: Union[ResponseMatrix, ShardedResponse]
+    ) -> AbilityRanking:
+        sharded = _as_sharded(response, self.num_shards, self.max_workers)
+        scores, majority = majority_vote_scores(
+            sharded, normalize_by_answers=self.normalize_by_answers
+        )
+        return AbilityRanking(
+            scores=scores,
+            method=self.name,
+            diagnostics={
+                "discovered_truths": majority,
+                "engine": "sharded",
+                "num_shards": sharded.num_shards,
+            },
+        )
+
+
+class ShardedDawidSkeneRanker(AbilityRanker):
+    """Shard-parallel :class:`~repro.truth_discovery.dawid_skene.DawidSkeneRanker`.
+
+    Runs the shared EM loop (:func:`~repro.truth_discovery.dawid_skene.dawid_skene_em`)
+    over the shard-parallel accumulators; only the sufficient-statistic
+    reductions are distributed, so the EM trajectory — and the final scores —
+    are bit-identical to the single-process ranker.
+    """
+
+    name = "Dawid-Skene"
+    #: Execution-only knobs (see ShardedMajorityVoteRanker).
+    cache_excluded_attributes = ("num_shards", "max_workers")
+
+    def __init__(self, *, num_shards: int = 4, max_workers: Optional[int] = None,
+                 max_iterations: int = 100, tolerance: float = 1e-6,
+                 smoothing: float = 0.01) -> None:
+        self.num_shards = num_shards
+        self.max_workers = max_workers
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.smoothing = smoothing
+
+    def rank(
+        self, response: Union[ResponseMatrix, ShardedResponse]
+    ) -> AbilityRanking:
+        sharded = _as_sharded(response, self.num_shards, self.max_workers)
+        num_classes = sharded.max_options
+        _, items, options = sharded.source.triples
+        count_accumulator, loglik_accumulator = dawid_skene_accumulators(
+            sharded, num_classes
+        )
+        result = dawid_skene_em(
+            count_accumulator=count_accumulator,
+            loglik_accumulator=loglik_accumulator,
+            posteriors=initial_posteriors(
+                items, options, sharded.num_items, num_classes, self.smoothing
+            ),
+            num_users=sharded.num_users,
+            num_classes=num_classes,
+            max_iterations=self.max_iterations,
+            tolerance=self.tolerance,
+            smoothing=self.smoothing,
+        )
+        diagnostics: Dict[str, object] = {
+            "iterations": result.iterations,
+            "converged": result.converged,
+            "discovered_truths": result.posteriors.argmax(axis=1),
+            "class_priors": result.priors,
+            "engine": "sharded",
+            "num_shards": sharded.num_shards,
+        }
+        return AbilityRanking(
+            scores=result.accuracies, method=self.name, diagnostics=diagnostics
+        )
+
+
+class ShardedHNDPower(AbilityRanker):
+    """Shard-parallel :class:`~repro.core.hitsndiffs.HNDPower` (Algorithm 1).
+
+    The power iteration driver, cumulative/difference wrappers, and the
+    decile-entropy symmetry breaking are the single-process code; each
+    iteration's AVGHITS matvec is the shard-parallel sum of per-shard
+    partial products (gather in shards, canonical-order scatter reduce).
+    """
+
+    name = "HnD"
+    #: Execution-only knobs (see ShardedMajorityVoteRanker).
+    cache_excluded_attributes = ("num_shards", "max_workers")
+
+    def __init__(
+        self,
+        *,
+        num_shards: int = 4,
+        max_workers: Optional[int] = None,
+        tolerance: float = DEFAULT_TOLERANCE,
+        max_iterations: int = DEFAULT_MAX_ITERATIONS,
+        break_symmetry: bool = True,
+        check_connectivity: bool = False,
+        random_state: RandomState = None,
+    ) -> None:
+        self.num_shards = num_shards
+        self.max_workers = max_workers
+        self.tolerance = tolerance
+        self.max_iterations = max_iterations
+        self.break_symmetry = break_symmetry
+        self.check_connectivity = check_connectivity
+        self.random_state = random_state
+
+    def rank(
+        self, response: Union[ResponseMatrix, ShardedResponse]
+    ) -> AbilityRanking:
+        sharded = _as_sharded(response, self.num_shards, self.max_workers)
+        matrix = sharded.source
+        if self.check_connectivity:
+            matrix.require_connected()
+        m = sharded.num_users
+        if m < 2:
+            return AbilityRanking(scores=np.zeros(m), method=self.name,
+                                  diagnostics={"iterations": 0, "converged": True})
+        diff_step = hnd_difference_step(sharded)
+        result = power_iteration_matvec(
+            diff_step,
+            m - 1,
+            tolerance=self.tolerance,
+            max_iterations=self.max_iterations,
+            random_state=self.random_state,
+        )
+        scores = apply_cumulative(result.vector)
+        diagnostics: Dict[str, object] = {
+            "iterations": result.iterations,
+            "converged": result.converged,
+            "residual": result.residual,
+            "eigenvalue": result.eigenvalue,
+            "diff_vector_variance": float(np.var(result.vector)),
+            "engine": "sharded",
+            "num_shards": sharded.num_shards,
+        }
+        if self.break_symmetry:
+            scores, symmetry_diag = orient_scores(matrix, scores)
+            diagnostics.update(symmetry_diag)
+        return AbilityRanking(scores=scores, method=self.name, diagnostics=diagnostics)

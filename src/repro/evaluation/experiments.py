@@ -24,6 +24,7 @@ import numpy as np
 from repro.c1p.abh import ABHDirect
 from repro.core.hitsndiffs import HNDPower
 from repro.core.ranking import AbilityRanker
+from repro.engine.cache import RankCache
 from repro.evaluation.metrics import spearman_accuracy
 from repro.irt.generators import SyntheticDataset, generate_c1p_dataset, generate_dataset
 from repro.truth_discovery import (
@@ -104,19 +105,29 @@ def evaluate_rankers(
     rankers: Mapping[str, AbilityRanker],
     *,
     reference_abilities: Optional[np.ndarray] = None,
+    cache: Optional[RankCache] = None,
 ) -> ExperimentResult:
     """Run every ranker on ``dataset`` and score it against the ground truth.
 
     ``reference_abilities`` overrides the dataset's ground-truth abilities,
     which the real-data experiments use to compare against the True-answer
     reference ranking instead.
+
+    ``cache`` serves repeated rankings of unchanged data from a
+    :class:`~repro.engine.cache.RankCache` — re-evaluating a suite on the
+    same dataset (or overlapping suites across datasets) pays each
+    deterministic ``rank()`` once; nondeterministic rankers bypass it.
+    The reported duration of a cache hit is the (near-zero) lookup time.
     """
     truth = dataset.abilities if reference_abilities is None else np.asarray(reference_abilities)
     accuracies: Dict[str, float] = {}
     durations: Dict[str, float] = {}
     for name, ranker in rankers.items():
         start = time.perf_counter()
-        ranking = ranker.rank(dataset.response)
+        if cache is not None:
+            ranking = cache.rank(ranker, dataset.response)
+        else:
+            ranking = ranker.rank(dataset.response)
         durations[name] = time.perf_counter() - start
         accuracies[name] = spearman_accuracy(ranking, truth)
     return ExperimentResult(

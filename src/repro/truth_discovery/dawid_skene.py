@@ -27,17 +27,142 @@ one sparse indicator matrix ``M`` of shape ``(m*k, n)`` (a 1 at row
 then costs ``O(nnz * k)`` with no Python loop.  The seed loop formulation
 is preserved in :mod:`repro.truth_discovery.reference` as the oracle the
 equivalence tests compare against (scores match element-wise).
+
+Mergeable sufficient statistics
+-------------------------------
+Both EM steps reduce over *per-user* contributions, so they distribute over
+user-range shards: the M-step counts of a user depend only on that user's
+answers (shards produce disjoint row blocks of ``M @ posteriors``), and the
+E-step accumulates per-item sums of per-answer terms.  :func:`dawid_skene_em`
+therefore factors the EM loop over two pluggable accumulators — the sparse
+matmuls here, or the shard-parallel bincount kernels in
+:mod:`repro.engine.kernels` — while every surrounding operation (priors,
+smoothing, normalization, convergence) is shared, so the two execution
+engines produce bit-identical scores.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from dataclasses import dataclass
+from typing import Callable, Dict
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.core.ranking import AbilityRanker, AbilityRanking
 from repro.core.response import ResponseMatrix
+
+
+def initial_posteriors(
+    item_index: np.ndarray,
+    option_index: np.ndarray,
+    num_items: int,
+    num_classes: int,
+    smoothing: float,
+) -> np.ndarray:
+    """Soft majority-vote truth posteriors — the EM initialization.
+
+    A pure function of the per-item option histogram, which is an *integer*
+    statistic: shards can histogram their own answers and the partial counts
+    add exactly, so every execution engine starts EM from the same point.
+    """
+    counts = np.bincount(
+        np.asarray(item_index) * num_classes + np.asarray(option_index),
+        minlength=num_items * num_classes,
+    ).reshape(num_items, num_classes).astype(float)
+    totals = counts.sum(axis=1, keepdims=True)
+    return np.where(
+        totals > 0,
+        (counts + smoothing) / (totals + smoothing * num_classes),
+        1.0 / num_classes,
+    )
+
+
+@dataclass(frozen=True)
+class DawidSkeneEMResult:
+    """Converged state of one Dawid–Skene EM run."""
+
+    accuracies: np.ndarray
+    posteriors: np.ndarray
+    priors: np.ndarray
+    confusion: np.ndarray
+    iterations: int
+    converged: bool
+
+
+def dawid_skene_em(
+    *,
+    count_accumulator: Callable[[np.ndarray], np.ndarray],
+    loglik_accumulator: Callable[[np.ndarray], np.ndarray],
+    posteriors: np.ndarray,
+    num_users: int,
+    num_classes: int,
+    max_iterations: int,
+    tolerance: float,
+    smoothing: float,
+) -> DawidSkeneEMResult:
+    """The Dawid–Skene EM loop over pluggable sufficient-statistic kernels.
+
+    Parameters
+    ----------
+    count_accumulator:
+        ``posteriors (n, k) -> counts (m*k, k)``: row ``u*k + h`` holds the
+        summed truth posteriors of the items user ``u`` answered with option
+        ``h`` (the product ``M @ posteriors``).
+    loglik_accumulator:
+        ``log_confusion_flat (m*k, k) -> sums (n, k)``: per-item sums of the
+        answering users' log-confusion rows (the product
+        ``M^T @ log_confusion_flat``).
+    posteriors:
+        Initial truth posteriors, from :func:`initial_posteriors`.
+
+    Every floating-point operation outside the two accumulators is performed
+    here, once, identically for all execution engines; an engine is
+    bit-identical to another iff its accumulators are.
+    """
+    confusion = np.zeros((num_users, num_classes, num_classes))
+    priors = np.full(num_classes, 1.0 / num_classes)
+    iterations = 0
+    converged = False
+    for iterations in range(1, max_iterations + 1):
+        # M-step: class priors and per-user confusion matrices.
+        priors = posteriors.mean(axis=0)
+        priors = priors / priors.sum()
+        # (m*k, l) -> (u, h, l) -> transpose to (u, l, h) to match the
+        # "truth l, reported h" convention.
+        counts_flat = count_accumulator(posteriors)
+        confusion = counts_flat.reshape(
+            num_users, num_classes, num_classes
+        ).transpose(0, 2, 1) + smoothing
+        confusion /= confusion.sum(axis=2, keepdims=True)
+
+        # E-step: truth posterior per item.
+        log_confusion = np.log(np.clip(confusion, 1e-12, 1.0))
+        log_confusion_flat = np.ascontiguousarray(
+            log_confusion.transpose(0, 2, 1)
+        ).reshape(num_users * num_classes, num_classes)
+        new_posteriors = np.log(np.clip(priors, 1e-12, 1.0))[np.newaxis, :] + (
+            loglik_accumulator(log_confusion_flat)
+        )
+        new_posteriors -= new_posteriors.max(axis=1, keepdims=True)
+        np.exp(new_posteriors, out=new_posteriors)
+        new_posteriors /= new_posteriors.sum(axis=1, keepdims=True)
+
+        change = float(np.abs(new_posteriors - posteriors).max())
+        posteriors = new_posteriors
+        if change < tolerance:
+            converged = True
+            break
+
+    accuracies = np.einsum("ukk,k->u", confusion, priors)
+    return DawidSkeneEMResult(
+        accuracies=accuracies,
+        posteriors=posteriors,
+        priors=priors,
+        confusion=confusion,
+        iterations=iterations,
+        converged=converged,
+    )
 
 
 class DawidSkeneRanker(AbilityRanker):
@@ -79,58 +204,28 @@ class DawidSkeneRanker(AbilityRanker):
         )
         indicator_t = indicator.T.tocsr()
 
-        # Initialization: soft majority vote posteriors per item.
-        counts = np.bincount(
-            item_idx * num_classes + choice_idx,
-            minlength=num_items * num_classes,
-        ).reshape(num_items, num_classes).astype(float)
-        totals = counts.sum(axis=1, keepdims=True)
-        posteriors = np.where(
-            totals > 0,
-            (counts + self.smoothing) / (totals + self.smoothing * num_classes),
-            1.0 / num_classes,
+        result = dawid_skene_em(
+            count_accumulator=lambda posteriors: np.asarray(
+                indicator @ posteriors
+            ),
+            loglik_accumulator=lambda flat: np.asarray(indicator_t @ flat),
+            posteriors=initial_posteriors(
+                item_idx, choice_idx, num_items, num_classes, self.smoothing
+            ),
+            num_users=num_users,
+            num_classes=num_classes,
+            max_iterations=self.max_iterations,
+            tolerance=self.tolerance,
+            smoothing=self.smoothing,
         )
 
-        confusion = np.zeros((num_users, num_classes, num_classes))
-        priors = np.full(num_classes, 1.0 / num_classes)
-        iterations = 0
-        converged = False
-        for iterations in range(1, self.max_iterations + 1):
-            # M-step: class priors and per-user confusion matrices.
-            priors = posteriors.mean(axis=0)
-            priors = priors / priors.sum()
-            # (m*k, l) -> (u, h, l) -> transpose to (u, l, h) to match the
-            # "truth l, reported h" convention.
-            counts_flat = np.asarray(indicator @ posteriors)
-            confusion = counts_flat.reshape(
-                num_users, num_classes, num_classes
-            ).transpose(0, 2, 1) + self.smoothing
-            confusion /= confusion.sum(axis=2, keepdims=True)
-
-            # E-step: truth posterior per item.
-            log_confusion = np.log(np.clip(confusion, 1e-12, 1.0))
-            log_confusion_flat = np.ascontiguousarray(
-                log_confusion.transpose(0, 2, 1)
-            ).reshape(num_users * num_classes, num_classes)
-            new_posteriors = np.log(np.clip(priors, 1e-12, 1.0))[np.newaxis, :] + (
-                np.asarray(indicator_t @ log_confusion_flat)
-            )
-            new_posteriors -= new_posteriors.max(axis=1, keepdims=True)
-            np.exp(new_posteriors, out=new_posteriors)
-            new_posteriors /= new_posteriors.sum(axis=1, keepdims=True)
-
-            change = float(np.abs(new_posteriors - posteriors).max())
-            posteriors = new_posteriors
-            if change < self.tolerance:
-                converged = True
-                break
-
-        accuracies = np.einsum("ukk,k->u", confusion, priors)
-        truths = posteriors.argmax(axis=1)
+        truths = result.posteriors.argmax(axis=1)
         diagnostics: Dict[str, object] = {
-            "iterations": iterations,
-            "converged": converged,
+            "iterations": result.iterations,
+            "converged": result.converged,
             "discovered_truths": truths,
-            "class_priors": priors,
+            "class_priors": result.priors,
         }
-        return AbilityRanking(scores=accuracies, method=self.name, diagnostics=diagnostics)
+        return AbilityRanking(
+            scores=result.accuracies, method=self.name, diagnostics=diagnostics
+        )

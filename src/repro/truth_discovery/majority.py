@@ -4,6 +4,12 @@ The discovered "truth" of each item is its most frequently chosen option;
 users are ranked by how often they agree with the majority.  The paper's
 code repository includes majority vote as a reference method, and it also
 serves as the initialization of the Dawid–Skene EM baseline.
+
+Both statistics are *mergeable* over user-range shards: the per-item option
+histogram behind the majority choice is a sum of integer partial histograms,
+and the agreement counts are per-user (disjoint across shards), which is why
+:mod:`repro.engine` can evaluate this ranker shard-parallel with bit-identical
+scores.  :func:`agreement_counts` is the shared hook both paths call.
 """
 
 from __future__ import annotations
@@ -12,6 +18,25 @@ import numpy as np
 
 from repro.core.ranking import AbilityRanker, AbilityRanking
 from repro.core.response import ResponseMatrix
+
+
+def agreement_counts(
+    users: np.ndarray,
+    items: np.ndarray,
+    options: np.ndarray,
+    majority: np.ndarray,
+    num_users: int,
+    *,
+    user_offset: int = 0,
+) -> np.ndarray:
+    """Per-user count of answers agreeing with the per-item majority option.
+
+    ``O(batch)`` over any slice of answer triples; ``user_offset`` lets a
+    user-range shard count into local row coordinates.  Integer-valued, so
+    shard results concatenate into exactly the single-process counts.
+    """
+    agreeing = np.asarray(users)[np.asarray(options) == majority[np.asarray(items)]]
+    return np.bincount(agreeing - user_offset, minlength=num_users)
 
 
 class MajorityVoteRanker(AbilityRanker):
@@ -27,8 +52,8 @@ class MajorityVoteRanker(AbilityRanker):
         # Agreement counting on the flat answer triples: O(nnz), no dense
         # (m, n) comparison matrix.
         users, items, options = response.triples
-        agreements = np.bincount(
-            users[options == majority[items]], minlength=response.num_users
+        agreements = agreement_counts(
+            users, items, options, majority, response.num_users
         )
         if self.normalize_by_answers:
             scores = agreements / np.maximum(response.answers_per_user, 1)

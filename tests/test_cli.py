@@ -65,3 +65,61 @@ class TestCommands:
         exit_code = main(["fig13", "--users", "25", "--items", "25", "--runs", "1"])
         assert exit_code == 0
         assert "HnD" in capsys.readouterr().out
+
+
+class TestRankCommand:
+    """The PR 3 serving entry point: streamed load, sharded rank, cache."""
+
+    @pytest.fixture
+    def saved_matrix(self, tmp_path):
+        import numpy as np
+
+        from repro.core.response import ResponseMatrix
+
+        rng = np.random.default_rng(9)
+        mask = rng.random((80, 25)) < 0.5
+        users, items = np.nonzero(mask)
+        options = rng.integers(0, 3, size=users.size)
+        response = ResponseMatrix.from_triples(
+            users, items, options, shape=(80, 25), num_options=3
+        )
+        path = tmp_path / "crowd.npz"
+        response.save(path)
+        return path
+
+    def test_rank_arguments(self):
+        args = build_parser().parse_args(
+            ["rank", "crowd.npz", "--method", "Dawid-Skene", "--shards", "4",
+             "--workers", "2", "--repeat", "3"]
+        )
+        assert args.input == "crowd.npz"
+        assert args.method == "Dawid-Skene"
+        assert args.shards == 4
+        assert args.workers == 2
+
+    def test_rank_requires_input(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["rank"])
+
+    @pytest.mark.parametrize("method", ["HnD", "Dawid-Skene", "MajorityVote"])
+    def test_rank_runs_sharded(self, saved_matrix, capsys, method):
+        exit_code = main(
+            ["rank", str(saved_matrix), "--method", method, "--shards", "4",
+             "--repeat", "2", "--top", "3"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "computed" in output
+        assert "cache hit" in output
+        assert "top 3 users" in output
+
+    def test_rank_single_process_path(self, saved_matrix, capsys):
+        exit_code = main(["rank", str(saved_matrix), "--repeat", "1"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "cache hit" not in output
+
+    def test_rank_repeat_zero_still_ranks_once(self, saved_matrix, capsys):
+        exit_code = main(["rank", str(saved_matrix), "--repeat", "0"])
+        assert exit_code == 0
+        assert "top" in capsys.readouterr().out

@@ -41,3 +41,28 @@ def test_bench_perf_smoke_gate():
     assert result.returncode == 0, (
         "perf smoke gate failed:\n%s\n%s" % (result.stdout, result.stderr)
     )
+
+
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_RUN_PERF"),
+    reason="wall-clock gate; set REPRO_RUN_PERF=1 to run",
+)
+def test_bench_perf_smoke_gate_calibrated():
+    """The machine-normalized variant CI enforces (PR 3)."""
+    result = subprocess.run(
+        [
+            sys.executable,
+            str(REPO_ROOT / "benchmarks" / "bench_perf.py"),
+            "--smoke",
+            "--calibrate",
+        ],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        "calibrated perf smoke gate failed:\n%s\n%s"
+        % (result.stdout, result.stderr)
+    )
+    assert "machine scale" in result.stdout

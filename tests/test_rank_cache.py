@@ -1,0 +1,214 @@
+"""Tests for the hash-keyed rank cache and its integration points (PR 3).
+
+Covers :class:`RankCache` semantics (hit/miss/bypass/LRU), the ranker
+fingerprint rules (parameters distinguish entries; nondeterministic random
+state bypasses), ``ResponseMatrix.content_hash`` as a cache key, the
+``evaluate_rankers`` wiring, and the committed ``BENCH_PR3.json`` evidence
+(warm-hit speedup and full-scale bit-identity flags).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.hitsndiffs import HNDPower
+from repro.core.response import ResponseMatrix
+from repro.engine import RankCache, ShardedHNDPower, ranker_fingerprint
+from repro.evaluation.experiments import evaluate_rankers
+from repro.irt.generators import generate_dataset
+from repro.truth_discovery.cheating import TrueAnswerRanker
+from repro.truth_discovery.majority import MajorityVoteRanker
+
+BENCH_PR3 = Path(__file__).resolve().parent.parent / "benchmarks" / "BENCH_PR3.json"
+
+
+@pytest.fixture
+def response():
+    rng = np.random.default_rng(5)
+    mask = rng.random((60, 30)) < 0.5
+    users, items = np.nonzero(mask)
+    options = rng.integers(0, 3, size=users.size)
+    return ResponseMatrix.from_triples(
+        users, items, options, shape=(60, 30), num_options=3
+    )
+
+
+class TestContentHash:
+    def test_equal_matrices_share_the_digest(self, response):
+        users, items, options = response.triples
+        rebuilt = ResponseMatrix.from_triples(
+            users, items, options,
+            shape=(response.num_users, response.num_items),
+            num_options=response.num_options,
+        )
+        assert rebuilt.content_hash() == response.content_hash()
+
+    def test_any_answer_change_changes_the_digest(self, response):
+        users, items, options = (array.copy() for array in response.triples)
+        options[0] = (options[0] + 1) % 3
+        changed = ResponseMatrix.from_triples(
+            users, items, options,
+            shape=(response.num_users, response.num_items),
+            num_options=response.num_options,
+        )
+        assert changed.content_hash() != response.content_hash()
+
+    def test_digest_is_construction_path_independent(self, response):
+        dense = ResponseMatrix(response.choices, num_options=response.num_options)
+        assert dense.content_hash() == response.content_hash()
+
+
+class TestFingerprint:
+    def test_equal_parameters_equal_fingerprint(self):
+        assert ranker_fingerprint(HNDPower(random_state=0)) == ranker_fingerprint(
+            HNDPower(random_state=0)
+        )
+
+    def test_parameters_distinguish(self):
+        assert ranker_fingerprint(HNDPower(random_state=0)) != ranker_fingerprint(
+            HNDPower(random_state=1)
+        )
+        assert ranker_fingerprint(HNDPower(random_state=0)) != ranker_fingerprint(
+            HNDPower(random_state=0, tolerance=1e-8)
+        )
+
+    def test_classes_distinguish(self):
+        assert ranker_fingerprint(HNDPower(random_state=0)) != ranker_fingerprint(
+            ShardedHNDPower(random_state=0)
+        )
+
+    def test_nondeterministic_random_state_is_uncacheable(self):
+        assert ranker_fingerprint(HNDPower(random_state=None)) is None
+        assert ranker_fingerprint(
+            HNDPower(random_state=np.random.default_rng(0))
+        ) is None
+
+    def test_shard_configuration_is_excluded(self):
+        """Execution-only knobs share one cache entry (results identical)."""
+        from repro.engine import ShardedDawidSkeneRanker
+
+        a = ranker_fingerprint(ShardedDawidSkeneRanker(num_shards=4))
+        b = ranker_fingerprint(ShardedDawidSkeneRanker(num_shards=8, max_workers=2))
+        assert a == b
+        # Statistical parameters still distinguish.
+        c = ranker_fingerprint(ShardedDawidSkeneRanker(num_shards=4, smoothing=0.5))
+        assert a != c
+
+    def test_array_valued_parameters_fingerprint(self):
+        truth = np.array([0, 1, 2])
+        a = ranker_fingerprint(TrueAnswerRanker(truth))
+        b = ranker_fingerprint(TrueAnswerRanker(truth.copy()))
+        c = ranker_fingerprint(TrueAnswerRanker(np.array([0, 1, 1])))
+        assert a == b
+        assert a != c
+
+
+class TestRankCache:
+    def test_hit_returns_the_stored_ranking(self, response):
+        cache = RankCache()
+        first = cache.rank(HNDPower(random_state=0), response)
+        second = cache.rank(HNDPower(random_state=0), response)
+        assert second is first
+        assert cache.stats() == {"hits": 1, "misses": 1, "bypasses": 0, "size": 1}
+
+    def test_different_data_or_method_misses(self, response):
+        cache = RankCache()
+        cache.rank(HNDPower(random_state=0), response)
+        cache.rank(MajorityVoteRanker(), response)
+        subset = response.subset_users(np.arange(30))
+        cache.rank(HNDPower(random_state=0), subset)
+        stats = cache.stats()
+        assert stats["misses"] == 3
+        assert stats["hits"] == 0
+        assert stats["size"] == 3
+
+    def test_nondeterministic_ranker_bypasses(self, response):
+        cache = RankCache()
+        cache.rank(HNDPower(random_state=None), response)
+        cache.rank(HNDPower(random_state=None), response)
+        stats = cache.stats()
+        assert stats["bypasses"] == 2
+        assert stats["size"] == 0
+
+    def test_lru_eviction(self, response):
+        cache = RankCache(maxsize=2)
+        rankers = [HNDPower(random_state=seed) for seed in (0, 1, 2)]
+        for ranker in rankers:
+            cache.rank(ranker, response)
+        assert len(cache) == 2
+        # Seed 0 was least recently used -> evicted -> misses again.
+        cache.rank(rankers[0], response)
+        assert cache.stats()["misses"] == 4
+
+    def test_clear(self, response):
+        cache = RankCache()
+        cache.rank(MajorityVoteRanker(), response)
+        cache.clear()
+        assert cache.stats() == {"hits": 0, "misses": 0, "bypasses": 0, "size": 0}
+
+    def test_invalid_maxsize_rejected(self):
+        with pytest.raises(ValueError, match="maxsize"):
+            RankCache(maxsize=0)
+
+    def test_cached_scores_match_uncached(self, response):
+        cache = RankCache()
+        cached = cache.rank(HNDPower(random_state=7), response)
+        direct = HNDPower(random_state=7).rank(response)
+        assert np.array_equal(cached.scores, direct.scores)
+
+    def test_sharded_response_keys_by_its_matrix(self, response):
+        """A pre-split sharding is accepted and shares the matrix's key."""
+        from repro.engine import ShardedResponse
+
+        sharded = ShardedResponse.split(response, 4)
+        cache = RankCache()
+        ranker = ShardedHNDPower(num_shards=4, random_state=0)
+        first = cache.rank(ranker, sharded)
+        # Same ranker + the bare matrix hits the same entry (the sharding
+        # is an execution detail, not part of the answer identity).
+        second = cache.rank(ranker, response)
+        assert second is first
+        assert cache.stats()["hits"] == 1
+        direct = HNDPower(random_state=0).rank(response)
+        assert np.array_equal(first.scores, direct.scores)
+
+
+class TestEvaluateRankersCache:
+    def test_suite_reuses_cached_rankings(self):
+        dataset = generate_dataset(
+            "grm", num_users=30, num_items=40, num_options=3, random_state=0
+        )
+        cache = RankCache()
+        suite = {"MajorityVote": MajorityVoteRanker(), "HnD": HNDPower(random_state=0)}
+        first = evaluate_rankers(dataset, suite, cache=cache)
+        second = evaluate_rankers(dataset, suite, cache=cache)
+        assert cache.stats()["hits"] == 2
+        assert first.accuracies == second.accuracies
+
+    def test_without_cache_unchanged(self):
+        dataset = generate_dataset(
+            "grm", num_users=20, num_items=30, num_options=3, random_state=0
+        )
+        result = evaluate_rankers(dataset, {"MajorityVote": MajorityVoteRanker()})
+        assert set(result.accuracies) == {"MajorityVote"}
+
+
+class TestCommittedShardedEvidence:
+    """The committed BENCH_PR3.json must show the acceptance numbers."""
+
+    def test_trajectory_file_is_committed_and_valid(self):
+        payload = json.loads(BENCH_PR3.read_text())
+        results = payload["sharded_engine"]
+        assert results["num_users"] == 200_000
+        assert results["num_items"] == 5_000
+        assert results["num_shards"] >= 2
+        assert results["peak_rss_mb"] > 0
+        for name in ("HnD-Power", "Dawid-Skene", "MajorityVote"):
+            assert results["%s_bit_identical" % name] is True
+            assert results["%s_sharded_seconds" % name] >= 0
+        assert results["cache_speedup"] >= 100.0
+        assert results["stream_ingest_seconds"] > 0
