@@ -27,6 +27,11 @@ Usage::
                                                     # sharded engine + rank
                                                     # cache (PR 3 scenario)
     python benchmarks/bench_perf.py --update-sharded  # rewrite BENCH_PR3.json
+    python benchmarks/bench_perf.py --sharded --backend processes
+                                                    # same scenario through the
+                                                    # PR 4 process pool
+    python benchmarks/bench_perf.py --update-sharded --backend processes
+                                                    # rewrite BENCH_PR4.json
 
 The PR 1 JSON file holds two sections: ``seed`` (timings captured on the
 seed implementation, before the fused-kernel layer of PR 1) and ``current``
@@ -56,6 +61,13 @@ readers into 8 user-range shards, ranked with the shard-parallel HnD-Power /
 Dawid-Skene / MajorityVote kernels (asserting bit-identical scores against
 the single-process rankers at full scale), and served twice through the
 hash-keyed ``RankCache`` to measure the warm-hit speedup (≥100x required).
+
+``--sharded --backend processes`` routes the same scenario through the
+PR 4 unified API (``repro.api.rank`` with
+``ExecutionPolicy(backend="processes", shards=8)``): shard slices live in
+worker processes, hot vectors travel through shared memory, and the scores
+are asserted bit-identical to the fused single-process rankers at full
+scale.  Committed as ``BENCH_PR4.json``.
 """
 
 from __future__ import annotations
@@ -87,6 +99,7 @@ from repro.truth_discovery.truthfinder import TruthFinderRanker
 RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_PR1.json"
 SPARSE_RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_PR2.json"
 SHARDED_RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_PR3.json"
+PROCESS_RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_PR4.json"
 
 #: Required warm-hit speedup of the rank cache in the sharded scenario.
 CACHE_SPEEDUP_FLOOR = 100.0
@@ -234,17 +247,13 @@ def _run_sparse(num_users: int = 200_000, num_items: int = 5_000,
 def _run_sharded(num_users: int = 200_000, num_items: int = 5_000,
                  density: float = 0.001, num_options: int = 4,
                  num_shards: int = 8, max_workers: int = 4,
-                 chunk_size: int = 262_144, seed: int = 7) -> Dict[str, object]:
+                 chunk_size: int = 262_144, seed: int = 7,
+                 backend: str = "threads") -> Dict[str, object]:
     import tempfile
 
-    from repro.engine import (
-        RankCache,
-        ShardedDawidSkeneRanker,
-        ShardedHNDPower,
-        ShardedMajorityVoteRanker,
-        ShardedResponse,
-        load_streaming,
-    )
+    from repro.api import ExecutionPolicy
+    from repro.api import rank as api_rank
+    from repro.engine import RankCache, ShardedResponse, load_streaming
 
     users, items, options = _sparse_triples(
         num_users, num_items, density, num_options, seed
@@ -259,6 +268,7 @@ def _run_sharded(num_users: int = 200_000, num_items: int = 5_000,
         "num_shards": num_shards,
         "max_workers": max_workers,
         "chunk_size": chunk_size,
+        "backend": backend,
         "rss_before_mb": round(_peak_rss_mb(), 1),
     }
 
@@ -278,32 +288,33 @@ def _run_sharded(num_users: int = 200_000, num_items: int = 5_000,
         results["stream_ingest_seconds"] = round(time.perf_counter() - start, 4)
     assert response == source, "streamed reload must reproduce the matrix"
     start = time.perf_counter()
-    sharded = ShardedResponse.split(response, num_shards, max_workers=max_workers)
+    split_workers = max_workers if backend == "threads" else None
+    sharded = ShardedResponse.split(response, num_shards, max_workers=split_workers)
     sharded.columns  # warm the shared kernel state inside the split timing
     results["split_seconds"] = round(time.perf_counter() - start, 4)
     results["shard_answers"] = [int(s.num_answers) for s in sharded.shards]
 
-    # Shard-parallel rankers, checked bit-identical against the
-    # single-process kernels at full scale (scores, not just rankings).
+    # Shard-parallel ranking through the unified API (the pre-split
+    # sharding is reused; the policy picks thread vs process dispatch),
+    # checked bit-identical against the single-process kernels at full
+    # scale (scores, not just rankings).  The timed sharded call includes
+    # the backend's own set-up cost (thread/process pool) — that is what a
+    # cold serving call pays.
+    policy = ExecutionPolicy(backend=backend, shards=num_shards,
+                             workers=max_workers)
     single = {
         "HnD-Power": HNDPower(random_state=0),
         "Dawid-Skene": DawidSkeneRanker(),
         "MajorityVote": MajorityVoteRanker(),
     }
-    rankers = {
-        "HnD-Power": ShardedHNDPower(
-            num_shards=num_shards, max_workers=max_workers, random_state=0
-        ),
-        "Dawid-Skene": ShardedDawidSkeneRanker(
-            num_shards=num_shards, max_workers=max_workers
-        ),
-        "MajorityVote": ShardedMajorityVoteRanker(
-            num_shards=num_shards, max_workers=max_workers
-        ),
+    methods = {
+        "HnD-Power": ("HnD", {"random_state": 0}),
+        "Dawid-Skene": ("Dawid-Skene", {}),
+        "MajorityVote": ("MajorityVote", {}),
     }
-    for name, ranker in rankers.items():
+    for name, (method, params) in methods.items():
         start = time.perf_counter()
-        ranking = ranker.rank(sharded)
+        ranking = api_rank(sharded, method, execution=policy, **params)
         results["%s_sharded_seconds" % name] = round(time.perf_counter() - start, 4)
         iterations = ranking.diagnostics.get("iterations")
         results["%s_iterations" % name] = (
@@ -317,14 +328,14 @@ def _run_sharded(num_users: int = 200_000, num_items: int = 5_000,
         assert identical, "%s sharded scores diverged from single-process" % name
 
     # Rank cache: the second rank() of unchanged data must be served in
-    # O(nnz) hash time, >=100x faster than computing.
+    # O(nnz) hash time, >=100x faster than computing.  The cache key is
+    # backend-independent, so the warm hit serves any execution policy.
     cache = RankCache()
-    hnd = rankers["HnD-Power"]
     start = time.perf_counter()
-    cache.rank(hnd, response)
+    api_rank(sharded, "HnD", execution=policy, cache=cache, random_state=0)
     cold = time.perf_counter() - start
     start = time.perf_counter()
-    cache.rank(hnd, response)
+    api_rank(sharded, "HnD", execution=policy, cache=cache, random_state=0)
     warm = time.perf_counter() - start
     results["cache_cold_seconds"] = round(cold, 4)
     results["cache_warm_seconds"] = round(warm, 6)
@@ -336,7 +347,9 @@ def _run_sharded(num_users: int = 200_000, num_items: int = 5_000,
 
 
 def _print_sharded(results: Dict[str, object]) -> None:
-    print("sharded-engine scenario (PR 3)")
+    backend = results.get("backend", "threads")
+    print("sharded-engine scenario (%s backend)"
+          % ("process-pool" if backend == "processes" else "thread"))
     print("  crowd:   %dx%d @ %.2f%% density -> %s answers, %d shards (%s workers)" % (
         results["num_users"], results["num_items"], 100 * float(results["density"]),
         format(results["num_answers"], ","), results["num_shards"],
@@ -470,6 +483,11 @@ def main(argv: List[str] | None = None) -> int:
                         help="run the 200k x 5k sharded-engine scenario")
     parser.add_argument("--update-sharded", action="store_true",
                         help="run the sharded scenario and rewrite BENCH_PR3.json")
+    parser.add_argument("--backend", default="threads",
+                        choices=["threads", "processes"],
+                        help="with --sharded/--update-sharded: shard dispatch "
+                             "backend (processes = the PR 4 process pool; "
+                             "committed as BENCH_PR4.json)")
     parser.add_argument("--calibrate", action="store_true",
                         help="with --smoke: normalize out machine speed by "
                              "re-timing the frozen reference anchor")
@@ -487,9 +505,11 @@ def main(argv: List[str] | None = None) -> int:
         )
     if args.calibrate and not args.smoke:
         parser.error("--calibrate only applies to --smoke")
+    if args.backend != "threads" and not (args.sharded or args.update_sharded):
+        parser.error("--backend only applies to --sharded/--update-sharded")
 
     if args.sharded or args.update_sharded:
-        sharded_results = _run_sharded()
+        sharded_results = _run_sharded(backend=args.backend)
         _print_sharded(sharded_results)
         if sharded_results["cache_speedup"] < CACHE_SPEEDUP_FLOOR:
             print(
@@ -500,6 +520,13 @@ def main(argv: List[str] | None = None) -> int:
             )
             return 1
         if args.update_sharded:
+            backend_note = (
+                "dispatched over the PR 4 ProcessPoolExecutor backend "
+                "(worker-resident shard slices, shared-memory vectors, "
+                "via repro.api.rank with ExecutionPolicy)"
+                if args.backend == "processes"
+                else "dispatched over the in-process thread backend"
+            )
             payload = {
                 "environment": _environment(),
                 "protocol": {
@@ -508,19 +535,23 @@ def main(argv: List[str] | None = None) -> int:
                         "7) is saved to NPZ, streamed back through the "
                         "chunked out-of-core readers, split into user-range "
                         "shards, and ranked with the shard-parallel kernels "
-                        "(scores asserted bit-identical to the "
+                        "%s (scores asserted bit-identical to the "
                         "single-process rankers at full scale); the rank "
                         "cache is timed cold (miss) vs warm (hit) on "
                         "repeated rank() of unchanged data; peak RSS via "
-                        "getrusage(RUSAGE_SELF).ru_maxrss"
+                        "getrusage(RUSAGE_SELF).ru_maxrss" % backend_note
                     ),
                 },
                 "sharded_engine": sharded_results,
             }
-            SHARDED_RESULTS_PATH.write_text(
+            target = (
+                PROCESS_RESULTS_PATH if args.backend == "processes"
+                else SHARDED_RESULTS_PATH
+            )
+            target.write_text(
                 json.dumps(payload, indent=2, sort_keys=True, allow_nan=False) + "\n"
             )
-            print("wrote", SHARDED_RESULTS_PATH)
+            print("wrote", target)
         return 0
 
     if args.sparse or args.update_sparse:

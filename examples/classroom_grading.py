@@ -25,12 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import (
-    HNDPower,
-    MajorityVoteRanker,
-    generate_dataset,
-    spearman_accuracy,
-)
+from repro import generate_dataset, rank, spearman_accuracy
 from repro.evaluation.metrics import top_fraction_precision
 
 
@@ -61,8 +56,9 @@ def main() -> None:
     print(f"class of {classroom.num_users} students, "
           f"{classroom.num_items} peer-authored questions")
 
-    hnd_ranking = HNDPower(random_state=42).rank(classroom.response)
-    majority_ranking = MajorityVoteRanker().rank(classroom.response)
+    # Methods resolve by name through the repro.api registry.
+    hnd_ranking = rank(classroom.response, "HnD", random_state=42)
+    majority_ranking = rank(classroom.response, "MajorityVote")
 
     print("\ncorrelation with the (hidden) true abilities:")
     print(f"  HITSnDIFFS        {spearman_accuracy(hnd_ranking, classroom.abilities):6.3f}")

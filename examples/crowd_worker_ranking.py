@@ -24,15 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import (
-    DawidSkeneRanker,
-    HNDPower,
-    HITSRanker,
-    PooledInvestmentRanker,
-    TruthFinderRanker,
-    generate_dataset,
-    spearman_accuracy,
-)
+from repro import CrowdSession, generate_dataset, spearman_accuracy
 from repro.evaluation.metrics import top_fraction_precision
 
 
@@ -49,18 +41,22 @@ def main() -> None:
     print(f"{task.num_users} workers, {task.num_items} questions, "
           f"average coverage {coverage:.0%}")
 
-    rankers = {
-        "HnD": HNDPower(random_state=7),
-        "HITS": HITSRanker(),
-        "TruthFinder": TruthFinderRanker(),
-        "PooledInvestment": PooledInvestmentRanker(),
-        "Dawid-Skene": DawidSkeneRanker(max_iterations=30),
+    # A CrowdSession is the serving surface a platform would keep per task:
+    # answers arrive incrementally, every method resolves by name through
+    # the repro.api registry, and repeated queries hit the rank cache.
+    session = CrowdSession.from_matrix(task.response)
+    methods = {
+        "HnD": {"random_state": 7},
+        "HITS": {},
+        "TruthFinder": {},
+        "PooledInv": {},
+        "Dawid-Skene": {"max_iterations": 30},
     }
 
     print(f"\n{'method':<18s} {'rank corr.':>10s} {'top-20 precision':>18s}")
     rankings = {}
-    for name, ranker in rankers.items():
-        ranking = ranker.rank(task.response)
+    for name, params in methods.items():
+        ranking = session.rank(name, **params)
         rankings[name] = ranking
         correlation = spearman_accuracy(ranking, task.abilities)
         precision = top_fraction_precision(ranking.scores, task.abilities,
@@ -70,16 +66,21 @@ def main() -> None:
     # Duality with truth discovery: methods that carry option weights also
     # produce the inferred correct answer per question.
     print("\naccuracy of the inferred correct answers (truth discovery view):")
-    for name in ("HITS", "TruthFinder", "PooledInvestment", "Dawid-Skene"):
+    for name in ("HITS", "TruthFinder", "PooledInv", "Dawid-Skene"):
         truths = rankings[name].diagnostics.get("discovered_truths")
         if truths is None:
             continue
         agreement = float(np.mean(truths == task.correct_options))
         print(f"  {name:<18s} {agreement:6.3f}")
 
-    selected = rankings["HnD"].top_users(20)
+    # top_k serves straight from the session cache — the HnD ranking above
+    # was already computed, so this is an O(nnz) hash lookup.
+    selected = session.top_k(20, "HnD", random_state=7)
     print(f"\nworkers selected for the follow-up batch (HnD top 20): "
           f"{np.sort(selected).tolist()}")
+    stats = session.stats()
+    print(f"session cache: {stats['cache_hits']} hit(s), "
+          f"{stats['cache_misses']} miss(es)")
 
 
 if __name__ == "__main__":

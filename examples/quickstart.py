@@ -12,14 +12,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import (
-    ABHDirect,
-    HNDPower,
-    HITSRanker,
-    TrueAnswerRanker,
-    generate_dataset,
-    spearman_accuracy,
-)
+from repro import generate_dataset, rank, spearman_accuracy
 
 
 def main() -> None:
@@ -32,8 +25,9 @@ def main() -> None:
     print(f"dataset: {dataset.num_users} users x {dataset.num_items} items "
           f"({dataset.model_name} model)")
 
-    # 2. Rank the users with HITSnDIFFS (Algorithm 1 of the paper).
-    ranking = HNDPower(random_state=0).rank(dataset.response)
+    # 2. Rank the users with HITSnDIFFS (Algorithm 1 of the paper).  Every
+    #    method resolves by name through the repro.api registry.
+    ranking = rank(dataset.response, "HnD", random_state=0)
     print(f"\nHnD converged after {ranking.diagnostics['iterations']} iterations")
     print(f"top 5 users by estimated ability:    {ranking.top_users(5).tolist()}")
     print(f"top 5 users by true ability:         "
@@ -43,10 +37,11 @@ def main() -> None:
     #    baseline that is told the correct option of every question.
     contenders = {
         "HnD": ranking,
-        "ABH": ABHDirect().rank(dataset.response),
-        "HITS": HITSRanker().rank(dataset.response),
-        "True-answer (cheating)": TrueAnswerRanker(dataset.correct_options).rank(
-            dataset.response
+        "ABH": rank(dataset.response, "ABH"),
+        "HITS": rank(dataset.response, "HITS"),
+        "True-answer (cheating)": rank(
+            dataset.response, "True-Answer",
+            correct_options=dataset.correct_options,
         ),
     }
     print("\nSpearman correlation with the ground-truth abilities:")

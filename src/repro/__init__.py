@@ -6,9 +6,9 @@ Discovery by Recovering Matrices with the Consecutive Ones Property"
 
 Quickstart
 ----------
->>> from repro import HNDPower, generate_dataset, spearman_accuracy
+>>> from repro import generate_dataset, rank, spearman_accuracy
 >>> dataset = generate_dataset("grm", num_users=50, num_items=80, random_state=0)
->>> ranking = HNDPower(random_state=0).rank(dataset.response)
+>>> ranking = rank(dataset.response, "HnD", random_state=0)
 >>> accuracy = spearman_accuracy(ranking, dataset.abilities)
 
 The public API re-exports the most commonly used pieces; see the subpackages
@@ -21,7 +21,17 @@ for the full surface:
 * :mod:`repro.datasets` — the real-world-shaped benchmark datasets
 * :mod:`repro.evaluation` — metrics, accuracy sweeps, stability and timing
 * :mod:`repro.engine` — sharded execution: user-range shards, streaming
-  ingestion, and the hash-keyed rank cache
+  ingestion, thread/process dispatch, and the hash-keyed rank cache
+* :mod:`repro.api` — the unified entry point: the ranker registry,
+  :func:`~repro.api.execution.rank` + :class:`~repro.api.execution.ExecutionPolicy`,
+  and the stateful :class:`~repro.api.session.CrowdSession`
+
+Unified API
+-----------
+>>> from repro import CrowdSession, ExecutionPolicy, rank
+>>> ranking = rank(dataset.response, "HnD", random_state=0)
+>>> sharded = rank(dataset.response, "HnD", random_state=0,
+...                execution=ExecutionPolicy(backend="threads", shards=8))
 """
 
 from repro.core import (
@@ -62,6 +72,7 @@ from repro.truth_discovery import (
 )
 from repro.datasets import list_datasets, load_dataset
 from repro.engine import (
+    ProcessEngine,
     RankCache,
     ShardedDawidSkeneRanker,
     ShardedHNDPower,
@@ -69,6 +80,14 @@ from repro.engine import (
     ShardedResponse,
     load_sharded,
     load_streaming,
+)
+from repro.api import (
+    REGISTRY,
+    CrowdSession,
+    ExecutionPolicy,
+    RankerRegistry,
+    rank,
+    register_ranker,
 )
 from repro.evaluation import (
     accuracy_sweep,
@@ -133,9 +152,17 @@ __all__ = [
     "ShardedHNDPower",
     "ShardedDawidSkeneRanker",
     "ShardedMajorityVoteRanker",
+    "ProcessEngine",
     "RankCache",
     "load_streaming",
     "load_sharded",
+    # api
+    "REGISTRY",
+    "RankerRegistry",
+    "register_ranker",
+    "rank",
+    "ExecutionPolicy",
+    "CrowdSession",
     # evaluation
     "spearman_accuracy",
     "kendall_accuracy",

@@ -1,0 +1,205 @@
+"""``rank()`` + :class:`ExecutionPolicy`: *what* to run vs *how* to run it.
+
+The paper's methods are pure functions of the response matrix; how they
+execute — fused single-process kernels, thread-dispatched shards, or a
+process pool over shard slices — is an operational choice that must never
+change the answer.  :class:`ExecutionPolicy` makes that choice an explicit
+value instead of a class name::
+
+    from repro.api import ExecutionPolicy, rank
+
+    ranking = rank(matrix, "HnD", random_state=0)                  # fused
+    ranking = rank(matrix, "HnD", random_state=0,
+                   execution=ExecutionPolicy(backend="threads", shards=8))
+    ranking = rank(matrix, "HnD", random_state=0,
+                   execution=ExecutionPolicy(backend="processes", shards=8))
+
+All three return bit-identical scores (the sharded engine's determinism
+model, see :mod:`repro.engine.sharding`); the policy additionally carries a
+:class:`~repro.engine.cache.RankCache` so repeated queries of unchanged
+data are served from the hash-keyed cache regardless of backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from repro.api.registry import REGISTRY, RankerSpec
+from repro.core.ranking import AbilityRanker, AbilityRanking
+from repro.core.response import ResponseMatrix
+from repro.engine.cache import RankCache, ranker_fingerprint
+from repro.engine.process_backend import ProcessEngine
+from repro.engine.rankers import ThreadKernels
+from repro.engine.sharding import ShardedResponse
+
+RankInput = Union[ResponseMatrix, ShardedResponse]
+
+#: Execution backends: ``auto`` resolves to ``fused`` (one shard) or
+#: ``threads`` (several); the other three are literal.
+BACKENDS = ("auto", "fused", "threads", "processes")
+
+
+@dataclass
+class ExecutionPolicy:
+    """How a ranking runs — orthogonal to which method runs.
+
+    Attributes
+    ----------
+    backend:
+        ``"fused"`` — the single-process ``O(nnz)`` kernels;
+        ``"threads"`` — user-range shards with serial/thread dispatch;
+        ``"processes"`` — shards dispatched over a
+        :class:`~repro.engine.process_backend.ProcessEngine` pool;
+        ``"auto"`` (default) — ``fused`` when ``shards == 1``, else
+        ``threads``.  Every backend returns bit-identical scores.
+    shards:
+        User-range shard count for the sharded backends.
+    workers:
+        Dispatch parallelism: worker threads (``threads``) or worker
+        processes (``processes``).  ``None`` means serial dispatch for
+        threads and ``min(shards, cpu_count)`` processes.
+    cache:
+        Optional :class:`~repro.engine.cache.RankCache` serving repeated
+        ``rank()`` calls of unchanged data.  The cache key ignores the
+        execution policy entirely — backends are bit-identical, so a
+        ranking computed by one backend is a valid hit for any other.
+    """
+
+    backend: str = "auto"
+    shards: int = 1
+    workers: Optional[int] = None
+    cache: Optional[RankCache] = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                "unknown backend %r (choose from %s)"
+                % (self.backend, ", ".join(BACKENDS))
+            )
+        if int(self.shards) < 1:
+            raise ValueError("shards must be >= 1, got %r" % (self.shards,))
+        self.shards = int(self.shards)
+        if self.workers is not None and int(self.workers) < 1:
+            raise ValueError("workers must be >= 1 or None, got %r" % (self.workers,))
+        if self.backend == "fused" and self.shards > 1:
+            raise ValueError(
+                "backend 'fused' runs single-process; use backend='threads' "
+                "or 'processes' to shard (got shards=%d)" % self.shards
+            )
+
+    @property
+    def resolved_backend(self) -> str:
+        if self.backend != "auto":
+            return self.backend
+        return "threads" if self.shards > 1 else "fused"
+
+
+def rank(
+    response: RankInput,
+    method: str,
+    *,
+    execution: Optional[ExecutionPolicy] = None,
+    cache: Optional[RankCache] = None,
+    **params,
+) -> AbilityRanking:
+    """Rank the users of ``response`` with a registered method.
+
+    Parameters
+    ----------
+    response:
+        A :class:`ResponseMatrix`, or a pre-split
+        :class:`~repro.engine.sharding.ShardedResponse` (its shard layout
+        is reused by the sharded backends).
+    method:
+        A registered method name (see ``repro.api.REGISTRY``); unknown
+        names raise ``KeyError`` with a did-you-mean hint.
+    execution:
+        The :class:`ExecutionPolicy`; default is fused single-process.
+    cache:
+        Overrides ``execution.cache`` when given.
+    **params:
+        Method parameters (the registry validates the names), e.g.
+        ``rank(matrix, "HnD", random_state=0, tolerance=1e-8)``.
+    """
+    policy = execution if execution is not None else ExecutionPolicy()
+    spec = REGISTRY.get(method)
+    ranker = _PolicyRanker(spec, params, policy)
+    rank_cache = cache if cache is not None else policy.cache
+    if rank_cache is not None:
+        return rank_cache.rank(ranker, response)
+    return ranker.rank(response)
+
+
+class _PolicyRanker(AbilityRanker):
+    """Internal adapter binding (method spec, params, policy) to ``rank()``.
+
+    Its cache fingerprint is that of the *fused* ranker the parameters
+    describe: backends are bit-identical, so rankings cached under one
+    execution policy are valid hits for every other.
+    """
+
+    def __init__(self, spec: RankerSpec, params: Dict[str, object],
+                 policy: ExecutionPolicy) -> None:
+        spec.validate_params(params)
+        self._spec = spec
+        self._params = dict(params)
+        self._policy = policy
+        self.name = spec.name
+
+    def cache_fingerprint(self):
+        if not (self._spec.cacheable and self._spec.deterministic):
+            return None
+        return ranker_fingerprint(self._spec.create(**self._params))
+
+    def rank(self, response: RankInput) -> AbilityRanking:
+        backend = self._policy.resolved_backend
+        if backend == "fused":
+            matrix = (
+                response.source
+                if isinstance(response, ShardedResponse)
+                else response
+            )
+            return self._spec.create(**self._params).rank(matrix)
+
+        runner = self._spec.kernel_runner
+        if runner is None:
+            supported = sorted(
+                spec.name for spec in REGISTRY if spec.kernel_runner is not None
+            )
+            raise ValueError(
+                "method %r has no shard-parallel kernels (backend %r); "
+                "sharded backends support: %s — use the default fused "
+                "backend instead" % (self._spec.name, backend, ", ".join(supported))
+            )
+        if backend == "threads":
+            if isinstance(response, ShardedResponse):
+                sharded = response
+                if (
+                    self._policy.workers is not None
+                    and sharded.max_workers != self._policy.workers
+                ):
+                    # Honor the explicitly requested dispatch parallelism:
+                    # re-wrap the same shard boundaries (O(S log nnz))
+                    # rather than silently inheriting the pre-split's
+                    # worker configuration.
+                    sharded = ShardedResponse(
+                        sharded.source,
+                        sharded.boundaries,
+                        max_workers=self._policy.workers,
+                    )
+            else:
+                sharded = ShardedResponse.split(
+                    response, self._policy.shards, max_workers=self._policy.workers
+                )
+            return runner(ThreadKernels(sharded), **self._params)
+
+        # processes: the shard split itself stays in the parent (serial —
+        # the split is O(S log nnz)); only kernel dispatch crosses processes.
+        sharded = (
+            response
+            if isinstance(response, ShardedResponse)
+            else ShardedResponse.split(response, self._policy.shards)
+        )
+        with ProcessEngine(sharded, max_workers=self._policy.workers) as engine:
+            return runner(engine, **self._params)

@@ -1,0 +1,219 @@
+"""Stateful serving: an incrementally-growing crowd with a warm rank cache.
+
+A :class:`CrowdSession` owns the three pieces a ranking service juggles by
+hand — a :class:`~repro.core.response.ResponseBuilder` accumulating answer
+triples, the materialized :class:`~repro.core.response.ResponseMatrix`, and
+a :class:`~repro.engine.cache.RankCache` — and keeps them consistent:
+
+* :meth:`add_answers` appends in ``O(batch)``; the matrix is re-materialized
+  lazily, on the next read, through the canonical ``from_triples``
+  validation (so a chunked session equals — and hash-equals — a one-shot
+  build of the same answers).  Exact repeats are collapsed at
+  materialization, so replaying an ingestion batch is idempotent;
+  *conflicting* repeats (one user giving two different options for one
+  item) raise at the next :attr:`matrix` access.
+* staleness is **content-hash based**: the cache keys on
+  ``ResponseMatrix.content_hash()``, so an append invalidates exactly the
+  entries of the old matrix state (they age out of the LRU) while entries
+  for other methods/parameters of the *new* state fill in on demand — and a
+  no-op append (or re-ingesting identical data) still hits warm.
+* :meth:`rank` / :meth:`top_k` route through :func:`repro.api.rank`, so the
+  session serves any registered method under any
+  :class:`~repro.api.execution.ExecutionPolicy` backend.
+
+>>> from repro.api import CrowdSession
+>>> session = CrowdSession(num_items=3, num_options=4)
+>>> _ = session.add_answers([0, 0, 1, 1], [0, 2, 0, 1], [1, 3, 1, 0])
+>>> session.rank("MajorityVote").scores.shape
+(2,)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.api.execution import ExecutionPolicy, rank as _rank
+from repro.core.ranking import AbilityRanking
+from repro.core.response import ResponseBuilder, ResponseMatrix
+from repro.engine.cache import RankCache
+from repro.exceptions import InvalidResponseMatrixError
+
+
+class CrowdSession:
+    """A growing crowd served through the unified ranking API.
+
+    Parameters
+    ----------
+    num_items:
+        Fixed item count, when known up front (otherwise inferred as
+        ``max(item) + 1`` over everything appended).
+    num_options:
+        Scalar or per-item option counts (inferred from the data when
+        omitted).
+    num_users:
+        Minimum user-row count to materialize (e.g. registered users who
+        have not answered yet); grows automatically past it.
+    execution:
+        Default :class:`ExecutionPolicy` for :meth:`rank` / :meth:`top_k`
+        (fused single-process when omitted).
+    cache:
+        The session's :class:`RankCache`, or an ``int`` capacity for a
+        fresh one (default 128 entries).
+    """
+
+    def __init__(
+        self,
+        *,
+        num_items: Optional[int] = None,
+        num_options: Optional[Union[Sequence[int], int]] = None,
+        num_users: Optional[int] = None,
+        execution: Optional[ExecutionPolicy] = None,
+        cache: Optional[Union[RankCache, int]] = None,
+    ) -> None:
+        self._builder = ResponseBuilder(num_items=num_items, num_options=num_options)
+        self._min_users = None if num_users is None else int(num_users)
+        self.execution = execution if execution is not None else ExecutionPolicy()
+        if isinstance(cache, RankCache):
+            self.cache = cache
+        else:
+            self.cache = RankCache(maxsize=cache) if cache is not None else RankCache()
+        self._matrix: Optional[ResponseMatrix] = None
+
+    @classmethod
+    def from_matrix(cls, matrix: ResponseMatrix, **kwargs) -> "CrowdSession":
+        """Start a session pre-loaded with an existing matrix's answers."""
+        users, items, options = matrix.triples
+        session = cls(
+            num_items=matrix.num_items,
+            num_options=matrix.num_options,
+            num_users=matrix.num_users,
+            **kwargs,
+        )
+        session.add_answers(users, items, options)
+        return session
+
+    # ------------------------------------------------------------------ #
+    # Ingestion
+    # ------------------------------------------------------------------ #
+    def add_answers(self, users, items=None, options=None) -> "CrowdSession":
+        """Append a batch of answers; ``O(batch)``, matrix rebuilt lazily.
+
+        Accepts either three parallel arrays ``(users, items, options)`` or
+        a single ``(N, 3)`` array of answer *rows*.  A bare tuple is
+        rejected rather than guessed at: for a 3 x 3 batch, columns and
+        rows are indistinguishable, and silently transposing answers would
+        corrupt the crowd.  Empty batches are true no-ops: the
+        materialized matrix and every warm cache entry stay valid.
+        """
+        if items is None and options is None:
+            if isinstance(users, tuple):
+                raise InvalidResponseMatrixError(
+                    "pass the three answer arrays as separate arguments — "
+                    "add_answers(users, items, options) — or one (N, 3) "
+                    "array of answer rows; a bare tuple is ambiguous "
+                    "between the two"
+                )
+            triples = np.asarray(users)
+            if triples.size == 0:
+                return self
+            if triples.ndim == 2 and triples.shape[1] == 3:
+                users, items, options = triples[:, 0], triples[:, 1], triples[:, 2]
+            else:
+                raise InvalidResponseMatrixError(
+                    "add_answers takes (users, items, options) arrays or an "
+                    "(N, 3) triples array, got shape %s" % (triples.shape,)
+                )
+        before = self._builder.num_answers
+        self._builder.add_answers(users, items, options)
+        if self._builder.num_answers != before:
+            self._matrix = None
+        return self
+
+    def add_user(self, items, options) -> int:
+        """Append a whole new user's answers; returns the new user index."""
+        user = self._builder.add_user(items, options)
+        self._matrix = None  # a new user row changes the shape even if empty
+        return user
+
+    # ------------------------------------------------------------------ #
+    # Materialized state
+    # ------------------------------------------------------------------ #
+    @property
+    def num_answers(self) -> int:
+        return self._builder.num_answers
+
+    @property
+    def num_users(self) -> int:
+        seen = self._builder.num_users
+        return seen if self._min_users is None else max(seen, self._min_users)
+
+    @property
+    def matrix(self) -> ResponseMatrix:
+        """The current crowd, materialized through ``from_triples``.
+
+        Rebuilt only when answers arrived since the last build; a chunked
+        ingestion history materializes equal (and hash-equal) to a one-shot
+        ``from_triples`` of the same answers.  Exact repeated triples
+        (replayed ingestion batches) are collapsed, so replays are
+        idempotent; *conflicting* repeats (one user, one item, two
+        different options) raise here, leaving the ingested state intact.
+        """
+        if self._matrix is None:
+            self._matrix = self._builder.build(
+                num_users=self.num_users or None, deduplicate=True
+            )
+        return self._matrix
+
+    def content_hash(self) -> str:
+        """The stable digest of the current crowd (the cache's staleness key)."""
+        return self.matrix.content_hash()
+
+    # ------------------------------------------------------------------ #
+    # Serving
+    # ------------------------------------------------------------------ #
+    def rank(
+        self,
+        method: str = "HnD",
+        *,
+        execution: Optional[ExecutionPolicy] = None,
+        **params,
+    ) -> AbilityRanking:
+        """Rank the current crowd; warm cache hits when nothing changed.
+
+        ``execution`` overrides the session default for this call.  The
+        session cache is always consulted: identical (data, method,
+        parameters) queries are served in ``O(nnz)`` hash time, and a real
+        append changes the content hash, forcing a recompute.
+        """
+        policy = execution if execution is not None else self.execution
+        return _rank(self.matrix, method, execution=policy, cache=self.cache,
+                     **params)
+
+    def top_k(
+        self,
+        count: int,
+        method: str = "HnD",
+        *,
+        execution: Optional[ExecutionPolicy] = None,
+        **params,
+    ) -> np.ndarray:
+        """Indices of the ``count`` highest-ranked users, best first."""
+        return self.rank(method, execution=execution, **params).top_users(count)
+
+    def stats(self) -> Dict[str, object]:
+        """Session counters: crowd size plus the cache's hit/miss/bypass."""
+        info: Dict[str, object] = {
+            "num_users": self.num_users,
+            "num_answers": self.num_answers,
+            "materialized": self._matrix is not None,
+        }
+        info.update({"cache_%s" % key: value
+                     for key, value in self.cache.stats().items()})
+        return info
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "CrowdSession(num_users=%d, num_answers=%d)" % (
+            self.num_users, self.num_answers,
+        )

@@ -24,6 +24,7 @@ from typing import Optional, Union
 import numpy as np
 import scipy.sparse as sp
 
+from repro.api.registry import register_ranker
 from repro.core.ranking import AbilityRanker, AbilityRanking
 from repro.core.response import ResponseMatrix
 from repro.core.symmetry import orient_scores
@@ -42,6 +43,11 @@ from repro.linalg.spectral import fiedler_vector, laplacian
 RandomState = Optional[Union[int, np.random.Generator]]
 
 
+@register_ranker(
+    "ABH",
+    params=("break_symmetry", "check_connectivity"),
+    summary="ABH spectral ranking via the Fiedler vector (Lanczos)",
+)
 class ABHDirect(AbilityRanker):
     """ABH with a direct (Lanczos) Fiedler-vector computation.
 
@@ -71,6 +77,12 @@ class ABHDirect(AbilityRanker):
         return AbilityRanking(scores=scores, method=self.name, diagnostics=diagnostics)
 
 
+@register_ranker(
+    "ABH-power",
+    params=("beta", "tolerance", "max_iterations", "break_symmetry",
+            "check_connectivity", "random_state"),
+    summary="ABH via shifted power iteration on the similarity Laplacian",
+)
 class ABHPower(AbilityRanker):
     """ABH via power iteration on ``beta*I - M`` (Algorithm 2 of the paper).
 

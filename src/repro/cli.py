@@ -10,15 +10,20 @@ Usage::
     python -m repro.cli fig12 --students 100
     python -m repro.cli fig13
     python -m repro.cli rank crowd.npz --method HnD --shards 8 --repeat 3
+    python -m repro.cli rank crowd.npz --backend processes --shards 8
 
 Each ``figN`` command prints a plain-text table with the same rows/series
 the paper reports; the figure-to-command mapping follows the benchmark
 scripts in ``benchmarks/`` (one ``bench_figN_*.py`` per reproduced figure).
 
 ``rank`` is the serving entry point: it streams a saved matrix (NPZ or
-CSV triples) through the chunked readers, ranks it — shard-parallel when
-``--shards`` > 1 — and serves repeated calls from the hash-keyed
-:class:`~repro.engine.cache.RankCache`.
+CSV triples) through the chunked readers and ranks it through
+:func:`repro.api.rank` — the method name resolves in the ranker registry
+and ``--backend``/``--shards``/``--workers`` populate an
+:class:`~repro.api.execution.ExecutionPolicy` (``threads`` dispatches the
+shard kernels in-process, ``processes`` over a worker pool; both are
+bit-identical to the fused kernels).  Repeated calls are served from the
+hash-keyed :class:`~repro.engine.cache.RankCache`.
 """
 
 from __future__ import annotations
@@ -29,14 +34,10 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.api import REGISTRY, ExecutionPolicy
+from repro.api import rank as api_rank
 from repro.datasets import dataset_summary_table, list_datasets, load_dataset
-from repro.engine import (
-    RankCache,
-    ShardedDawidSkeneRanker,
-    ShardedHNDPower,
-    ShardedMajorityVoteRanker,
-    load_streaming,
-)
+from repro.engine import RankCache, load_streaming
 from repro.evaluation import (
     accuracy_sweep,
     c1p_dataset_factory,
@@ -206,9 +207,6 @@ def command_fig13(args: argparse.Namespace) -> int:
 def command_rank(args: argparse.Namespace) -> int:
     import time
 
-    from repro.core.hitsndiffs import HNDPower
-    from repro.truth_discovery import DawidSkeneRanker, MajorityVoteRanker
-
     start = time.perf_counter()
     response = load_streaming(args.input, chunk_size=args.chunk_size)
     load_seconds = time.perf_counter() - start
@@ -224,43 +222,45 @@ def command_rank(args: argparse.Namespace) -> int:
         )
     )
 
-    sharded = args.shards > 1
-    if args.method == "HnD":
-        ranker = (
-            ShardedHNDPower(
-                num_shards=args.shards,
-                max_workers=args.workers,
-                random_state=args.seed,
-            )
-            if sharded
-            else HNDPower(random_state=args.seed)
-        )
-    elif args.method == "Dawid-Skene":
-        ranker = (
-            ShardedDawidSkeneRanker(
-                num_shards=args.shards, max_workers=args.workers
-            )
-            if sharded
-            else DawidSkeneRanker()
-        )
-    else:
-        ranker = (
-            ShardedMajorityVoteRanker(
-                num_shards=args.shards, max_workers=args.workers
-            )
-            if sharded
-            else MajorityVoteRanker()
-        )
-
+    # Everything resolves through repro.api: the registry supplies the
+    # method, the ExecutionPolicy separates it from how it runs ("auto"
+    # resolution included — the CLI does not re-implement it).
+    spec = REGISTRY.get(args.method)
+    params = {}
+    if spec.takes("random_state"):
+        params["random_state"] = args.seed
     cache = RankCache(maxsize=args.cache_size)
+    try:
+        policy = ExecutionPolicy(
+            backend=args.backend,
+            shards=args.shards,
+            workers=args.workers,
+            cache=cache,
+        )
+    except ValueError as error:
+        # e.g. an explicit --backend fused combined with --shards > 1:
+        # surface the conflict instead of silently dropping the sharding.
+        print("error:", error, file=sys.stderr)
+        return 2
+    print(
+        "method %s via backend %s (%d shard(s), workers=%s)"
+        % (spec.name, policy.resolved_backend, policy.shards, policy.workers)
+    )
+
     ranking = None
-    for call in range(max(args.repeat, 1)):
-        before = cache.stats()["hits"]
-        start = time.perf_counter()
-        ranking = cache.rank(ranker, response)
-        elapsed = time.perf_counter() - start
-        served = "cache hit" if cache.stats()["hits"] > before else "computed"
-        print("rank() call %d: %.4f s (%s)" % (call + 1, elapsed, served))
+    try:
+        for call in range(max(args.repeat, 1)):
+            before = cache.stats()["hits"]
+            start = time.perf_counter()
+            ranking = api_rank(response, args.method, execution=policy, **params)
+            elapsed = time.perf_counter() - start
+            served = "cache hit" if cache.stats()["hits"] > before else "computed"
+            print("rank() call %d: %.4f s (%s)" % (call + 1, elapsed, served))
+    except ValueError as error:
+        # e.g. a sharded backend for a method without shard kernels
+        # (GLAD --shards 4): a clean error, not a traceback.
+        print("error:", error, file=sys.stderr)
+        return 2
     print("cache stats:", cache.stats())
 
     top = ranking.top_users(args.top)
@@ -338,13 +338,22 @@ def build_parser() -> argparse.ArgumentParser:
     rank.add_argument(
         "--method",
         default="HnD",
-        choices=["HnD", "Dawid-Skene", "MajorityVote"],
-        help="ranking method (sharded twin used when --shards > 1)",
+        choices=sorted(REGISTRY.names(supervised=False)),
+        help="ranking method, resolved through the repro.api registry",
+    )
+    rank.add_argument(
+        "--backend",
+        default="auto",
+        choices=["auto", "fused", "threads", "processes"],
+        help="execution backend (auto = threads when --shards > 1, else "
+             "fused single-process kernels); all backends are bit-identical",
     )
     rank.add_argument("--shards", type=int, default=1,
                       help="user-range shards (1 = single-process kernels)")
     rank.add_argument("--workers", type=int, default=None,
-                      help="worker threads for shard dispatch (default serial)")
+                      help="shard-dispatch workers: threads for --backend "
+                           "threads (default serial), processes for "
+                           "--backend processes (default min(shards, cpus))")
     rank.add_argument("--repeat", type=int, default=2,
                       help="rank() calls to issue (later calls hit the cache)")
     rank.add_argument("--top", type=int, default=10,

@@ -22,6 +22,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.api.registry import register_ranker
 from repro.core.avghits import (
     avghits_fixed_point,
     difference_update_matrix,
@@ -43,6 +44,12 @@ from repro.linalg.spectral import second_largest_eigenvector
 RandomState = Optional[Union[int, np.random.Generator]]
 
 
+@register_ranker(
+    "HnD",
+    params=("tolerance", "max_iterations", "break_symmetry",
+            "check_connectivity", "random_state"),
+    summary="HITSnDIFFS power iteration (Algorithm 1, the paper's method)",
+)
 class HNDPower(AbilityRanker):
     """HITSnDIFFS via the matrix-free power iteration of Algorithm 1.
 
@@ -109,6 +116,11 @@ class HNDPower(AbilityRanker):
         return AbilityRanking(scores=scores, method=self.name, diagnostics=diagnostics)
 
 
+@register_ranker(
+    "HnD-direct",
+    params=("break_symmetry", "check_connectivity"),
+    summary="HITSnDIFFS via a direct Arnoldi eigensolve of U",
+)
 class HNDDirect(AbilityRanker):
     """HITSnDIFFS via a direct Arnoldi solve of the 2nd eigenvector of ``U``.
 
@@ -139,6 +151,12 @@ class HNDDirect(AbilityRanker):
         return AbilityRanking(scores=scores, method=self.name, diagnostics=diagnostics)
 
 
+@register_ranker(
+    "HnD-deflation",
+    params=("tolerance", "max_iterations", "break_symmetry",
+            "check_connectivity", "random_state"),
+    summary="HITSnDIFFS via Hotelling deflation of U (Section III-F)",
+)
 class HNDDeflation(AbilityRanker):
     """HITSnDIFFS via Hotelling deflation of the update matrix ``U``.
 

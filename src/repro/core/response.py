@@ -1280,12 +1280,19 @@ class ResponseBuilder:
         num_users: Optional[int] = None,
         num_items: Optional[int] = None,
         num_options: Optional[Sequence[int] | int] = None,
+        deduplicate: bool = False,
     ) -> "ResponseMatrix":
         """Validate the accumulated triples and build a :class:`ResponseMatrix`.
 
         The explicit ``num_users`` / ``num_items`` / ``num_options``
         arguments override what the builder saw or was configured with
         (e.g. to declare trailing users nobody has answered for yet).
+
+        ``deduplicate=True`` collapses *exact* repeated triples (the same
+        user restating the same option for the same item) before
+        validation, making replayed ingestion batches idempotent.
+        Conflicting repeats — the same ``(user, item)`` with a different
+        option — still raise, because they contradict each other.
         """
         if self._num_answers == 0:
             raise InvalidResponseMatrixError(
@@ -1294,6 +1301,20 @@ class ResponseBuilder:
         users = np.concatenate(self._user_chunks)
         items = np.concatenate(self._item_chunks)
         options = np.concatenate(self._option_chunks)
+        if deduplicate:
+            # Sort by (user, item, option) and drop exact repeats; the
+            # result is user-major sorted, so from_triples takes the
+            # O(nnz) fast path, and any *conflicting* duplicate (user,
+            # item) pairs are adjacent for its duplicate check.
+            order = np.lexsort((options, items, users))
+            users, items, options = users[order], items[order], options[order]
+            repeat = (
+                (users[1:] == users[:-1])
+                & (items[1:] == items[:-1])
+                & (options[1:] == options[:-1])
+            )
+            keep = np.concatenate([[True], ~repeat])
+            users, items, options = users[keep], items[keep], options[keep]
         m = self._num_users if num_users is None else int(num_users)
         if num_items is not None:
             n = int(num_items)

@@ -8,7 +8,12 @@ merge across shards (:mod:`~repro.engine.kernels`,
 :mod:`~repro.engine.rankers` — bit-identical to the single-process paths),
 the chunked readers stream datasets bigger than the raw input buffers
 (:mod:`~repro.engine.ingest`), and the ``O(nnz)`` content hash keys an LRU
-cache over repeated ``rank()`` calls (:mod:`~repro.engine.cache`).
+cache over repeated ``rank()`` calls (:mod:`~repro.engine.cache`).  Shard
+dispatch runs serially, over a thread pool, or — via
+:class:`~repro.engine.process_backend.ProcessEngine` — over a process pool
+with worker-resident shard slices; every mode is bit-identical.  Prefer the
+:func:`repro.api.rank` entry point with an ``ExecutionPolicy`` over
+constructing the ``Sharded*`` shim classes directly (deprecated).
 """
 
 from repro.engine.sharding import ResponseShard, ShardedResponse
@@ -23,10 +28,16 @@ from repro.engine.kernels import (
     user_sums,
 )
 from repro.engine.rankers import (
+    ShardKernels,
     ShardedDawidSkeneRanker,
     ShardedHNDPower,
     ShardedMajorityVoteRanker,
+    ThreadKernels,
+    rank_dawid_skene,
+    rank_hnd_power,
+    rank_majority_vote,
 )
+from repro.engine.process_backend import ProcessEngine
 from repro.engine.ingest import (
     DEFAULT_CHUNK_SIZE,
     build_from_chunks,
@@ -53,6 +64,12 @@ __all__ = [
     "ShardedMajorityVoteRanker",
     "ShardedDawidSkeneRanker",
     "ShardedHNDPower",
+    "ShardKernels",
+    "ThreadKernels",
+    "ProcessEngine",
+    "rank_majority_vote",
+    "rank_dawid_skene",
+    "rank_hnd_power",
     "DEFAULT_CHUNK_SIZE",
     "iter_triples_npz",
     "iter_triples_csv",

@@ -31,6 +31,7 @@ from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.api.registry import REGISTRY
 from repro.core.ranking import AbilityRanker, AbilityRanking
 from repro.core.response import ResponseMatrix
 from repro.engine.sharding import ShardedResponse
@@ -46,6 +47,8 @@ def _fingerprint_value(value: object) -> Optional[object]:
     """
     if value is None or isinstance(value, (bool, int, float, str, bytes)):
         return (type(value).__name__, value)
+    if isinstance(value, np.dtype):
+        return ("dtype", value.str)
     if isinstance(value, np.generic):
         return (type(value).__name__, value.item())
     if isinstance(value, np.ndarray):
@@ -65,28 +68,64 @@ def _fingerprint_value(value: object) -> Optional[object]:
     return None
 
 
+def _nondeterministic_random_state(name: str, value: object) -> bool:
+    """The uncacheable random-state shapes: fresh-seed-per-call or mutable."""
+    return name == "random_state" and (
+        value is None or isinstance(value, np.random.Generator)
+    )
+
+
 def ranker_fingerprint(ranker: AbilityRanker) -> Optional[Tuple]:
     """A hashable key identifying a ranker's class and parameters.
 
     Two rankers with equal fingerprints produce equal rankings on equal
     matrices.  Returns ``None`` — *uncacheable* — when that cannot be
-    guaranteed: an attribute that cannot be faithfully tokenized, or a
-    nondeterministic random state (``random_state`` of ``None`` draws a
-    fresh seed per call; a live ``Generator`` mutates between calls).
+    guaranteed: a method the registry marks non-cacheable, a parameter that
+    cannot be faithfully tokenized, or a nondeterministic random state
+    (``random_state`` of ``None`` draws a fresh seed per call; a live
+    ``Generator`` mutates between calls).
 
-    Attributes a ranker class names in ``cache_excluded_attributes`` are
-    *execution* parameters that provably do not affect the result (the
-    sharded rankers are bit-identical at any shard/worker count), so two
-    configurations of the same method share one cache entry.
+    Resolution order:
+
+    1. a ``cache_fingerprint()`` hook on the ranker (the policy adapters of
+       :func:`repro.api.rank` use this to share entries across execution
+       backends, which are bit-identical);
+    2. the registry's param spec, for registered ranker classes and their
+       sharded shims — only the declared result-affecting parameters enter
+       the key, so execution knobs (shard counts, worker pools) and
+       ``**kwargs``-style incidental state can never poison it with a
+       silent ``None`` (cache-bypass) fingerprint;
+    3. instance-``vars()`` introspection for unregistered rankers, minus
+       any attributes named in ``cache_excluded_attributes``.
     """
+    hook = getattr(ranker, "cache_fingerprint", None)
+    if callable(hook):
+        return hook()
+
+    spec = REGISTRY.spec_for(type(ranker))
+    if spec is not None:
+        if not (spec.cacheable and spec.deterministic):
+            return None
+        tokens = []
+        for param in sorted(spec.params, key=lambda p: p.name):
+            try:
+                value = getattr(ranker, param.attribute)
+            except AttributeError:
+                return None
+            if _nondeterministic_random_state(param.name, value):
+                return None
+            token = _fingerprint_value(value)
+            if token is None:
+                return None
+            tokens.append((param.name, token))
+        return (type(ranker).__module__, type(ranker).__qualname__, tuple(tokens))
+
     excluded = frozenset(getattr(type(ranker), "cache_excluded_attributes", ()))
     tokens = []
     for name, value in sorted(vars(ranker).items()):
         if name in excluded:
             continue
-        if name == "random_state" and (
-            value is None or isinstance(value, np.random.Generator)
-        ):
+        if _nondeterministic_random_state(name, value):
             return None
         token = _fingerprint_value(value)
         if token is None:

@@ -1,38 +1,45 @@
-"""Shard-parallel rankers: drop-in twins of the single-process methods.
+"""Backend-agnostic sharded ranking: kernel interface, runners, and shims.
 
-Each ranker here splits the input matrix into user-range shards and runs the
-shard-parallel kernels of :mod:`repro.engine.kernels`, producing **the same
-scores, bit for bit,** as its single-process counterpart (``MajorityVoteRanker``,
-``DawidSkeneRanker``, ``HNDPower``) at any shard count and worker count —
-that equivalence is pinned by ``tests/test_engine_sharding.py``.  The method
-``name`` is therefore kept identical too; the execution engine is reported
-in the diagnostics (``engine``, ``num_shards``) instead.
+The paper's shard-friendly methods (MajorityVote, Dawid–Skene, HnD-Power)
+are implemented **once** here as *runners* — ``rank_majority_vote``,
+``rank_dawid_skene``, ``rank_hnd_power`` — over a small kernel interface
+(:class:`ShardKernels`).  A runner owns everything that is not a sufficient
+statistic (the power-iteration driver, the EM loop, symmetry breaking), so
+every backend walks literally the same code path and produces **the same
+scores, bit for bit,** as the single-process rankers (``MajorityVoteRanker``,
+``DawidSkeneRanker``, ``HNDPower``) at any shard and worker count:
 
-All three follow the same template::
+* :class:`ThreadKernels` dispatches the shard map serially or over the
+  :class:`~repro.engine.sharding.ShardedResponse` thread pool;
+* :class:`~repro.engine.process_backend.ProcessEngine` dispatches it over a
+  ``ProcessPoolExecutor`` (worker-resident shard slices + shared-memory
+  vectors) and implements the same interface.
 
-    sharded = ShardedResponse.split(response, num_shards, max_workers=...)
-    statistics = map over shards  ->  deterministic reduce
-    scores     = the shared finishing code of the single-process ranker
+The preferred entry point is :func:`repro.api.rank` with an
+:class:`~repro.api.execution.ExecutionPolicy`::
 
-so anything not a sufficient statistic (power-iteration driver, EM loop,
-symmetry breaking) is literally the same code object as the single-process
-path.
+    rank(matrix, "HnD", execution=ExecutionPolicy(backend="threads", shards=8))
+
+.. deprecated:: 1.1
+    The ``ShardedMajorityVoteRanker`` / ``ShardedDawidSkeneRanker`` /
+    ``ShardedHNDPower`` classes remain as thin shims over the runners for
+    backward compatibility, but direct construction is deprecated — new
+    code should select the execution strategy through ``ExecutionPolicy``
+    rather than by class.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Union
+import warnings
+from typing import Callable, Dict, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.api.registry import REGISTRY
 from repro.core.ranking import AbilityRanker, AbilityRanking
 from repro.core.response import ResponseMatrix
 from repro.core.symmetry import orient_scores
-from repro.engine.kernels import (
-    dawid_skene_accumulators,
-    hnd_difference_step,
-    majority_vote_scores,
-)
+from repro.engine import kernels as _kernels
 from repro.engine.sharding import ShardedResponse
 from repro.linalg.operators import apply_cumulative
 from repro.linalg.power_iteration import (
@@ -56,8 +63,221 @@ def _as_sharded(
     return ShardedResponse.split(response, num_shards, max_workers=max_workers)
 
 
+class ShardKernels:
+    """The kernel interface the runners execute against.
+
+    A backend exposes the shard-parallel sufficient-statistic kernels plus
+    the small shared state the finishing code needs.  Implementations:
+    :class:`ThreadKernels` here and
+    :class:`~repro.engine.process_backend.ProcessEngine`.
+    """
+
+    #: Reported in result diagnostics (``"threads"`` / ``"serial"`` / ``"processes"``).
+    backend: str = "abstract"
+
+    @property
+    def source(self) -> ResponseMatrix:
+        raise NotImplementedError
+
+    @property
+    def num_shards(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def num_users(self) -> int:
+        return self.source.num_users
+
+    @property
+    def num_items(self) -> int:
+        return self.source.num_items
+
+    @property
+    def max_options(self) -> int:
+        return self.source.max_options
+
+    def diagnostics(self) -> Dict[str, object]:
+        return {
+            "engine": "sharded",
+            "backend": self.backend,
+            "num_shards": self.num_shards,
+        }
+
+    # Shard-parallel kernels ------------------------------------------- #
+    def majority_scores(
+        self, *, normalize_by_answers: bool = True
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        raise NotImplementedError
+
+    def dawid_skene_accumulators(
+        self, num_classes: int
+    ) -> Tuple[Callable, Callable]:
+        raise NotImplementedError
+
+    def hnd_difference_step(self) -> Callable[[np.ndarray], np.ndarray]:
+        raise NotImplementedError
+
+
+class ThreadKernels(ShardKernels):
+    """Kernel interface over in-process shards (serial or thread dispatch).
+
+    A thin adapter around the :mod:`repro.engine.kernels` functions — the
+    dispatch mode is whatever the wrapped :class:`ShardedResponse` was
+    configured with (``max_workers``).
+    """
+
+    def __init__(self, sharded: ShardedResponse) -> None:
+        self.sharded = sharded
+
+    @property
+    def backend(self) -> str:  # type: ignore[override]
+        workers = self.sharded.max_workers
+        return "threads" if workers and workers > 1 else "serial"
+
+    @property
+    def source(self) -> ResponseMatrix:
+        return self.sharded.source
+
+    @property
+    def num_shards(self) -> int:
+        return self.sharded.num_shards
+
+    def majority_scores(self, *, normalize_by_answers: bool = True):
+        return _kernels.majority_vote_scores(
+            self.sharded, normalize_by_answers=normalize_by_answers
+        )
+
+    def dawid_skene_accumulators(self, num_classes: int):
+        return _kernels.dawid_skene_accumulators(self.sharded, num_classes)
+
+    def hnd_difference_step(self):
+        return _kernels.hnd_difference_step(self.sharded)
+
+
+# --------------------------------------------------------------------------- #
+# Runners: the shared method implementations every backend executes
+# --------------------------------------------------------------------------- #
+def rank_majority_vote(
+    kernels: ShardKernels, *, normalize_by_answers: bool = True
+) -> AbilityRanking:
+    """MajorityVote over shard kernels (bit-identical to ``MajorityVoteRanker``)."""
+    scores, majority = kernels.majority_scores(
+        normalize_by_answers=normalize_by_answers
+    )
+    diagnostics: Dict[str, object] = {"discovered_truths": majority}
+    diagnostics.update(kernels.diagnostics())
+    return AbilityRanking(scores=scores, method="MajorityVote", diagnostics=diagnostics)
+
+
+def rank_dawid_skene(
+    kernels: ShardKernels,
+    *,
+    max_iterations: int = 100,
+    tolerance: float = 1e-6,
+    smoothing: float = 0.01,
+) -> AbilityRanking:
+    """Dawid–Skene over shard kernels (bit-identical to ``DawidSkeneRanker``).
+
+    Only the two sufficient-statistic reductions are distributed; the EM
+    loop itself is the shared
+    :func:`~repro.truth_discovery.dawid_skene.dawid_skene_em`, so the
+    trajectory — and the final scores — match the single-process ranker.
+    """
+    num_classes = kernels.max_options
+    _, items, options = kernels.source.triples
+    count_accumulator, loglik_accumulator = kernels.dawid_skene_accumulators(
+        num_classes
+    )
+    result = dawid_skene_em(
+        count_accumulator=count_accumulator,
+        loglik_accumulator=loglik_accumulator,
+        posteriors=initial_posteriors(
+            items, options, kernels.num_items, num_classes, smoothing
+        ),
+        num_users=kernels.num_users,
+        num_classes=num_classes,
+        max_iterations=max_iterations,
+        tolerance=tolerance,
+        smoothing=smoothing,
+    )
+    diagnostics: Dict[str, object] = {
+        "iterations": result.iterations,
+        "converged": result.converged,
+        "discovered_truths": result.posteriors.argmax(axis=1),
+        "class_priors": result.priors,
+    }
+    diagnostics.update(kernels.diagnostics())
+    return AbilityRanking(
+        scores=result.accuracies, method="Dawid-Skene", diagnostics=diagnostics
+    )
+
+
+def rank_hnd_power(
+    kernels: ShardKernels,
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    break_symmetry: bool = True,
+    check_connectivity: bool = False,
+    random_state: RandomState = None,
+) -> AbilityRanking:
+    """HnD-Power (Algorithm 1) over shard kernels (bit-identical to ``HNDPower``).
+
+    The power-iteration driver, cumulative/difference wrappers, and the
+    decile-entropy symmetry breaking are the single-process code; each
+    iteration's AVGHITS matvec is the shard-parallel sum of per-shard
+    partial products (gather in shards, canonical-order scatter reduce).
+    """
+    matrix = kernels.source
+    if check_connectivity:
+        matrix.require_connected()
+    m = kernels.num_users
+    if m < 2:
+        return AbilityRanking(scores=np.zeros(m), method="HnD",
+                              diagnostics={"iterations": 0, "converged": True})
+    diff_step = kernels.hnd_difference_step()
+    result = power_iteration_matvec(
+        diff_step,
+        m - 1,
+        tolerance=tolerance,
+        max_iterations=max_iterations,
+        random_state=random_state,
+    )
+    scores = apply_cumulative(result.vector)
+    diagnostics: Dict[str, object] = {
+        "iterations": result.iterations,
+        "converged": result.converged,
+        "residual": result.residual,
+        "eigenvalue": result.eigenvalue,
+        "diff_vector_variance": float(np.var(result.vector)),
+    }
+    diagnostics.update(kernels.diagnostics())
+    if break_symmetry:
+        scores, symmetry_diag = orient_scores(matrix, scores)
+        diagnostics.update(symmetry_diag)
+    return AbilityRanking(scores=scores, method="HnD", diagnostics=diagnostics)
+
+
+# --------------------------------------------------------------------------- #
+# Deprecated shims: class-based backend selection, kept for compatibility
+# --------------------------------------------------------------------------- #
+def _warn_deprecated_shim(cls: type, method: str) -> None:
+    """Runtime migration signal for the class-based backend selection."""
+    warnings.warn(
+        "%s is deprecated; use repro.api.rank(response, %r, "
+        "execution=ExecutionPolicy(backend='threads', shards=...)) instead"
+        % (cls.__name__, method),
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 class ShardedMajorityVoteRanker(AbilityRanker):
-    """Shard-parallel :class:`~repro.truth_discovery.majority.MajorityVoteRanker`."""
+    """Thread-sharded ``MajorityVoteRanker`` (deprecated shim).
+
+    .. deprecated:: 1.1
+        Use ``repro.api.rank(response, "MajorityVote",
+        execution=ExecutionPolicy(backend="threads", shards=...))``.
+    """
 
     name = "MajorityVote"
     #: Execution-only knobs: results are bit-identical at any shard/worker
@@ -66,6 +286,7 @@ class ShardedMajorityVoteRanker(AbilityRanker):
 
     def __init__(self, *, num_shards: int = 4, max_workers: Optional[int] = None,
                  normalize_by_answers: bool = True) -> None:
+        _warn_deprecated_shim(type(self), "MajorityVote")
         self.num_shards = num_shards
         self.max_workers = max_workers
         self.normalize_by_answers = normalize_by_answers
@@ -73,28 +294,20 @@ class ShardedMajorityVoteRanker(AbilityRanker):
     def rank(
         self, response: Union[ResponseMatrix, ShardedResponse]
     ) -> AbilityRanking:
-        sharded = _as_sharded(response, self.num_shards, self.max_workers)
-        scores, majority = majority_vote_scores(
-            sharded, normalize_by_answers=self.normalize_by_answers
+        kernels = ThreadKernels(
+            _as_sharded(response, self.num_shards, self.max_workers)
         )
-        return AbilityRanking(
-            scores=scores,
-            method=self.name,
-            diagnostics={
-                "discovered_truths": majority,
-                "engine": "sharded",
-                "num_shards": sharded.num_shards,
-            },
+        return rank_majority_vote(
+            kernels, normalize_by_answers=self.normalize_by_answers
         )
 
 
 class ShardedDawidSkeneRanker(AbilityRanker):
-    """Shard-parallel :class:`~repro.truth_discovery.dawid_skene.DawidSkeneRanker`.
+    """Thread-sharded ``DawidSkeneRanker`` (deprecated shim).
 
-    Runs the shared EM loop (:func:`~repro.truth_discovery.dawid_skene.dawid_skene_em`)
-    over the shard-parallel accumulators; only the sufficient-statistic
-    reductions are distributed, so the EM trajectory — and the final scores —
-    are bit-identical to the single-process ranker.
+    .. deprecated:: 1.1
+        Use ``repro.api.rank(response, "Dawid-Skene",
+        execution=ExecutionPolicy(backend="threads", shards=...))``.
     """
 
     name = "Dawid-Skene"
@@ -104,6 +317,7 @@ class ShardedDawidSkeneRanker(AbilityRanker):
     def __init__(self, *, num_shards: int = 4, max_workers: Optional[int] = None,
                  max_iterations: int = 100, tolerance: float = 1e-6,
                  smoothing: float = 0.01) -> None:
+        _warn_deprecated_shim(type(self), "Dawid-Skene")
         self.num_shards = num_shards
         self.max_workers = max_workers
         self.max_iterations = max_iterations
@@ -113,44 +327,23 @@ class ShardedDawidSkeneRanker(AbilityRanker):
     def rank(
         self, response: Union[ResponseMatrix, ShardedResponse]
     ) -> AbilityRanking:
-        sharded = _as_sharded(response, self.num_shards, self.max_workers)
-        num_classes = sharded.max_options
-        _, items, options = sharded.source.triples
-        count_accumulator, loglik_accumulator = dawid_skene_accumulators(
-            sharded, num_classes
+        kernels = ThreadKernels(
+            _as_sharded(response, self.num_shards, self.max_workers)
         )
-        result = dawid_skene_em(
-            count_accumulator=count_accumulator,
-            loglik_accumulator=loglik_accumulator,
-            posteriors=initial_posteriors(
-                items, options, sharded.num_items, num_classes, self.smoothing
-            ),
-            num_users=sharded.num_users,
-            num_classes=num_classes,
+        return rank_dawid_skene(
+            kernels,
             max_iterations=self.max_iterations,
             tolerance=self.tolerance,
             smoothing=self.smoothing,
         )
-        diagnostics: Dict[str, object] = {
-            "iterations": result.iterations,
-            "converged": result.converged,
-            "discovered_truths": result.posteriors.argmax(axis=1),
-            "class_priors": result.priors,
-            "engine": "sharded",
-            "num_shards": sharded.num_shards,
-        }
-        return AbilityRanking(
-            scores=result.accuracies, method=self.name, diagnostics=diagnostics
-        )
 
 
 class ShardedHNDPower(AbilityRanker):
-    """Shard-parallel :class:`~repro.core.hitsndiffs.HNDPower` (Algorithm 1).
+    """Thread-sharded ``HNDPower`` (deprecated shim).
 
-    The power iteration driver, cumulative/difference wrappers, and the
-    decile-entropy symmetry breaking are the single-process code; each
-    iteration's AVGHITS matvec is the shard-parallel sum of per-shard
-    partial products (gather in shards, canonical-order scatter reduce).
+    .. deprecated:: 1.1
+        Use ``repro.api.rank(response, "HnD",
+        execution=ExecutionPolicy(backend="threads", shards=...))``.
     """
 
     name = "HnD"
@@ -168,6 +361,7 @@ class ShardedHNDPower(AbilityRanker):
         check_connectivity: bool = False,
         random_state: RandomState = None,
     ) -> None:
+        _warn_deprecated_shim(type(self), "HnD")
         self.num_shards = num_shards
         self.max_workers = max_workers
         self.tolerance = tolerance
@@ -179,33 +373,25 @@ class ShardedHNDPower(AbilityRanker):
     def rank(
         self, response: Union[ResponseMatrix, ShardedResponse]
     ) -> AbilityRanking:
-        sharded = _as_sharded(response, self.num_shards, self.max_workers)
-        matrix = sharded.source
-        if self.check_connectivity:
-            matrix.require_connected()
-        m = sharded.num_users
-        if m < 2:
-            return AbilityRanking(scores=np.zeros(m), method=self.name,
-                                  diagnostics={"iterations": 0, "converged": True})
-        diff_step = hnd_difference_step(sharded)
-        result = power_iteration_matvec(
-            diff_step,
-            m - 1,
+        kernels = ThreadKernels(
+            _as_sharded(response, self.num_shards, self.max_workers)
+        )
+        return rank_hnd_power(
+            kernels,
             tolerance=self.tolerance,
             max_iterations=self.max_iterations,
+            break_symmetry=self.break_symmetry,
+            check_connectivity=self.check_connectivity,
             random_state=self.random_state,
         )
-        scores = apply_cumulative(result.vector)
-        diagnostics: Dict[str, object] = {
-            "iterations": result.iterations,
-            "converged": result.converged,
-            "residual": result.residual,
-            "eigenvalue": result.eigenvalue,
-            "diff_vector_variance": float(np.var(result.vector)),
-            "engine": "sharded",
-            "num_shards": sharded.num_shards,
-        }
-        if self.break_symmetry:
-            scores, symmetry_diag = orient_scores(matrix, scores)
-            diagnostics.update(symmetry_diag)
-        return AbilityRanking(scores=scores, method=self.name, diagnostics=diagnostics)
+
+
+# The registry entries of the shard-capable methods gain their kernel
+# runner here (the ranker classes registered the specs at import time);
+# the shim classes map onto the same specs so their cache fingerprints
+# read the registry's param spec.
+REGISTRY.attach_sharded("MajorityVote", rank_majority_vote,
+                        shim=ShardedMajorityVoteRanker)
+REGISTRY.attach_sharded("Dawid-Skene", rank_dawid_skene,
+                        shim=ShardedDawidSkeneRanker)
+REGISTRY.attach_sharded("HnD", rank_hnd_power, shim=ShardedHNDPower)

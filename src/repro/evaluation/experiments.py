@@ -21,26 +21,25 @@ from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, 
 
 import numpy as np
 
-from repro.c1p.abh import ABHDirect
-from repro.core.hitsndiffs import HNDPower
+from repro.api.registry import REGISTRY
 from repro.core.ranking import AbilityRanker
 from repro.engine.cache import RankCache
 from repro.evaluation.metrics import spearman_accuracy
 from repro.irt.generators import SyntheticDataset, generate_c1p_dataset, generate_dataset
-from repro.truth_discovery import (
-    GRMEstimatorRanker,
-    HITSRanker,
-    InvestmentRanker,
-    MajorityVoteRanker,
-    PooledInvestmentRanker,
-    TrueAnswerRanker,
-    TruthFinderRanker,
-)
 
 RandomState = Optional[Union[int, np.random.Generator]]
 
-#: The unsupervised method line-up of the paper's accuracy figures.
+#: The unsupervised method line-up of the paper's accuracy figures; every
+#: name resolves through :data:`repro.api.registry.REGISTRY`.
 UNSUPERVISED_METHODS = ("HnD", "ABH", "HITS", "TruthFinder", "Invest", "PooledInv")
+
+
+def _build_ranker(name: str, random_state: RandomState, **params) -> AbilityRanker:
+    """Instantiate a registered method, seeding it only when it is seedable."""
+    spec = REGISTRY.get(name)
+    if spec.takes("random_state"):
+        params.setdefault("random_state", random_state)
+    return spec.create(**params)
 
 
 def default_ranker_suite(
@@ -51,6 +50,10 @@ def default_ranker_suite(
     random_state: RandomState = None,
 ) -> Dict[str, AbilityRanker]:
     """Build the standard method suite used throughout the experiments.
+
+    Every entry resolves through the :data:`~repro.api.registry.REGISTRY`
+    (the CLI and the cache fingerprints use the same source of truth), so
+    the suite's names cannot drift from the registered method names.
 
     Parameters
     ----------
@@ -66,20 +69,17 @@ def default_ranker_suite(
         Seed forwarded to the randomized power-iteration initializations.
     """
     suite: Dict[str, AbilityRanker] = {
-        "HnD": HNDPower(random_state=random_state),
-        "ABH": ABHDirect(),
-        "HITS": HITSRanker(),
-        "TruthFinder": TruthFinderRanker(),
-        "Invest": InvestmentRanker(),
-        "PooledInv": PooledInvestmentRanker(),
+        name: _build_ranker(name, random_state) for name in UNSUPERVISED_METHODS
     }
     if include_majority:
-        suite["MajorityVote"] = MajorityVoteRanker()
+        suite["MajorityVote"] = _build_ranker("MajorityVote", random_state)
     if include_cheating:
         if correct_options is None:
             raise ValueError("cheating baselines need correct_options")
-        suite["True-Answer"] = TrueAnswerRanker(correct_options)
-        suite["GRM-estimator"] = GRMEstimatorRanker()
+        suite["True-Answer"] = _build_ranker(
+            "True-Answer", random_state, correct_options=correct_options
+        )
+        suite["GRM-estimator"] = _build_ranker("GRM-estimator", random_state)
     return suite
 
 
@@ -202,13 +202,34 @@ def accuracy_sweep(
         for a given parameter value.
     methods:
         Restrict the suite to these method names (default: all unsupervised
-        methods, plus the cheating ones when ``include_cheating``).
+        methods, plus the cheating ones when ``include_cheating``).  Names
+        are validated against the ranker registry up front — a typo raises
+        ``KeyError`` with a did-you-mean hint instead of silently shrinking
+        the sweep.
     include_cheating:
         Add True-answer and GRM-estimator, fed the dataset's correct options.
     num_trials:
         Number of independently generated datasets per parameter value.
     """
     rng = np.random.default_rng(random_state)
+    if methods is not None:
+        # Resolve through the registry first: unknown names fail loudly
+        # (with a did-you-mean hint) instead of silently dropping a method.
+        methods = [REGISTRY.get(name).name for name in methods]
+        # ...and then against this sweep's suite: a registered method that
+        # the suite does not run (e.g. "GLAD") would otherwise silently
+        # shrink the sweep to nothing.
+        available = set(UNSUPERVISED_METHODS)
+        if include_cheating:
+            available |= {"True-Answer", "GRM-estimator"}
+        missing = sorted(set(methods) - available)
+        if missing:
+            raise KeyError(
+                "method(s) %s are not part of the accuracy-sweep suite "
+                "(available: %s)"
+                % (", ".join(repr(m) for m in missing),
+                   ", ".join(sorted(available)))
+            )
     accuracy_lists: Dict[str, List[List[float]]] = {}
     for value in parameter_values:
         per_method: Dict[str, List[float]] = {}

@@ -17,11 +17,18 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.api.registry import register_ranker
 from repro.core.ranking import AbilityRanking, SupervisedAbilityRanker
 from repro.core.response import ResponseMatrix, score_against_truth
 from repro.irt.estimation import GRMEstimator, grade_response_matrix
 
 
+@register_ranker(
+    "True-Answer",
+    params=("correct_options",),
+    supervised=True,
+    summary="Cheating baseline: rank by number of correct answers",
+)
 class TrueAnswerRanker(SupervisedAbilityRanker):
     """Rank users by the number of items they answered correctly."""
 
@@ -36,6 +43,15 @@ class TrueAnswerRanker(SupervisedAbilityRanker):
                               diagnostics={"correct_options": self.correct_options})
 
 
+@register_ranker(
+    "GRM-estimator",
+    params=("option_order", "estimator"),
+    supervised=True,
+    # A live GRMEstimator object cannot be fingerprinted faithfully, so
+    # this method always bypasses the rank cache.
+    cacheable=False,
+    summary="Cheating baseline: abilities of a fitted Graded Response Model",
+)
 class GRMEstimatorRanker(SupervisedAbilityRanker):
     """Rank users by the EAP abilities of a fitted Graded Response Model.
 

@@ -49,6 +49,7 @@ from typing import Callable, Dict
 import numpy as np
 import scipy.sparse as sp
 
+from repro.api.registry import register_ranker
 from repro.core.ranking import AbilityRanker, AbilityRanking
 from repro.core.response import ResponseMatrix
 
@@ -165,6 +166,11 @@ def dawid_skene_em(
     )
 
 
+@register_ranker(
+    "Dawid-Skene",
+    params=("max_iterations", "tolerance", "smoothing"),
+    summary="Dawid-Skene EM over per-user confusion matrices",
+)
 class DawidSkeneRanker(AbilityRanker):
     """EM estimation of per-user confusion matrices; ranks by diagonal mass.
 

@@ -44,10 +44,17 @@ from typing import Dict
 
 import numpy as np
 
+from repro.api.registry import register_ranker
 from repro.core.ranking import AbilityRanker, AbilityRanking
 from repro.core.response import ResponseMatrix
 
 
+@register_ranker(
+    "GLAD",
+    params=("max_iterations", "gradient_steps", "learning_rate",
+            "prior_precision", "tolerance", "dtype"),
+    summary="GLAD EM (per-user ability x per-item difficulty, binary graded)",
+)
 class GLADRanker(AbilityRanker):
     """EM estimation of the GLAD model; ranks users by estimated ability.
 

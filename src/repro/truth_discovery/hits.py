@@ -11,10 +11,16 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import register_ranker
 from repro.core.response import ResponseMatrix
 from repro.truth_discovery.base import IterativeTruthRanker
 
 
+@register_ranker(
+    "HITS",
+    params=("max_iterations", "tolerance"),
+    summary="Kleinberg HITS on the user-option bipartite graph",
+)
 class HITSRanker(IterativeTruthRanker):
     """Classic HITS; ranks users by their converged hub scores."""
 

@@ -18,10 +18,16 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import Param, register_ranker
 from repro.core.response import ResponseMatrix
 from repro.truth_discovery.base import IterativeTruthRanker
 
 
+@register_ranker(
+    "Invest",
+    params=("growth_exponent", Param("num_iterations", attr="max_iterations")),
+    summary="Investment algorithm (credibility grows as invested trust)",
+)
 class InvestmentRanker(IterativeTruthRanker):
     """Investment algorithm; ranks users by their final invested trust."""
 
@@ -62,6 +68,11 @@ class InvestmentRanker(IterativeTruthRanker):
         return scores / peak if peak > 0 else scores
 
 
+@register_ranker(
+    "PooledInv",
+    params=("growth_exponent", Param("num_iterations", attr="max_iterations")),
+    summary="PooledInvestment (per-item pooling of grown credibility)",
+)
 class PooledInvestmentRanker(InvestmentRanker):
     """PooledInvestment: Investment with per-item pooling of option credibility."""
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import register_ranker
 from repro.core.ranking import AbilityRanker, AbilityRanking
 from repro.core.response import ResponseMatrix
 
@@ -39,6 +40,11 @@ def agreement_counts(
     return np.bincount(agreeing - user_offset, minlength=num_users)
 
 
+@register_ranker(
+    "MajorityVote",
+    params=("normalize_by_answers",),
+    summary="Agreement rate with the per-item majority option",
+)
 class MajorityVoteRanker(AbilityRanker):
     """Rank users by their agreement rate with the per-item majority option."""
 

@@ -22,6 +22,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.api.registry import register_ranker
 from repro.core.response import ResponseMatrix
 from repro.irt.dichotomous import sigmoid
 from repro.truth_discovery.base import IterativeTruthRanker
@@ -29,6 +30,11 @@ from repro.truth_discovery.base import IterativeTruthRanker
 _MAX_TRUST = 1.0 - 1e-9
 
 
+@register_ranker(
+    "TruthFinder",
+    params=("initial_trust", "dampening", "max_iterations", "tolerance"),
+    summary="TruthFinder trust propagation with implication dampening",
+)
 class TruthFinderRanker(IterativeTruthRanker):
     """TruthFinder; ranks users by their converged trustworthiness."""
 

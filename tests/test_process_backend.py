@@ -1,0 +1,262 @@
+"""Tests for the process execution backend and the unified rank() API (PR 4).
+
+Mirrors ``test_engine_sharding.py``'s thread matrix for the process pool:
+the runners over a :class:`ProcessEngine` must produce **bit-identical
+scores** to the fused single-process rankers at 1/2/8 shards and 1/4
+workers for HnD, Dawid–Skene and MajorityVote.  Also covers the
+:class:`ExecutionPolicy` semantics (backend resolution, validation, cache
+sharing across backends) and the engine lifecycle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import ExecutionPolicy, rank
+from repro.core.hitsndiffs import HNDPower
+from repro.core.response import ResponseMatrix
+from repro.engine import (
+    ProcessEngine,
+    RankCache,
+    ShardedResponse,
+    rank_dawid_skene,
+    rank_hnd_power,
+    rank_majority_vote,
+)
+from repro.truth_discovery.dawid_skene import DawidSkeneRanker
+from repro.truth_discovery.majority import MajorityVoteRanker
+
+
+def _random_response(num_users, num_items, num_options, density, seed):
+    rng = np.random.default_rng(seed)
+    mask = rng.random((num_users, num_items)) < density
+    if not mask.any():
+        mask[0, 0] = True
+    users, items = np.nonzero(mask)
+    options = rng.integers(0, num_options, size=users.size)
+    return ResponseMatrix.from_triples(
+        users, items, options,
+        shape=(num_users, num_items), num_options=num_options,
+    )
+
+
+@pytest.fixture(scope="module")
+def crowd():
+    """A mid-size sparse crowd shared by the bit-identity tests."""
+    return _random_response(400, 80, 4, 0.25, seed=3)
+
+
+@pytest.fixture(scope="module")
+def references(crowd):
+    """Single-process reference rankings (the bit-identity targets)."""
+    return {
+        "HnD": HNDPower(random_state=0).rank(crowd),
+        "Dawid-Skene": DawidSkeneRanker().rank(crowd),
+        "MajorityVote": MajorityVoteRanker().rank(crowd),
+    }
+
+
+@pytest.mark.parametrize("num_shards", [1, 2, 8])
+@pytest.mark.parametrize("max_workers", [1, 4])
+class TestProcessBitIdentity:
+    """Process-pool scores == fused single-process scores, bit for bit.
+
+    One engine (one worker pool) serves all three methods per
+    configuration, which also exercises buffer reuse across methods.
+    """
+
+    def test_all_methods(self, crowd, references, num_shards, max_workers):
+        sharded = ShardedResponse.split(crowd, num_shards)
+        with ProcessEngine(sharded, max_workers=max_workers) as engine:
+            assert engine.num_workers == min(max_workers, sharded.num_shards)
+
+            hnd = rank_hnd_power(engine, random_state=0)
+            assert np.array_equal(hnd.scores, references["HnD"].scores)
+            assert (
+                hnd.diagnostics["iterations"]
+                == references["HnD"].diagnostics["iterations"]
+            )
+            assert (
+                hnd.diagnostics["symmetry_flipped"]
+                == references["HnD"].diagnostics["symmetry_flipped"]
+            )
+
+            ds = rank_dawid_skene(engine)
+            assert np.array_equal(ds.scores, references["Dawid-Skene"].scores)
+            assert (
+                ds.diagnostics["iterations"]
+                == references["Dawid-Skene"].diagnostics["iterations"]
+            )
+            np.testing.assert_array_equal(
+                ds.diagnostics["discovered_truths"],
+                references["Dawid-Skene"].diagnostics["discovered_truths"],
+            )
+
+            mv = rank_majority_vote(engine)
+            assert np.array_equal(mv.scores, references["MajorityVote"].scores)
+            np.testing.assert_array_equal(
+                mv.diagnostics["discovered_truths"],
+                references["MajorityVote"].diagnostics["discovered_truths"],
+            )
+
+            for ranking in (hnd, ds, mv):
+                assert ranking.diagnostics["engine"] == "sharded"
+                assert ranking.diagnostics["backend"] == "processes"
+                assert ranking.diagnostics["num_shards"] == sharded.num_shards
+
+
+class TestProcessKernels:
+    """The matvec primitives match the fused kernels elementwise."""
+
+    def test_matvecs_and_histograms(self, crowd):
+        compiled = crowd.compiled
+        rng = np.random.default_rng(11)
+        user_values = rng.standard_normal(crowd.num_users)
+        option_values = rng.standard_normal(compiled.num_columns)
+        sharded = ShardedResponse.split(crowd, 5)
+        with ProcessEngine(sharded, max_workers=2) as engine:
+            assert np.array_equal(
+                engine.option_sums(user_values), compiled.option_sums(user_values)
+            )
+            assert np.array_equal(
+                engine.user_sums(option_values), compiled.user_sums(option_values)
+            )
+            assert np.array_equal(
+                engine.avghits_apply(user_values),
+                compiled.avghits_apply(user_values),
+            )
+            np.testing.assert_array_equal(
+                engine.option_histograms(), crowd._option_count_matrix()
+            )
+
+    def test_empty_shard_is_a_noop(self, crowd):
+        m = crowd.num_users
+        sharded = ShardedResponse(crowd, [0, 150, 150, m])
+        vector = np.linspace(-1, 1, m)
+        with ProcessEngine(sharded, max_workers=2) as engine:
+            np.testing.assert_array_equal(
+                engine.avghits_apply(vector), crowd.compiled.avghits_apply(vector)
+            )
+
+
+class TestEngineLifecycle:
+    def test_close_is_idempotent_and_final(self, crowd):
+        engine = ProcessEngine(ShardedResponse.split(crowd, 2), max_workers=1)
+        scores, _ = engine.majority_scores()
+        assert scores.shape == (crowd.num_users,)
+        engine.close()
+        engine.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            engine.majority_scores()
+
+    def test_worker_default_is_bounded_by_shards(self, crowd):
+        with ProcessEngine(ShardedResponse.split(crowd, 2)) as engine:
+            assert 1 <= engine.num_workers <= 2
+
+
+class TestExecutionPolicy:
+    def test_auto_backend_resolution(self):
+        assert ExecutionPolicy().resolved_backend == "fused"
+        assert ExecutionPolicy(shards=4).resolved_backend == "threads"
+        assert ExecutionPolicy(backend="processes", shards=4).resolved_backend == (
+            "processes"
+        )
+
+    def test_invalid_configurations_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            ExecutionPolicy(backend="gpu")
+        with pytest.raises(ValueError, match="shards"):
+            ExecutionPolicy(shards=0)
+        with pytest.raises(ValueError, match="workers"):
+            ExecutionPolicy(workers=0)
+        with pytest.raises(ValueError, match="fused"):
+            ExecutionPolicy(backend="fused", shards=8)
+
+
+class TestUnifiedRank:
+    """rank(matrix, name, execution=...) — the acceptance surface."""
+
+    def test_all_backends_bit_identical(self, crowd, references):
+        fused = rank(crowd, "HnD", random_state=0)
+        threads = rank(
+            crowd, "HnD", random_state=0,
+            execution=ExecutionPolicy(backend="threads", shards=8, workers=4),
+        )
+        processes = rank(
+            crowd, "HnD", random_state=0,
+            execution=ExecutionPolicy(backend="processes", shards=8),
+        )
+        for ranking in (fused, threads, processes):
+            assert np.array_equal(ranking.scores, references["HnD"].scores)
+
+    def test_presplit_sharding_is_reused(self, crowd, references):
+        sharded = ShardedResponse.split(crowd, 3)
+        ranking = rank(
+            sharded, "MajorityVote",
+            execution=ExecutionPolicy(backend="threads", shards=99),
+        )
+        assert ranking.diagnostics["num_shards"] == 3
+        assert np.array_equal(ranking.scores, references["MajorityVote"].scores)
+        fused = rank(sharded, "MajorityVote")
+        assert np.array_equal(fused.scores, references["MajorityVote"].scores)
+
+    def test_unknown_method_has_hint(self, crowd):
+        with pytest.raises(KeyError, match="did you mean"):
+            rank(crowd, "majority-vote-ish")
+
+    def test_unsharded_method_rejected_on_sharded_backend(self, crowd):
+        with pytest.raises(ValueError, match="no shard-parallel kernels"):
+            rank(crowd, "HITS", execution=ExecutionPolicy(backend="threads", shards=2))
+
+    def test_method_params_are_validated(self, crowd):
+        with pytest.raises(TypeError, match="did you mean 'tolerance'"):
+            rank(crowd, "HnD", tol=1e-9)
+
+    def test_cache_shared_across_backends(self, crowd):
+        """Backends are bit-identical, so one cache entry serves them all."""
+        cache = RankCache()
+        first = rank(crowd, "MajorityVote",
+                     execution=ExecutionPolicy(cache=cache))
+        warm = rank(
+            crowd, "MajorityVote",
+            execution=ExecutionPolicy(backend="threads", shards=4, cache=cache),
+        )
+        assert warm is first
+        assert cache.stats() == {"hits": 1, "misses": 1, "bypasses": 0, "size": 1}
+
+    def test_nondeterministic_random_state_bypasses_cache(self, crowd):
+        cache = RankCache()
+        rank(crowd, "HnD", execution=ExecutionPolicy(cache=cache))
+        assert cache.stats()["bypasses"] == 1
+
+    def test_rank_level_cache_overrides_policy(self, crowd):
+        policy_cache = RankCache()
+        override = RankCache()
+        rank(crowd, "MajorityVote",
+             execution=ExecutionPolicy(cache=policy_cache), cache=override)
+        assert policy_cache.stats()["misses"] == 0
+        assert override.stats()["misses"] == 1
+
+
+class TestCommittedProcessEvidence:
+    """The committed BENCH_PR4.json must show the acceptance numbers."""
+
+    def test_trajectory_file_is_committed_and_valid(self):
+        import json
+        from pathlib import Path
+
+        path = (
+            Path(__file__).resolve().parent.parent / "benchmarks" / "BENCH_PR4.json"
+        )
+        payload = json.loads(path.read_text())
+        results = payload["sharded_engine"]
+        assert results["backend"] == "processes"
+        assert results["num_users"] == 200_000
+        assert results["num_items"] == 5_000
+        assert results["num_shards"] == 8
+        assert results["peak_rss_mb"] > 0
+        for name in ("HnD-Power", "Dawid-Skene", "MajorityVote"):
+            assert results["%s_bit_identical" % name] is True
+            assert results["%s_sharded_seconds" % name] >= 0
+        assert results["cache_speedup"] >= 100.0
