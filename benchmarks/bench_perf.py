@@ -32,6 +32,12 @@ Usage::
                                                     # PR 4 process pool
     python benchmarks/bench_perf.py --update-sharded --backend processes
                                                     # rewrite BENCH_PR4.json
+    python benchmarks/bench_perf.py --incremental   # 200k x 5k planted-truth
+                                                    # crowd, 1% append, warm-
+                                                    # started HnD/Dawid-Skene
+                                                    # vs cold re-solve (PR 5)
+    python benchmarks/bench_perf.py --update-incremental
+                                                    # rewrite BENCH_PR5.json
 
 The PR 1 JSON file holds two sections: ``seed`` (timings captured on the
 seed implementation, before the fused-kernel layer of PR 1) and ``current``
@@ -68,6 +74,14 @@ PR 4 unified API (``repro.api.rank`` with
 worker processes, hot vectors travel through shared memory, and the scores
 are asserted bit-identical to the fused single-process rankers at full
 scale.  Committed as ``BENCH_PR4.json``.
+
+``--incremental`` exercises the PR 5 warm-start subsystem: a planted-truth
+200k x 5k crowd is split 99%/1%, the base is ranked cold through a
+``CrowdSession`` (the rank cache captures the solver state), the 1% is
+appended, and the re-rank resumes from the cached state.  The gates require
+strictly fewer warm iterations than the fresh cold solve of the merged
+matrix and rankings identical up to solver ties (see
+``INCREMENTAL_TIE_GAP``).  Committed as ``BENCH_PR5.json``.
 """
 
 from __future__ import annotations
@@ -100,9 +114,19 @@ RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_PR1.json"
 SPARSE_RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_PR2.json"
 SHARDED_RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_PR3.json"
 PROCESS_RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_PR4.json"
+INCREMENTAL_RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_PR5.json"
 
 #: Required warm-hit speedup of the rank cache in the sharded scenario.
 CACHE_SPEEDUP_FLOOR = 100.0
+
+#: Incremental scenario gates: a warm-started re-rank after the append must
+#: re-converge in strictly fewer iterations than the cold solve, and the
+#: deepest warm-vs-cold ranking disagreement (reference-score gap over
+#: oppositely-ordered pairs) must stay below the per-method tie threshold —
+#: i.e. the rankings are identical up to users the solver itself cannot
+#: separate (duplicate answer patterns tie exactly; any two solver runs
+#: order them arbitrarily).
+INCREMENTAL_TIE_GAP = {"HnD-Power": 1e-5, "Dawid-Skene": 1e-6}
 
 #: Regression gate: fail when current/committed > threshold and the
 #: absolute slowdown exceeds the floor (guards against timer jitter on
@@ -346,6 +370,196 @@ def _run_sharded(num_users: int = 200_000, num_items: int = 5_000,
     return results
 
 
+# --------------------------------------------------------------------------- #
+# Incremental scenario (PR 5): warm-started re-ranking after a 1% append
+# --------------------------------------------------------------------------- #
+def _structured_triples(num_users: int, num_items: int, density: float,
+                        num_options: int, seed: int):
+    """Deterministic *planted-truth* crowd as canonical sorted triples.
+
+    Each item has a true option and each user an ability ``p`` drawn from
+    ``[0.4, 0.95]``; a user answers correctly with probability ``p`` and
+    uniformly among the wrong options otherwise.  Unlike the uniform-random
+    crowd of ``_sparse_triples``, this workload has the majority structure a
+    real crowd has — which is what makes warm-vs-cold equivalence
+    meaningful for Dawid–Skene: on pure-noise data *every* item is a
+    near-tie, EM has many self-consistent labelings, and an appended batch
+    legitimately flips basins (a documented limitation of incremental EM,
+    not of this implementation).
+    """
+    rng = np.random.default_rng(seed)
+    target = int(num_users * num_items * density)
+    keys = np.unique(
+        rng.integers(0, num_users * num_items, size=int(target * 1.1), dtype=np.int64)
+    )
+    if keys.size > target:
+        keys = np.sort(rng.choice(keys, size=target, replace=False))
+    users = keys // num_items
+    items = keys % num_items
+    truth = rng.integers(0, num_options, size=num_items)
+    ability = rng.uniform(0.4, 0.95, size=num_users)
+    correct = rng.random(keys.size) < ability[users]
+    wrong = (truth[items] + rng.integers(1, num_options, size=keys.size)) % num_options
+    options = np.where(correct, truth[items], wrong)
+    return users, items, options
+
+
+def _run_incremental(num_users: int = 200_000, num_items: int = 5_000,
+                     density: float = 0.001, num_options: int = 4,
+                     append_fraction: float = 0.01,
+                     seed: int = 7) -> Dict[str, object]:
+    from repro.api import CrowdSession
+    from repro.api import rank as api_rank
+    from repro.evaluation.metrics import ranking_inversion_gap, spearman_accuracy
+
+    users, items, options = _structured_triples(
+        num_users, num_items, density, num_options, seed
+    )
+    nnz = int(users.size)
+    split_rng = np.random.default_rng(seed + 1)
+    shuffled = split_rng.permutation(nnz)
+    cut = nnz - int(nnz * append_fraction)
+    base = np.sort(shuffled[:cut])
+    append = np.sort(shuffled[cut:])
+
+    results: Dict[str, object] = {
+        "num_users": num_users,
+        "num_items": num_items,
+        "density": density,
+        "num_options": num_options,
+        "num_answers": nnz,
+        "append_fraction": append_fraction,
+        "append_answers": int(append.size),
+        "rss_before_mb": round(_peak_rss_mb(), 1),
+    }
+
+    # The two paper methods the acceptance gate names; HnD runs at a tight
+    # tolerance so warm-vs-cold score differences sit orders of magnitude
+    # below genuine score gaps (the committed tie-gap numbers quantify it).
+    methods = {
+        "HnD-Power": ("HnD", {"random_state": 0, "tolerance": 1e-8}),
+        "Dawid-Skene": ("Dawid-Skene", {}),
+    }
+
+    session = CrowdSession(num_items=num_items, num_options=num_options,
+                           num_users=num_users)
+    session.add_answers(users[base], items[base], options[base])
+    session.matrix  # materialize outside the timed solves
+
+    for name, (method, params) in methods.items():
+        start = time.perf_counter()
+        ranking = session.rank(method, warm_start=True, **params)
+        results["%s_base_seconds" % name] = round(time.perf_counter() - start, 4)
+        results["%s_base_iterations" % name] = int(ranking.diagnostics["iterations"])
+        assert ranking.diagnostics["warm_start"] == "cold"
+
+    start = time.perf_counter()
+    session.add_answers(users[append], items[append], options[append])
+    merged = session.matrix
+    results["append_seconds"] = round(time.perf_counter() - start, 4)
+
+    for name, (method, params) in methods.items():
+        start = time.perf_counter()
+        warm = session.rank(method, warm_start=True, **params)
+        results["%s_warm_seconds" % name] = round(time.perf_counter() - start, 4)
+        assert warm.diagnostics["warm_start"] == "warm", (
+            "%s did not warm-start: %r" % (name, warm.diagnostics["warm_start"])
+        )
+        start = time.perf_counter()
+        cold = api_rank(merged, method, **params)
+        results["%s_cold_seconds" % name] = round(time.perf_counter() - start, 4)
+        warm_iters = int(warm.diagnostics["iterations"])
+        cold_iters = int(cold.diagnostics["iterations"])
+        gap = ranking_inversion_gap(cold.scores, warm.scores)
+        results["%s_warm_iterations" % name] = warm_iters
+        results["%s_cold_iterations" % name] = cold_iters
+        results["%s_score_max_diff" % name] = float(
+            np.abs(warm.scores - cold.scores).max()
+        )
+        results["%s_ranking_identical" % name] = bool(
+            np.array_equal(np.argsort(warm.scores, kind="stable"),
+                           np.argsort(cold.scores, kind="stable"))
+        )
+        results["%s_ranking_inversion_gap" % name] = gap
+        results["%s_ranking_tie_gap_bound" % name] = INCREMENTAL_TIE_GAP[name]
+        results["%s_spearman_warm_vs_cold" % name] = round(
+            spearman_accuracy(warm.scores, cold.scores), 10
+        )
+
+    # A repeated warm query of the unchanged crowd is an exact cache hit.
+    method, params = methods["HnD-Power"]
+    before = session.cache.stats()["hits"]
+    start = time.perf_counter()
+    session.rank(method, warm_start=True, **params)
+    results["warm_hit_seconds"] = round(time.perf_counter() - start, 6)
+    results["warm_hit_served_from_cache"] = session.cache.stats()["hits"] > before
+    results["cache_stats"] = session.cache.stats()
+    results["peak_rss_mb"] = round(_peak_rss_mb(), 1)
+    return results
+
+
+def _check_incremental(results: Dict[str, object]) -> List[str]:
+    """The incremental acceptance gates (see INCREMENTAL_TIE_GAP)."""
+    failures = []
+    for name in ("HnD-Power", "Dawid-Skene"):
+        warm = int(results["%s_warm_iterations" % name])
+        cold = int(results["%s_cold_iterations" % name])
+        if warm >= cold:
+            failures.append(
+                "%s warm solve took %d iterations vs %d cold — no "
+                "incremental win" % (name, warm, cold)
+            )
+        gap = float(results["%s_ranking_inversion_gap" % name])
+        bound = INCREMENTAL_TIE_GAP[name]
+        if gap > bound:
+            failures.append(
+                "%s warm-vs-cold rankings disagree beyond solver ties: "
+                "inversion gap %.3g > %.3g" % (name, gap, bound)
+            )
+    if not results["warm_hit_served_from_cache"]:
+        failures.append("repeated warm query was not served from the cache")
+    return failures
+
+
+def _print_incremental(results: Dict[str, object]) -> None:
+    print("incremental scenario (%.0f%% append, warm-started solvers)"
+          % (100 * float(results["append_fraction"])))
+    print("  crowd:   %dx%d @ %.2f%% density -> %s answers (planted truth), "
+          "append %s answers" % (
+              results["num_users"], results["num_items"],
+              100 * float(results["density"]),
+              format(results["num_answers"], ","),
+              format(results["append_answers"], ","),
+          ))
+    print("  append (O(batch) ingest + rematerialize): %.3f s"
+          % results["append_seconds"])
+    for name in ("HnD-Power", "Dawid-Skene"):
+        print("  %-12s base cold %4d it %8.3f s | append warm %4d it %8.3f s"
+              " | merged cold %4d it %8.3f s" % (
+                  name,
+                  results["%s_base_iterations" % name],
+                  results["%s_base_seconds" % name],
+                  results["%s_warm_iterations" % name],
+                  results["%s_warm_seconds" % name],
+                  results["%s_cold_iterations" % name],
+                  results["%s_cold_seconds" % name],
+              ))
+        print("  %-12s warm-vs-cold: max score diff %.3g, inversion gap %.3g"
+              " (tie bound %.0e), identical=%s, spearman %.8f" % (
+                  "",
+                  results["%s_score_max_diff" % name],
+                  results["%s_ranking_inversion_gap" % name],
+                  results["%s_ranking_tie_gap_bound" % name],
+                  results["%s_ranking_identical" % name],
+                  results["%s_spearman_warm_vs_cold" % name],
+              ))
+    print("  repeated warm query: %.5f s (cache hit: %s)" % (
+        results["warm_hit_seconds"], results["warm_hit_served_from_cache"],
+    ))
+    print("  peak RSS: %.0f MB" % results["peak_rss_mb"])
+    print()
+
+
 def _print_sharded(results: Dict[str, object]) -> None:
     backend = results.get("backend", "threads")
     print("sharded-engine scenario (%s backend)"
@@ -483,6 +697,12 @@ def main(argv: List[str] | None = None) -> int:
                         help="run the 200k x 5k sharded-engine scenario")
     parser.add_argument("--update-sharded", action="store_true",
                         help="run the sharded scenario and rewrite BENCH_PR3.json")
+    parser.add_argument("--incremental", action="store_true",
+                        help="run the 200k x 5k incremental scenario: 1%% "
+                             "append, warm-started HnD/Dawid-Skene (PR 5)")
+    parser.add_argument("--update-incremental", action="store_true",
+                        help="run the incremental scenario and rewrite "
+                             "BENCH_PR5.json")
     parser.add_argument("--backend", default="threads",
                         choices=["threads", "processes"],
                         help="with --sharded/--update-sharded: shard dispatch "
@@ -496,17 +716,56 @@ def main(argv: List[str] | None = None) -> int:
 
     standalone = (
         args.sparse or args.update_sparse or args.sharded or args.update_sharded
+        or args.incremental or args.update_incremental
     )
     if standalone and (args.smoke or args.update or args.capture_seed):
         parser.error(
-            "--sparse/--update-sparse/--sharded/--update-sharded run a "
-            "standalone scenario and cannot be combined with "
-            "--smoke/--update/--capture-seed"
+            "--sparse/--update-sparse/--sharded/--update-sharded/"
+            "--incremental/--update-incremental run a standalone scenario "
+            "and cannot be combined with --smoke/--update/--capture-seed"
         )
     if args.calibrate and not args.smoke:
         parser.error("--calibrate only applies to --smoke")
     if args.backend != "threads" and not (args.sharded or args.update_sharded):
         parser.error("--backend only applies to --sharded/--update-sharded")
+
+    if args.incremental or args.update_incremental:
+        incremental_results = _run_incremental()
+        _print_incremental(incremental_results)
+        failures = _check_incremental(incremental_results)
+        if failures:
+            for failure in failures:
+                print("FAIL:", failure)
+            return 1
+        if args.update_incremental:
+            payload = {
+                "environment": _environment(),
+                "protocol": {
+                    "description": (
+                        "single run; a planted-truth crowd (per-item true "
+                        "option, per-user ability in [0.4, 0.95], seed 7) "
+                        "is split 99%/1%; the base 99% is ranked cold "
+                        "through a CrowdSession (capturing solver state in "
+                        "the rank cache), the 1% is appended, and the "
+                        "re-rank is warm-started from the cached state vs "
+                        "a fresh cold solve of the merged matrix.  Gates: "
+                        "warm iterations strictly below cold, and the "
+                        "warm-vs-cold ranking inversion gap (largest "
+                        "cold-score gap over oppositely-ordered user "
+                        "pairs) below the per-method tie threshold — "
+                        "rankings identical up to users the solver itself "
+                        "cannot separate.  HnD runs at tolerance 1e-8 with "
+                        "random_state 0; Dawid-Skene at its defaults.  "
+                        "Peak RSS via getrusage(RUSAGE_SELF).ru_maxrss."
+                    ),
+                },
+                "incremental": incremental_results,
+            }
+            INCREMENTAL_RESULTS_PATH.write_text(
+                json.dumps(payload, indent=2, sort_keys=True, allow_nan=False) + "\n"
+            )
+            print("wrote", INCREMENTAL_RESULTS_PATH)
+        return 0
 
     if args.sharded or args.update_sharded:
         sharded_results = _run_sharded(backend=args.backend)

@@ -43,6 +43,7 @@ from repro.core import (
     HNDPower,
     ResponseBuilder,
     ResponseMatrix,
+    SolverState,
     hits_n_diffs,
     score_against_truth,
 )
@@ -119,6 +120,7 @@ __all__ = [
     "score_against_truth",
     "AbilityRanker",
     "AbilityRanking",
+    "SolverState",
     "HNDPower",
     "HNDDirect",
     "HNDDeflation",

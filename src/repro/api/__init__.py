@@ -42,7 +42,9 @@ from repro.api.registry import (
 _LAZY = {
     "ExecutionPolicy": "repro.api.execution",
     "rank": "repro.api.execution",
+    "warm_start_fingerprint": "repro.api.execution",
     "CrowdSession": "repro.api.session",
+    "SolverState": "repro.core.solver_state",
 }
 
 __all__ = [
@@ -53,7 +55,9 @@ __all__ = [
     "register_ranker",
     "ExecutionPolicy",
     "rank",
+    "warm_start_fingerprint",
     "CrowdSession",
+    "SolverState",
 ]
 
 

@@ -28,6 +28,7 @@ from typing import Dict, Optional, Union
 from repro.api.registry import REGISTRY, RankerSpec
 from repro.core.ranking import AbilityRanker, AbilityRanking
 from repro.core.response import ResponseMatrix
+from repro.core.solver_state import SolverState
 from repro.engine.cache import RankCache, ranker_fingerprint
 from repro.engine.process_backend import ProcessEngine
 from repro.engine.rankers import ThreadKernels
@@ -95,12 +96,45 @@ class ExecutionPolicy:
         return "threads" if self.shards > 1 else "fused"
 
 
+def warm_start_fingerprint(method: str, params: Dict[str, object]):
+    """Validate that ``(method, params)`` can warm-start; return the fingerprint.
+
+    The single source of the warm-start eligibility rules — the CLI's
+    fail-fast check and :meth:`CrowdSession.rank(warm_start=True)
+    <repro.api.session.CrowdSession.rank>` both call this, so the error
+    prose cannot drift between surfaces.  Raises ``ValueError`` when the
+    method is not registered ``warm_startable`` or when the parameter set
+    is nondeterministic/uncacheable (no fingerprint means no keyed solver
+    state to resume from).
+    """
+    spec = REGISTRY.get(method)
+    if not spec.warm_startable:
+        raise ValueError(
+            "method %r does not support warm starts (no convergence "
+            "criterion to resume, or chaotic dynamics — a warm result "
+            "would not be equivalent to a cold solve); warm-startable "
+            "methods: %s"
+            % (spec.name,
+               ", ".join(sorted(REGISTRY.names(warm_startable=True))))
+        )
+    fingerprint = ranker_fingerprint(spec.create(**params))
+    if fingerprint is None:
+        raise ValueError(
+            "warm start requires a deterministic, cacheable configuration "
+            "of %r — the solver state is keyed by the method's parameter "
+            "fingerprint; pass a fixed integer random_state instead of "
+            "None or a live Generator" % (spec.name,)
+        )
+    return fingerprint
+
+
 def rank(
     response: RankInput,
     method: str,
     *,
     execution: Optional[ExecutionPolicy] = None,
     cache: Optional[RankCache] = None,
+    init_state: Optional[SolverState] = None,
     **params,
 ) -> AbilityRanking:
     """Rank the users of ``response`` with a registered method.
@@ -118,13 +152,30 @@ def rank(
         The :class:`ExecutionPolicy`; default is fused single-process.
     cache:
         Overrides ``execution.cache`` when given.
+    init_state:
+        Optional :class:`~repro.core.solver_state.SolverState` to
+        warm-start the solve from (only for methods registered
+        ``warm_startable``; ``ValueError`` otherwise).  An incompatible or
+        diverging state falls back to a cold solve — see the ranking's
+        ``diagnostics["warm_start"]``.  Warm starts relax bit-determinism
+        to convergence-equivalence, so a cache hit computed from a
+        different history may differ in the last bits while inducing the
+        same ranking; :class:`~repro.api.session.CrowdSession` manages
+        this end to end.
     **params:
         Method parameters (the registry validates the names), e.g.
         ``rank(matrix, "HnD", random_state=0, tolerance=1e-8)``.
     """
     policy = execution if execution is not None else ExecutionPolicy()
     spec = REGISTRY.get(method)
-    ranker = _PolicyRanker(spec, params, policy)
+    if init_state is not None and not spec.warm_startable:
+        raise ValueError(
+            "method %r does not support warm starts (registered "
+            "warm_startable=False); warm-startable methods: %s"
+            % (spec.name,
+               ", ".join(sorted(REGISTRY.names(warm_startable=True))))
+        )
+    ranker = _PolicyRanker(spec, params, policy, init_state=init_state)
     rank_cache = cache if cache is not None else policy.cache
     if rank_cache is not None:
         return rank_cache.rank(ranker, response)
@@ -140,11 +191,13 @@ class _PolicyRanker(AbilityRanker):
     """
 
     def __init__(self, spec: RankerSpec, params: Dict[str, object],
-                 policy: ExecutionPolicy) -> None:
+                 policy: ExecutionPolicy,
+                 init_state: Optional[SolverState] = None) -> None:
         spec.validate_params(params)
         self._spec = spec
         self._params = dict(params)
         self._policy = policy
+        self._init_state = init_state
         self.name = spec.name
 
     def cache_fingerprint(self):
@@ -154,13 +207,20 @@ class _PolicyRanker(AbilityRanker):
 
     def rank(self, response: RankInput) -> AbilityRanking:
         backend = self._policy.resolved_backend
+        # Warm state rides outside the registry param spec (it is data, not
+        # a result-affecting parameter — the fingerprint must not see it),
+        # and is only forwarded when present so non-warm-startable rankers
+        # never receive an unexpected keyword.
+        state_kwargs = (
+            {} if self._init_state is None else {"init_state": self._init_state}
+        )
         if backend == "fused":
             matrix = (
                 response.source
                 if isinstance(response, ShardedResponse)
                 else response
             )
-            return self._spec.create(**self._params).rank(matrix)
+            return self._spec.create(**self._params).rank(matrix, **state_kwargs)
 
         runner = self._spec.kernel_runner
         if runner is None:
@@ -192,7 +252,7 @@ class _PolicyRanker(AbilityRanker):
                 sharded = ShardedResponse.split(
                     response, self._policy.shards, max_workers=self._policy.workers
                 )
-            return runner(ThreadKernels(sharded), **self._params)
+            return runner(ThreadKernels(sharded), **state_kwargs, **self._params)
 
         # processes: the shard split itself stays in the parent (serial —
         # the split is O(S log nnz)); only kernel dispatch crosses processes.
@@ -202,4 +262,4 @@ class _PolicyRanker(AbilityRanker):
             else ShardedResponse.split(response, self._policy.shards)
         )
         with ProcessEngine(sharded, max_workers=self._policy.workers) as engine:
-            return runner(engine, **self._params)
+            return runner(engine, **state_kwargs, **self._params)

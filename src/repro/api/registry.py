@@ -93,6 +93,16 @@ class RankerSpec:
         True for the "cheating" baselines that require ground truth at
         construction time; they are excluded from unsupervised serving
         surfaces such as ``repro.cli rank``.
+    warm_startable:
+        True for iterative methods whose ``rank`` accepts an
+        ``init_state`` :class:`~repro.core.solver_state.SolverState` and
+        returns the converged state on the ranking — the methods with a
+        genuine convergence criterion, where restarting from a previous
+        solution changes only the iteration count, never the answer
+        (beyond the convergence tolerance).  Methods that run a fixed
+        iteration schedule (Invest, PooledInv) or whose dynamics are
+        chaotic (GLAD) stay False: a warm start would change *what* they
+        compute, not how fast.
     summary:
         One-line description for ``--help`` output and tables.
     kernel_runner:
@@ -109,6 +119,7 @@ class RankerSpec:
     deterministic: bool = True
     cacheable: bool = True
     supervised: bool = False
+    warm_startable: bool = False
     summary: str = ""
     kernel_runner: Optional[Callable] = None
 
@@ -215,12 +226,18 @@ class RankerRegistry:
         """The spec a ranker class registered under, or ``None``."""
         return self._by_class.get(cls)
 
-    def names(self, *, supervised: Optional[bool] = None) -> Tuple[str, ...]:
+    def names(
+        self,
+        *,
+        supervised: Optional[bool] = None,
+        warm_startable: Optional[bool] = None,
+    ) -> Tuple[str, ...]:
         """Registered names in registration order, optionally filtered."""
         return tuple(
             name
             for name, spec in self._specs.items()
-            if supervised is None or spec.supervised == supervised
+            if (supervised is None or spec.supervised == supervised)
+            and (warm_startable is None or spec.warm_startable == warm_startable)
         )
 
     def __contains__(self, name: str) -> bool:
@@ -244,6 +261,7 @@ def register_ranker(
     deterministic: bool = True,
     cacheable: bool = True,
     supervised: bool = False,
+    warm_startable: bool = False,
     summary: str = "",
     registry: Optional[RankerRegistry] = None,
 ):
@@ -263,6 +281,7 @@ def register_ranker(
             deterministic=deterministic,
             cacheable=cacheable,
             supervised=supervised,
+            warm_startable=warm_startable,
             summary=summary or (doc_lines[0] if doc_lines else ""),
         )
         # Explicit None-check: an empty registry is falsy via __len__.

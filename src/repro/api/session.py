@@ -34,9 +34,14 @@ from typing import Dict, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.api.execution import ExecutionPolicy, rank as _rank
+from repro.api.execution import (
+    ExecutionPolicy,
+    rank as _rank,
+    warm_start_fingerprint,
+)
 from repro.core.ranking import AbilityRanking
 from repro.core.response import ResponseBuilder, ResponseMatrix
+from repro.core.solver_state import SolverState
 from repro.engine.cache import RankCache
 from repro.exceptions import InvalidResponseMatrixError
 
@@ -80,6 +85,12 @@ class CrowdSession:
         else:
             self.cache = RankCache(maxsize=cache) if cache is not None else RankCache()
         self._matrix: Optional[ResponseMatrix] = None
+        # Content hashes of every crowd state this session has ranked: the
+        # warm-start lineage.  A shared RankCache holds solver states from
+        # unrelated crowds under the same fingerprint; restricting the
+        # lookup to this session's own history keeps a foreign state from
+        # ever seeding a warm solve.
+        self._ranked_hashes: set = set()
 
     @classmethod
     def from_matrix(cls, matrix: ResponseMatrix, **kwargs) -> "CrowdSession":
@@ -178,6 +189,7 @@ class CrowdSession:
         method: str = "HnD",
         *,
         execution: Optional[ExecutionPolicy] = None,
+        warm_start: bool = False,
         **params,
     ) -> AbilityRanking:
         """Rank the current crowd; warm cache hits when nothing changed.
@@ -186,10 +198,43 @@ class CrowdSession:
         session cache is always consulted: identical (data, method,
         parameters) queries are served in ``O(nnz)`` hash time, and a real
         append changes the content hash, forcing a recompute.
+
+        With ``warm_start=True`` that recompute becomes *incremental*: the
+        solve restarts from the solver state the cache captured for the
+        same method and parameters under the previous content hash, so an
+        append of ``b`` answers costs the few iterations the perturbation
+        needs instead of a full cold solve (committed numbers in
+        ``benchmarks/BENCH_PR5.json``).  The contract relaxes from
+        bit-determinism to *convergence equivalence*: the warm result
+        induces the same ranking as a cold solve of the current crowd,
+        with scores within the method's convergence tolerance — and an
+        incompatible or diverging state falls back to a cold solve
+        automatically (``diagnostics["warm_start"]``).  Requires a method
+        registered ``warm_startable`` and a deterministic, cacheable
+        parameter set (``ValueError`` otherwise); a no-op append still
+        serves the exact warm cache hit.
         """
         policy = execution if execution is not None else self.execution
-        return _rank(self.matrix, method, execution=policy, cache=self.cache,
-                     **params)
+        init_state: Optional[SolverState] = None
+        if warm_start:
+            init_state = self._warm_state(method, params)
+        ranking = _rank(self.matrix, method, execution=policy,
+                        cache=self.cache, init_state=init_state, **params)
+        # Record this crowd state in the warm-start lineage (the digest is
+        # memoized on the matrix, so this costs a dict insert).
+        self._ranked_hashes.add(self.matrix.content_hash())
+        return ranking
+
+    def _warm_state(self, method: str, params: Dict[str, object]) -> Optional[SolverState]:
+        """Validate warm-startability and fetch the latest *own* state.
+
+        The lookup is restricted to cache entries produced for this
+        session's own crowd history (`_ranked_hashes`): on a shared cache,
+        another crowd's converged state under the same fingerprint must
+        solve cold here, not masquerade as a warm iterate.
+        """
+        fingerprint = warm_start_fingerprint(method, params)
+        return self.cache.latest_state(fingerprint, hashes=self._ranked_hashes)
 
     def top_k(
         self,
@@ -197,10 +242,12 @@ class CrowdSession:
         method: str = "HnD",
         *,
         execution: Optional[ExecutionPolicy] = None,
+        warm_start: bool = False,
         **params,
     ) -> np.ndarray:
         """Indices of the ``count`` highest-ranked users, best first."""
-        return self.rank(method, execution=execution, **params).top_users(count)
+        return self.rank(method, execution=execution, warm_start=warm_start,
+                         **params).top_users(count)
 
     def stats(self) -> Dict[str, object]:
         """Session counters: crowd size plus the cache's hit/miss/bypass."""

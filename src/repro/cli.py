@@ -204,8 +204,111 @@ def command_fig13(args: argparse.Namespace) -> int:
     return 0
 
 
+def _append_random_answers(session, count: int, rng: np.random.Generator) -> int:
+    """Append ``count`` random conflict-free answers to a CrowdSession.
+
+    Candidate ``(user, item)`` cells are drawn uniformly and filtered
+    against the already-answered cells (a repeated cell with a different
+    option would be a *conflicting* answer and raise), so the append
+    demonstrates warm-started re-convergence on a valid growing crowd.
+    """
+    matrix = session.matrix
+    num_users, num_items = matrix.num_users, matrix.num_items
+    users, items, _ = matrix.triples
+    taken = users * num_items + items
+    fresh = np.array([], dtype=np.int64)
+    for _ in range(16):
+        candidates = rng.integers(
+            0, num_users * num_items, size=2 * count + 16, dtype=np.int64
+        )
+        # Accumulate survivors across attempts: on dense crowds any single
+        # draw may yield only a handful of free cells.
+        fresh = np.union1d(fresh, np.setdiff1d(candidates, taken))
+        if fresh.size >= count:
+            break
+    fresh = rng.permutation(fresh)[:count]
+    if fresh.size == 0:
+        return 0
+    # Draw each option below its own item's option count — items may have
+    # heterogeneous counts, and an out-of-range option would be rejected at
+    # the next materialization.
+    items = fresh % num_items
+    options = rng.integers(0, np.asarray(matrix.num_options)[items])
+    session.add_answers(fresh // num_items, items, options)
+    return int(fresh.size)
+
+
 def command_rank(args: argparse.Namespace) -> int:
     import time
+
+    from repro.api import CrowdSession
+    from repro.api.execution import warm_start_fingerprint
+
+    # Everything resolves through repro.api: the registry supplies the
+    # method (with a did-you-mean hint on typos), the ExecutionPolicy
+    # separates it from how it runs ("auto" resolution included — the CLI
+    # does not re-implement it).  All validation runs before the input is
+    # loaded, so a bad invocation fails fast.
+    try:
+        spec = REGISTRY.get(args.method)
+    except KeyError as error:
+        print("error:", error.args[0], file=sys.stderr)
+        return 2
+    if spec.supervised:
+        print(
+            "error: method %r is a supervised (cheating) baseline and "
+            "needs ground truth; serving methods: %s"
+            % (spec.name, ", ".join(sorted(REGISTRY.names(supervised=False)))),
+            file=sys.stderr,
+        )
+        return 2
+    params = {}
+    if args.random_state is not None:
+        # Parse and target-check the flag whenever it is given: a typo'd
+        # value or a method that takes no random_state must not be
+        # silently dropped.
+        if not spec.takes("random_state"):
+            print(
+                "error: method %r takes no random_state parameter; "
+                "--random-state has no effect on it" % spec.name,
+                file=sys.stderr,
+            )
+            return 2
+        if args.random_state.lower() in ("none", "null"):
+            params["random_state"] = None
+        else:
+            try:
+                params["random_state"] = int(args.random_state)
+            except ValueError:
+                print(
+                    "error: --random-state takes an integer seed or 'none', "
+                    "got %r" % args.random_state,
+                    file=sys.stderr,
+                )
+                return 2
+    elif spec.takes("random_state"):
+        params["random_state"] = args.seed
+    if args.warm_start:
+        # Fail fast, before the input loads, with the library's own
+        # eligibility rules (one shared source of truth and error prose).
+        try:
+            warm_start_fingerprint(args.method, params)
+        except ValueError as error:
+            print("error:", error, file=sys.stderr)
+            return 2
+    cache = RankCache(maxsize=args.cache_size)
+    try:
+        policy = ExecutionPolicy(
+            backend=args.backend,
+            shards=args.shards,
+            workers=args.workers,
+            cache=cache,
+        )
+    except ValueError as error:
+        # e.g. an explicit --backend fused combined with --shards > 1:
+        # surface the conflict instead of silently dropping the sharding.
+        print("error:", error, file=sys.stderr)
+        return 2
 
     start = time.perf_counter()
     response = load_streaming(args.input, chunk_size=args.chunk_size)
@@ -221,41 +324,48 @@ def command_rank(args: argparse.Namespace) -> int:
             args.chunk_size,
         )
     )
-
-    # Everything resolves through repro.api: the registry supplies the
-    # method, the ExecutionPolicy separates it from how it runs ("auto"
-    # resolution included — the CLI does not re-implement it).
-    spec = REGISTRY.get(args.method)
-    params = {}
-    if spec.takes("random_state"):
-        params["random_state"] = args.seed
-    cache = RankCache(maxsize=args.cache_size)
-    try:
-        policy = ExecutionPolicy(
-            backend=args.backend,
-            shards=args.shards,
-            workers=args.workers,
-            cache=cache,
-        )
-    except ValueError as error:
-        # e.g. an explicit --backend fused combined with --shards > 1:
-        # surface the conflict instead of silently dropping the sharding.
-        print("error:", error, file=sys.stderr)
-        return 2
     print(
-        "method %s via backend %s (%d shard(s), workers=%s)"
-        % (spec.name, policy.resolved_backend, policy.shards, policy.workers)
+        "method %s via backend %s (%d shard(s), workers=%s%s)"
+        % (spec.name, policy.resolved_backend, policy.shards, policy.workers,
+           ", warm-started" if args.warm_start else "")
     )
+
+    # Incremental serving runs through a CrowdSession: --append grows the
+    # crowd between calls and --warm-start resumes each solve from the
+    # cached solver state instead of recomputing cold.
+    session = None
+    if args.warm_start or args.append:
+        session = CrowdSession.from_matrix(response, execution=policy,
+                                           cache=cache)
+        rng = np.random.default_rng(args.seed)
 
     ranking = None
     try:
         for call in range(max(args.repeat, 1)):
+            if session is not None and call and args.append:
+                appended = _append_random_answers(session, args.append, rng)
+                print("appended %d answers (crowd now %s answers)"
+                      % (appended, format(session.num_answers, ",")))
             before = cache.stats()["hits"]
             start = time.perf_counter()
-            ranking = api_rank(response, args.method, execution=policy, **params)
+            if session is not None:
+                ranking = session.rank(args.method,
+                                       warm_start=args.warm_start, **params)
+            else:
+                ranking = api_rank(response, args.method, execution=policy,
+                                   **params)
             elapsed = time.perf_counter() - start
             served = "cache hit" if cache.stats()["hits"] > before else "computed"
-            print("rank() call %d: %.4f s (%s)" % (call + 1, elapsed, served))
+            detail = ""
+            if served == "computed":
+                iterations = ranking.diagnostics.get("iterations")
+                warm_mode = ranking.diagnostics.get("warm_start")
+                if iterations is not None:
+                    detail = ", %s iterations" % iterations
+                if warm_mode is not None and args.warm_start:
+                    detail += ", warm_start=%s" % warm_mode
+            print("rank() call %d: %.4f s (%s%s)"
+                  % (call + 1, elapsed, served, detail))
     except ValueError as error:
         # e.g. a sharded backend for a method without shard kernels
         # (GLAD --shards 4): a clean error, not a traceback.
@@ -338,8 +448,9 @@ def build_parser() -> argparse.ArgumentParser:
     rank.add_argument(
         "--method",
         default="HnD",
-        choices=sorted(REGISTRY.names(supervised=False)),
-        help="ranking method, resolved through the repro.api registry",
+        help="ranking method, resolved through the repro.api registry "
+             "(unknown names exit 2 with a did-you-mean hint); one of: %s"
+             % ", ".join(sorted(REGISTRY.names(supervised=False))),
     )
     rank.add_argument(
         "--backend",
@@ -356,6 +467,21 @@ def build_parser() -> argparse.ArgumentParser:
                            "--backend processes (default min(shards, cpus))")
     rank.add_argument("--repeat", type=int, default=2,
                       help="rank() calls to issue (later calls hit the cache)")
+    rank.add_argument("--warm-start", action="store_true",
+                      help="serve through a CrowdSession with warm-started "
+                           "solvers: after an append, the solve resumes from "
+                           "the cached solver state instead of recomputing "
+                           "cold (requires a warm-startable method and a "
+                           "deterministic configuration; exits 2 otherwise)")
+    rank.add_argument("--append", type=int, default=0, metavar="COUNT",
+                      help="append COUNT random conflict-free answers before "
+                           "each rank() call after the first — pair with "
+                           "--warm-start to watch incremental re-convergence")
+    rank.add_argument("--random-state", default=None, metavar="SEED",
+                      help="override the method's random_state: an integer "
+                           "seed or 'none' (nondeterministic; incompatible "
+                           "with --warm-start and bypasses the cache); "
+                           "defaults to the global --seed")
     rank.add_argument("--top", type=int, default=10,
                       help="how many top-ranked users to print")
     rank.add_argument("--chunk-size", type=int, default=65536,

@@ -13,6 +13,7 @@ from repro.core.ranking import (
     SupervisedAbilityRanker,
     ranking_from_scores,
 )
+from repro.core.solver_state import SolverState, warm_table, warm_vector
 from repro.core.avghits import (
     avghits_fixed_point,
     avghits_step,
@@ -34,6 +35,9 @@ __all__ = [
     "AbilityRanking",
     "SupervisedAbilityRanker",
     "ranking_from_scores",
+    "SolverState",
+    "warm_vector",
+    "warm_table",
     "update_matrix",
     "difference_update_matrix",
     "avghits_step",

@@ -31,6 +31,7 @@ from repro.core.avghits import (
 )
 from repro.core.ranking import AbilityRanker, AbilityRanking
 from repro.core.response import ResponseMatrix
+from repro.core.solver_state import SolverState, warm_vector
 from repro.core.symmetry import orient_scores
 from repro.linalg.deflation import hotelling_deflation
 from repro.linalg.operators import apply_cumulative
@@ -44,10 +45,83 @@ from repro.linalg.spectral import second_largest_eigenvector
 RandomState = Optional[Union[int, np.random.Generator]]
 
 
+def _trivial_diagnostics(init_state: Optional[SolverState]) -> dict:
+    """Diagnostics for the m < 2 degenerate crowd (nothing to iterate).
+
+    The ``warm_start`` key is part of the warm-capable contract, so it is
+    present even on the early return; a sub-2-user crowd has no difference
+    vector, making any offered state incompatible by definition.
+    """
+    return {
+        "iterations": 0,
+        "converged": True,
+        "warm_start": "cold" if init_state is None else "incompatible-cold",
+    }
+
+
+def hnd_power_solve(
+    diff_step,
+    num_users: int,
+    *,
+    tolerance: float,
+    max_iterations: int,
+    random_state: RandomState,
+    init_state: Optional[SolverState] = None,
+):
+    """The HnD power solve with optional warm start; shared by all backends.
+
+    Returns ``(result, state, warm_mode)``: the
+    :class:`~repro.linalg.power_iteration.PowerIterationResult`, the
+    captured :class:`SolverState` (the converged difference vector — the
+    exact iterate a follow-up solve restarts from), and how the warm start
+    went: ``"cold"`` (no state offered), ``"warm"`` (state used),
+    ``"incompatible-cold"`` (state rejected up front — wrong method or a
+    shrunk user axis), or ``"fallback-cold"`` (the warm attempt's residual
+    blew up — non-finite, e.g. a poisoned state — and the solve was rerun
+    cold).  A warm attempt that merely exhausts ``max_iterations`` with a
+    finite residual keeps its iterate: it is at least as close to the
+    fixed point as a cold rerun would get with the same budget, so
+    rerunning would double the cost for nothing.
+
+    A warm start is just a different initial vector: given the same state,
+    every execution backend walks a bit-identical trajectory, and with no
+    state the behaviour is exactly the pre-warm-start cold solve.
+    """
+    initial = warm_vector(init_state, "HnD", "diff_vector", num_users - 1, 0.0)
+    warm_mode = "cold"
+    if init_state is not None:
+        warm_mode = "warm" if initial is not None else "incompatible-cold"
+    result = power_iteration_matvec(
+        diff_step,
+        num_users - 1,
+        initial=initial,
+        tolerance=tolerance,
+        max_iterations=max_iterations,
+        random_state=random_state,
+    )
+    if initial is not None and not np.isfinite(result.residual):
+        result = power_iteration_matvec(
+            diff_step,
+            num_users - 1,
+            tolerance=tolerance,
+            max_iterations=max_iterations,
+            random_state=random_state,
+        )
+        warm_mode = "fallback-cold"
+    state = SolverState(
+        "HnD",
+        {"diff_vector": result.vector},
+        iterations=result.iterations,
+        residual=result.residual,
+    )
+    return result, state, warm_mode
+
+
 @register_ranker(
     "HnD",
     params=("tolerance", "max_iterations", "break_symmetry",
             "check_connectivity", "random_state"),
+    warm_startable=True,
     summary="HITSnDIFFS power iteration (Algorithm 1, the paper's method)",
 )
 class HNDPower(AbilityRanker):
@@ -87,20 +161,26 @@ class HNDPower(AbilityRanker):
         self.check_connectivity = check_connectivity
         self.random_state = random_state
 
-    def rank(self, response: ResponseMatrix) -> AbilityRanking:
+    def rank(
+        self,
+        response: ResponseMatrix,
+        *,
+        init_state: Optional[SolverState] = None,
+    ) -> AbilityRanking:
         if self.check_connectivity:
             response.require_connected()
         m = response.num_users
         if m < 2:
             return AbilityRanking(scores=np.zeros(m), method=self.name,
-                                  diagnostics={"iterations": 0, "converged": True})
+                                  diagnostics=_trivial_diagnostics(init_state))
         diff_step = hnd_difference_step(response)
-        result = power_iteration_matvec(
+        result, state, warm_mode = hnd_power_solve(
             diff_step,
-            m - 1,
+            m,
             tolerance=self.tolerance,
             max_iterations=self.max_iterations,
             random_state=self.random_state,
+            init_state=init_state,
         )
         scores = apply_cumulative(result.vector)
         diagnostics = {
@@ -109,11 +189,13 @@ class HNDPower(AbilityRanker):
             "residual": result.residual,
             "eigenvalue": result.eigenvalue,
             "diff_vector_variance": float(np.var(result.vector)),
+            "warm_start": warm_mode,
         }
         if self.break_symmetry:
             scores, symmetry_diag = orient_scores(response, scores)
             diagnostics.update(symmetry_diag)
-        return AbilityRanking(scores=scores, method=self.name, diagnostics=diagnostics)
+        return AbilityRanking(scores=scores, method=self.name,
+                              diagnostics=diagnostics, state=state)
 
 
 @register_ranker(

@@ -15,6 +15,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.core.response import ResponseMatrix
+from repro.core.solver_state import SolverState
 
 
 @dataclass
@@ -32,11 +33,17 @@ class AbilityRanking:
     diagnostics:
         Method-specific extras (iterations, convergence flags, eigenvector
         variance, orientation-entropy values, ...).
+    state:
+        The :class:`~repro.core.solver_state.SolverState` the solver ended
+        in, for methods that support warm-started re-ranking (``None``
+        otherwise).  The rank cache stores it alongside the scores so an
+        appended crowd can re-converge from it instead of solving cold.
     """
 
     scores: np.ndarray
     method: str
     diagnostics: Dict[str, object] = field(default_factory=dict)
+    state: Optional[SolverState] = None
 
     def __post_init__(self) -> None:
         self.scores = np.asarray(self.scores, dtype=float).ravel()

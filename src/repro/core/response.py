@@ -1157,14 +1157,21 @@ class ResponseMatrix:
         ``PYTHONHASHSEED``), this digest is reproducible across processes and
         machines, so it can key persistent caches: two matrices have the same
         digest iff they compare equal, because the canonical user-major
-        triples are a normal form of the answers.
+        triples are a normal form of the answers.  The digest is memoized —
+        the canonical state is immutable, and cache lookups plus the
+        session's warm-start lineage tracking may hash the same instance
+        several times per ``rank()`` call.
         """
-        digest = hashlib.blake2b(digest_size=16)
-        digest.update(np.array([self._m, self._n], dtype=np.int64).tobytes())
-        digest.update(self._num_options.astype(np.int64, copy=False).tobytes())
-        for array in (self._users, self._items, self._options):
-            digest.update(array.tobytes())
-        return digest.hexdigest()
+        memo = getattr(self, "_content_hash_memo", None)
+        if memo is None:
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(np.array([self._m, self._n], dtype=np.int64).tobytes())
+            digest.update(self._num_options.astype(np.int64, copy=False).tobytes())
+            for array in (self._users, self._items, self._options):
+                digest.update(array.tobytes())
+            memo = digest.hexdigest()
+            self._content_hash_memo = memo
+        return memo
 
 
 def _resolve_num_options(num_options, n: int) -> np.ndarray:

@@ -21,19 +21,28 @@ Nondeterministic rankers (a ``random_state`` of ``None`` or a live
 ``Generator``) are detected by the fingerprint and **bypass** the cache:
 two calls would legitimately return different rankings, so serving a memo
 would silently change semantics.
+
+Each entry also carries a **state slot**: the
+:class:`~repro.core.solver_state.SolverState` the producing solve ended in
+(when the method captures one).  Scores and state are one entry — one unit
+of the LRU accounting, evicted together — and :meth:`RankCache.latest_state`
+is how :class:`~repro.api.session.CrowdSession` finds the newest
+same-fingerprint state to warm-start from after an append makes the
+content hash stale.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Dict, Optional, Tuple, Union
+from typing import AbstractSet, Dict, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.api.registry import REGISTRY
 from repro.core.ranking import AbilityRanker, AbilityRanking
 from repro.core.response import ResponseMatrix
+from repro.core.solver_state import SolverState
 from repro.engine.sharding import ShardedResponse
 
 RankInput = Union[ResponseMatrix, ShardedResponse]
@@ -204,6 +213,42 @@ class RankCache:
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
         return ranking
+
+    def latest_state(
+        self,
+        fingerprint: Optional[Tuple],
+        *,
+        hashes: Optional[AbstractSet[str]] = None,
+    ) -> Optional[SolverState]:
+        """The most recently used solver state cached under ``fingerprint``.
+
+        This is the warm-start lookup: the cache key is ``(content hash,
+        fingerprint)``, so after an append the *new* hash has no entry —
+        but the newest entry of the *same method and parameters* holds the
+        solver state the next solve should resume from.  ``hashes``
+        restricts the search to entries whose content hash is in the given
+        set: a shared cache holds states from *unrelated* crowds under the
+        same fingerprint, and a foreign state must never seed a warm start
+        (it could converge to the foreign crowd's optimum without tripping
+        the blow-up guard), so :class:`~repro.api.session.CrowdSession`
+        passes the hashes of its own crowd's history.  The state rides on
+        the stored ranking itself — scores and state are one LRU slot,
+        counted once in ``stats()['size']`` and evicted together.  Returns
+        ``None`` when the fingerprint is ``None`` (uncacheable ranker) or
+        no matching entry carries a state.
+        """
+        if fingerprint is None:
+            return None
+        with self._lock:
+            for key in reversed(self._entries):
+                if key[1] != fingerprint:
+                    continue
+                if hashes is not None and key[0] not in hashes:
+                    continue
+                state = getattr(self._entries[key], "state", None)
+                if state is not None:
+                    return state
+        return None
 
     def clear(self) -> None:
         with self._lock:

@@ -27,7 +27,12 @@ different data plane:
 :class:`ProcessEngine` implements the
 :class:`~repro.engine.rankers.ShardKernels` interface, so the runners
 (``rank_hnd_power``, ``rank_dawid_skene``, ``rank_majority_vote``) execute
-over it unchanged.  Entry point::
+over it unchanged — including **warm starts**: a
+:class:`~repro.core.solver_state.SolverState` only changes the initial
+vector/posterior table the runner's solve loop starts from, which lives in
+the parent, so the worker protocol (shard slices shipped once, shared-memory
+vectors per call) and the bit-identity guarantee are untouched.  Entry
+point::
 
     from repro.api import ExecutionPolicy, rank
     rank(matrix, "HnD", execution=ExecutionPolicy(backend="processes", shards=8))

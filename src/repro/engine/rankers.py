@@ -36,8 +36,10 @@ from typing import Callable, Dict, Optional, Tuple, Union
 import numpy as np
 
 from repro.api.registry import REGISTRY
+from repro.core.hitsndiffs import _trivial_diagnostics, hnd_power_solve
 from repro.core.ranking import AbilityRanker, AbilityRanking
 from repro.core.response import ResponseMatrix
+from repro.core.solver_state import SolverState
 from repro.core.symmetry import orient_scores
 from repro.engine import kernels as _kernels
 from repro.engine.sharding import ShardedResponse
@@ -45,9 +47,8 @@ from repro.linalg.operators import apply_cumulative
 from repro.linalg.power_iteration import (
     DEFAULT_MAX_ITERATIONS,
     DEFAULT_TOLERANCE,
-    power_iteration_matvec,
 )
-from repro.truth_discovery.dawid_skene import dawid_skene_em, initial_posteriors
+from repro.truth_discovery.dawid_skene import dawid_skene_solve
 
 RandomState = Optional[Union[int, np.random.Generator]]
 
@@ -174,40 +175,47 @@ def rank_dawid_skene(
     max_iterations: int = 100,
     tolerance: float = 1e-6,
     smoothing: float = 0.01,
+    init_state: Optional[SolverState] = None,
 ) -> AbilityRanking:
     """Dawid–Skene over shard kernels (bit-identical to ``DawidSkeneRanker``).
 
     Only the two sufficient-statistic reductions are distributed; the EM
     loop itself is the shared
-    :func:`~repro.truth_discovery.dawid_skene.dawid_skene_em`, so the
-    trajectory — and the final scores — match the single-process ranker.
+    :func:`~repro.truth_discovery.dawid_skene.dawid_skene_solve`, so the
+    trajectory — and the final scores — match the single-process ranker,
+    warm-started or not: a warm start is only a different initial posterior
+    table, and given the same ``init_state`` every backend walks the same
+    trajectory bit for bit.
     """
     num_classes = kernels.max_options
     _, items, options = kernels.source.triples
     count_accumulator, loglik_accumulator = kernels.dawid_skene_accumulators(
         num_classes
     )
-    result = dawid_skene_em(
+    result, state, warm_mode = dawid_skene_solve(
         count_accumulator=count_accumulator,
         loglik_accumulator=loglik_accumulator,
-        posteriors=initial_posteriors(
-            items, options, kernels.num_items, num_classes, smoothing
-        ),
+        item_index=items,
+        option_index=options,
+        num_items=kernels.num_items,
         num_users=kernels.num_users,
         num_classes=num_classes,
         max_iterations=max_iterations,
         tolerance=tolerance,
         smoothing=smoothing,
+        init_state=init_state,
     )
     diagnostics: Dict[str, object] = {
         "iterations": result.iterations,
         "converged": result.converged,
         "discovered_truths": result.posteriors.argmax(axis=1),
         "class_priors": result.priors,
+        "warm_start": warm_mode,
     }
     diagnostics.update(kernels.diagnostics())
     return AbilityRanking(
-        scores=result.accuracies, method="Dawid-Skene", diagnostics=diagnostics
+        scores=result.accuracies, method="Dawid-Skene",
+        diagnostics=diagnostics, state=state,
     )
 
 
@@ -219,13 +227,18 @@ def rank_hnd_power(
     break_symmetry: bool = True,
     check_connectivity: bool = False,
     random_state: RandomState = None,
+    init_state: Optional[SolverState] = None,
 ) -> AbilityRanking:
     """HnD-Power (Algorithm 1) over shard kernels (bit-identical to ``HNDPower``).
 
-    The power-iteration driver, cumulative/difference wrappers, and the
-    decile-entropy symmetry breaking are the single-process code; each
+    The power-iteration driver (shared
+    :func:`~repro.core.hitsndiffs.hnd_power_solve`, including the warm-start
+    adaptation and cold-fallback guard), cumulative/difference wrappers, and
+    the decile-entropy symmetry breaking are the single-process code; each
     iteration's AVGHITS matvec is the shard-parallel sum of per-shard
-    partial products (gather in shards, canonical-order scatter reduce).
+    partial products (gather in shards, canonical-order scatter reduce).  A
+    warm start is only a different initial vector, so the bit-identity
+    guarantee across backends holds for warm solves too.
     """
     matrix = kernels.source
     if check_connectivity:
@@ -233,14 +246,15 @@ def rank_hnd_power(
     m = kernels.num_users
     if m < 2:
         return AbilityRanking(scores=np.zeros(m), method="HnD",
-                              diagnostics={"iterations": 0, "converged": True})
+                              diagnostics=_trivial_diagnostics(init_state))
     diff_step = kernels.hnd_difference_step()
-    result = power_iteration_matvec(
+    result, state, warm_mode = hnd_power_solve(
         diff_step,
-        m - 1,
+        m,
         tolerance=tolerance,
         max_iterations=max_iterations,
         random_state=random_state,
+        init_state=init_state,
     )
     scores = apply_cumulative(result.vector)
     diagnostics: Dict[str, object] = {
@@ -249,12 +263,14 @@ def rank_hnd_power(
         "residual": result.residual,
         "eigenvalue": result.eigenvalue,
         "diff_vector_variance": float(np.var(result.vector)),
+        "warm_start": warm_mode,
     }
     diagnostics.update(kernels.diagnostics())
     if break_symmetry:
         scores, symmetry_diag = orient_scores(matrix, scores)
         diagnostics.update(symmetry_diag)
-    return AbilityRanking(scores=scores, method="HnD", diagnostics=diagnostics)
+    return AbilityRanking(scores=scores, method="HnD",
+                          diagnostics=diagnostics, state=state)
 
 
 # --------------------------------------------------------------------------- #

@@ -6,6 +6,7 @@ from repro.evaluation.metrics import (
     orientation_agnostic_accuracy,
     pairwise_ranking_accuracy,
     rank_vector,
+    ranking_inversion_gap,
     spearman_accuracy,
     top_fraction_precision,
 )
@@ -37,6 +38,7 @@ __all__ = [
     "pairwise_ranking_accuracy",
     "normalized_displacement",
     "rank_vector",
+    "ranking_inversion_gap",
     "top_fraction_precision",
     "UNSUPERVISED_METHODS",
     "ExperimentResult",

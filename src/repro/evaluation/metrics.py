@@ -110,6 +110,45 @@ def pairwise_ranking_accuracy(predicted: ScoresLike, truth: ScoresLike) -> float
     return agreements / total
 
 
+def ranking_inversion_gap(reference: ScoresLike, other: ScoresLike) -> float:
+    """Largest reference-score gap over pairs the two rankings order oppositely.
+
+    ``0.0`` when ``other`` induces the same ranking as ``reference`` (up to
+    pairs tied in ``other``).  Two approximate solves of the same fixed
+    point — e.g. a warm-started and a cold ranking — disagree only on
+    near-ties, and this metric measures how deep the deepest disagreement
+    is *in reference-score units*: if every elementwise score error is at
+    most ``d``, the gap is mathematically bounded by ``2 d``.  A gap at
+    the order of the solver tolerance therefore certifies convergence
+    equivalence ("identical rankings up to ties the solver cannot
+    resolve"), while a large gap exposes a genuinely different ranking.
+
+    Runs in ``O(m log m)``: users are sorted by the reference score, and
+    for each user the *earliest* (lowest-reference) user that ``other``
+    orders above it is found through a prefix-maximum binary search.
+    """
+    ref = _as_scores(reference)
+    oth = _as_scores(other)
+    if ref.size != oth.size:
+        raise ValueError("reference and other must have the same length")
+    if ref.size < 2:
+        return 0.0
+    order = np.argsort(ref, kind="stable")
+    ref_sorted = ref[order]
+    oth_sorted = oth[order]
+    prefix_max = np.maximum.accumulate(oth_sorted)
+    # First index whose prefix maximum strictly exceeds each value: that
+    # position holds the lowest-reference user ordered *above* this one by
+    # `other` (prefix_max jumps exactly at its argmax positions).
+    first_above = np.searchsorted(prefix_max, oth_sorted, side="right")
+    positions = np.arange(ref.size)
+    inverted = first_above < positions
+    if not np.any(inverted):
+        return 0.0
+    gaps = ref_sorted[positions[inverted]] - ref_sorted[first_above[inverted]]
+    return float(gaps.max())
+
+
 def top_fraction_precision(predicted: ScoresLike, truth: ScoresLike,
                            fraction: float = 0.1) -> float:
     """Precision of the predicted top-``fraction`` users against the true top.

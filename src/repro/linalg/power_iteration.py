@@ -148,6 +148,12 @@ def power_iteration_matvec(
         if residual < tolerance:
             converged = True
             break
+        if not np.isfinite(residual):
+            # Residual blow-up: the iterate left the representable range
+            # (e.g. a poisoned warm-start vector).  Burning the rest of the
+            # budget cannot recover — report non-convergence immediately so
+            # warm-start callers can fall back to a cold solve.
+            break
 
     if not converged and raise_on_failure:
         raise ConvergenceError(

@@ -18,6 +18,7 @@ import scipy.sparse as sp
 
 from repro.core.ranking import AbilityRanker, AbilityRanking
 from repro.core.response import ResponseMatrix
+from repro.core.solver_state import SolverState, warm_vector
 
 
 class IterativeTruthRanker(AbilityRanker):
@@ -67,11 +68,63 @@ class IterativeTruthRanker(AbilityRanker):
         return scores / peak
 
     # ------------------------------------------------------------------ #
-    def rank(self, response: ResponseMatrix) -> AbilityRanking:
-        scores = np.asarray(self.initial_scores(response), dtype=float)
+    def rank(
+        self,
+        response: ResponseMatrix,
+        *,
+        init_state: Optional[SolverState] = None,
+    ) -> AbilityRanking:
+        """Run the alternating iteration, optionally warm-started.
+
+        ``init_state`` resumes from a previously converged user score
+        vector (appended users start from the method's cold initial
+        value).  Warm starts are only honoured for methods with a real
+        stopping rule (``tolerance`` set): for the fixed-schedule methods
+        (Investment family) a different initial vector would change the
+        answer, not the cost, so their state is treated as incompatible
+        and the solve runs cold.  A warm attempt whose residual blows up
+        (non-finite — a poisoned state) is rerun cold; plain budget
+        exhaustion keeps the warm iterate, which a same-budget cold rerun
+        could not beat.
+        """
+        cold = np.asarray(self.initial_scores(response), dtype=float)
+        initial = None
+        warm_mode = "cold"
+        if init_state is not None:
+            if self.tolerance is not None:
+                initial = warm_vector(
+                    init_state, self.name, "user_scores", cold.size, cold
+                )
+            warm_mode = "warm" if initial is not None else "incompatible-cold"
+        scores, weights, iterations, converged, change = self._iterate(
+            response, cold if initial is None else initial
+        )
+        if initial is not None and not np.isfinite(change):
+            scores, weights, iterations, converged, change = self._iterate(
+                response, cold
+            )
+            warm_mode = "fallback-cold"
+        diagnostics: Dict[str, object] = {
+            "iterations": iterations,
+            "converged": converged,
+            "discovered_truths": discovered_truths(response, weights),
+            "warm_start": warm_mode,
+        }
+        state = SolverState(
+            self.name, {"user_scores": scores},
+            iterations=iterations, residual=change,
+        )
+        return AbilityRanking(scores=scores, method=self.name,
+                              diagnostics=diagnostics, state=state)
+
+    def _iterate(
+        self, response: ResponseMatrix, scores: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, int, bool, float]:
+        """One full solve from ``scores``; returns the loop's final state."""
         weights = np.zeros(response.num_option_columns)
         iterations = 0
         converged = False
+        change = float("inf")
         for iterations in range(1, self.max_iterations + 1):
             weights = np.asarray(
                 self.update_option_weights(response, scores), dtype=float
@@ -85,12 +138,11 @@ class IterativeTruthRanker(AbilityRanker):
             if self.tolerance is not None and change < self.tolerance:
                 converged = True
                 break
-        diagnostics: Dict[str, object] = {
-            "iterations": iterations,
-            "converged": converged,
-            "discovered_truths": discovered_truths(response, weights),
-        }
-        return AbilityRanking(scores=scores, method=self.name, diagnostics=diagnostics)
+            if not np.isfinite(change):
+                # Residual blow-up: bail out so warm-start callers can
+                # rerun cold instead of burning the iteration budget.
+                break
+        return scores, weights, iterations, converged, change
 
 
 def discovered_truths(response: ResponseMatrix, option_weights: np.ndarray) -> np.ndarray:

@@ -44,7 +44,7 @@ engines produce bit-identical scores.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -52,6 +52,7 @@ import scipy.sparse as sp
 from repro.api.registry import register_ranker
 from repro.core.ranking import AbilityRanker, AbilityRanking
 from repro.core.response import ResponseMatrix
+from repro.core.solver_state import SolverState, warm_table
 
 
 def initial_posteriors(
@@ -81,7 +82,12 @@ def initial_posteriors(
 
 @dataclass(frozen=True)
 class DawidSkeneEMResult:
-    """Converged state of one Dawid–Skene EM run."""
+    """Converged state of one Dawid–Skene EM run.
+
+    ``residual`` is the final max-change of the truth posteriors — the
+    quantity the stopping rule thresholds, captured into the
+    :class:`~repro.core.solver_state.SolverState` for warm restarts.
+    """
 
     accuracies: np.ndarray
     posteriors: np.ndarray
@@ -89,6 +95,7 @@ class DawidSkeneEMResult:
     confusion: np.ndarray
     iterations: int
     converged: bool
+    residual: float = float("inf")
 
 
 def dawid_skene_em(
@@ -125,6 +132,7 @@ def dawid_skene_em(
     priors = np.full(num_classes, 1.0 / num_classes)
     iterations = 0
     converged = False
+    change = float("inf")
     for iterations in range(1, max_iterations + 1):
         # M-step: class priors and per-user confusion matrices.
         priors = posteriors.mean(axis=0)
@@ -154,6 +162,11 @@ def dawid_skene_em(
         if change < tolerance:
             converged = True
             break
+        if not np.isfinite(change):
+            # Residual blow-up (e.g. a poisoned warm-start posterior table):
+            # further iterations cannot recover, so report non-convergence
+            # immediately and let warm-start callers rerun cold.
+            break
 
     accuracies = np.einsum("ukk,k->u", confusion, priors)
     return DawidSkeneEMResult(
@@ -163,12 +176,81 @@ def dawid_skene_em(
         confusion=confusion,
         iterations=iterations,
         converged=converged,
+        residual=change,
     )
+
+
+def dawid_skene_solve(
+    *,
+    count_accumulator: Callable[[np.ndarray], np.ndarray],
+    loglik_accumulator: Callable[[np.ndarray], np.ndarray],
+    item_index: np.ndarray,
+    option_index: np.ndarray,
+    num_items: int,
+    num_users: int,
+    num_classes: int,
+    max_iterations: int,
+    tolerance: float,
+    smoothing: float,
+    init_state: Optional[SolverState] = None,
+) -> Tuple[DawidSkeneEMResult, SolverState, str]:
+    """Run :func:`dawid_skene_em` with an optional warm start; all backends.
+
+    The warm iterate is the truth-posterior table — the only EM state the
+    loop needs (priors and confusion matrices are recomputed from it by the
+    first M-step).  Stored rows overwrite the head of the cold (soft
+    majority-vote) initialization, so appended items start cold while known
+    items resume where the previous solve converged.  Returns
+    ``(result, state, warm_mode)`` with the same ``warm_mode`` convention as
+    :func:`repro.core.hitsndiffs.hnd_power_solve`: an incompatible state
+    (different class count, shrunk item axis) solves cold up front, and a
+    warm attempt whose residual blows up (non-finite — a poisoned state)
+    falls back to a cold rerun, so a stale state costs time, never
+    correctness.  Mere budget exhaustion with a finite residual keeps the
+    warm iterate — a cold rerun with the same budget would land no closer.
+    """
+    cold = initial_posteriors(
+        item_index, option_index, num_items, num_classes, smoothing
+    )
+    warm = warm_table(init_state, "Dawid-Skene", "posteriors", cold)
+    warm_mode = "cold"
+    if init_state is not None:
+        warm_mode = "warm" if warm is not None else "incompatible-cold"
+    result = dawid_skene_em(
+        count_accumulator=count_accumulator,
+        loglik_accumulator=loglik_accumulator,
+        posteriors=cold if warm is None else warm,
+        num_users=num_users,
+        num_classes=num_classes,
+        max_iterations=max_iterations,
+        tolerance=tolerance,
+        smoothing=smoothing,
+    )
+    if warm is not None and not np.isfinite(result.residual):
+        result = dawid_skene_em(
+            count_accumulator=count_accumulator,
+            loglik_accumulator=loglik_accumulator,
+            posteriors=cold,
+            num_users=num_users,
+            num_classes=num_classes,
+            max_iterations=max_iterations,
+            tolerance=tolerance,
+            smoothing=smoothing,
+        )
+        warm_mode = "fallback-cold"
+    state = SolverState(
+        "Dawid-Skene",
+        {"posteriors": result.posteriors},
+        iterations=result.iterations,
+        residual=result.residual,
+    )
+    return result, state, warm_mode
 
 
 @register_ranker(
     "Dawid-Skene",
     params=("max_iterations", "tolerance", "smoothing"),
+    warm_startable=True,
     summary="Dawid-Skene EM over per-user confusion matrices",
 )
 class DawidSkeneRanker(AbilityRanker):
@@ -191,7 +273,12 @@ class DawidSkeneRanker(AbilityRanker):
         self.tolerance = tolerance
         self.smoothing = smoothing
 
-    def rank(self, response: ResponseMatrix) -> AbilityRanking:
+    def rank(
+        self,
+        response: ResponseMatrix,
+        *,
+        init_state: Optional[SolverState] = None,
+    ) -> AbilityRanking:
         compiled = response.compiled
         num_users = response.num_users
         num_items = response.num_items
@@ -210,19 +297,20 @@ class DawidSkeneRanker(AbilityRanker):
         )
         indicator_t = indicator.T.tocsr()
 
-        result = dawid_skene_em(
+        result, state, warm_mode = dawid_skene_solve(
             count_accumulator=lambda posteriors: np.asarray(
                 indicator @ posteriors
             ),
             loglik_accumulator=lambda flat: np.asarray(indicator_t @ flat),
-            posteriors=initial_posteriors(
-                item_idx, choice_idx, num_items, num_classes, self.smoothing
-            ),
+            item_index=item_idx,
+            option_index=choice_idx,
+            num_items=num_items,
             num_users=num_users,
             num_classes=num_classes,
             max_iterations=self.max_iterations,
             tolerance=self.tolerance,
             smoothing=self.smoothing,
+            init_state=init_state,
         )
 
         truths = result.posteriors.argmax(axis=1)
@@ -231,7 +319,9 @@ class DawidSkeneRanker(AbilityRanker):
             "converged": result.converged,
             "discovered_truths": truths,
             "class_priors": result.priors,
+            "warm_start": warm_mode,
         }
         return AbilityRanking(
-            scores=result.accuracies, method=self.name, diagnostics=diagnostics
+            scores=result.accuracies, method=self.name,
+            diagnostics=diagnostics, state=state,
         )

@@ -36,6 +36,14 @@ changes the converged scores by ``O(1)`` — so any reordering of float ops
 scores; the equivalence tests therefore compare *rankings* against the
 seed-faithful oracle in :mod:`repro.truth_discovery.reference`, not raw
 scores.
+
+The same chaos is why GLAD is **not warm-startable** (the registry leaves
+``warm_startable=False``, and ``CrowdSession.rank(..., warm_start=True)`` /
+``repro.cli rank --warm-start`` reject it with a clear error): restarting
+the gradient EM from a previous solution is an ``O(1)`` perturbation of
+the trajectory, so the warm result would not be convergence-equivalent to
+a cold solve — it would be a different attractor, violating the warm-start
+contract that only the iteration count may change.
 """
 
 from __future__ import annotations

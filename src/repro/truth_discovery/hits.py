@@ -19,6 +19,7 @@ from repro.truth_discovery.base import IterativeTruthRanker
 @register_ranker(
     "HITS",
     params=("max_iterations", "tolerance"),
+    warm_startable=True,
     summary="Kleinberg HITS on the user-option bipartite graph",
 )
 class HITSRanker(IterativeTruthRanker):

@@ -11,7 +11,14 @@ their share of each chosen option's credibility.
   item's mutually exclusive options (``g = 1.4``).
 
 Neither method converges in general; following Section IV-A of the paper,
-they run a fixed number of iterations (default 10).
+they run a fixed number of iterations (default 10).  That fixed schedule is
+also why the Investment family is **not warm-startable** (the registry
+leaves ``warm_startable=False``): with no convergence criterion, "resume
+from the previous solution" does not re-converge faster — it computes a
+*different* 10-step trajectory, i.e. a different answer.  The shared
+:class:`~repro.truth_discovery.base.IterativeTruthRanker` therefore treats
+any offered state as incompatible when ``tolerance`` is ``None`` and runs
+the paper's schedule cold.
 """
 
 from __future__ import annotations

@@ -33,6 +33,7 @@ _MAX_TRUST = 1.0 - 1e-9
 @register_ranker(
     "TruthFinder",
     params=("initial_trust", "dampening", "max_iterations", "tolerance"),
+    warm_startable=True,
     summary="TruthFinder trust propagation with implication dampening",
 )
 class TruthFinderRanker(IterativeTruthRanker):

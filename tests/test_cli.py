@@ -123,3 +123,131 @@ class TestRankCommand:
         exit_code = main(["rank", str(saved_matrix), "--repeat", "0"])
         assert exit_code == 0
         assert "top" in capsys.readouterr().out
+
+
+class TestRankErrorPaths:
+    """Bad invocations exit 2 with actionable messages, never tracebacks."""
+
+    def test_unknown_method_prints_did_you_mean_hint(self, capsys):
+        # Validation runs before the input loads: no file needed.
+        exit_code = main(["rank", "no-such-file.npz", "--method", "HnDD"])
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert "did you mean" in err
+        assert "'HnD'" in err
+
+    def test_supervised_method_rejected(self, capsys):
+        exit_code = main(["rank", "no-such-file.npz", "--method", "True-Answer"])
+        assert exit_code == 2
+        assert "supervised" in capsys.readouterr().err
+
+    def test_warm_start_rejects_non_warm_startable_method(self, capsys):
+        """GLAD has chaotic dynamics: no warm start, clear error."""
+        exit_code = main(["rank", "no-such-file.npz", "--method", "GLAD",
+                          "--warm-start"])
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert "does not support warm starts" in err
+        assert "warm-startable methods" in err
+
+    def test_warm_start_rejects_nondeterministic_configuration(self, capsys):
+        exit_code = main(["rank", "no-such-file.npz", "--warm-start",
+                          "--random-state", "none"])
+        assert exit_code == 2
+        assert "deterministic" in capsys.readouterr().err
+
+    def test_bad_random_state_rejected(self, capsys):
+        exit_code = main(["rank", "no-such-file.npz", "--random-state", "seven"])
+        assert exit_code == 2
+        assert "--random-state" in capsys.readouterr().err
+
+    def test_random_state_on_seedless_method_rejected(self, capsys):
+        """The flag must not be silently dropped for methods without it."""
+        exit_code = main(["rank", "no-such-file.npz", "--method", "Dawid-Skene",
+                          "--random-state", "3"])
+        assert exit_code == 2
+        assert "no random_state parameter" in capsys.readouterr().err
+
+
+class TestRankWarmStart:
+    """The --warm-start / --append serving demo path."""
+
+    @pytest.fixture
+    def saved_matrix(self, tmp_path):
+        import numpy as np
+
+        from repro.core.response import ResponseMatrix
+
+        rng = np.random.default_rng(3)
+        truth = rng.integers(0, 3, size=25)
+        ability = rng.uniform(0.5, 0.95, size=120)
+        mask = rng.random((120, 25)) < 0.5
+        users, items = np.nonzero(mask)
+        correct = rng.random(users.size) < ability[users]
+        wrong = (truth[items] + rng.integers(1, 3, size=users.size)) % 3
+        options = np.where(correct, truth[items], wrong)
+        response = ResponseMatrix.from_triples(
+            users, items, options, shape=(120, 25), num_options=3
+        )
+        path = tmp_path / "warm-crowd.npz"
+        response.save(path)
+        return path
+
+    def test_warm_start_with_append_reconverges_warm(self, saved_matrix, capsys):
+        exit_code = main(
+            ["rank", str(saved_matrix), "--warm-start", "--append", "40",
+             "--repeat", "3", "--top", "3"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "warm-started" in out
+        assert "warm_start=cold" in out   # first solve has no state yet
+        assert "warm_start=warm" in out   # post-append solves resume
+        assert out.count("appended 40 answers") == 2
+
+    def test_warm_start_without_append_serves_cache_hits(self, saved_matrix,
+                                                         capsys):
+        exit_code = main(
+            ["rank", str(saved_matrix), "--warm-start", "--repeat", "2"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "cache hit" in out
+
+    def test_append_without_warm_start_recomputes_cold(self, saved_matrix,
+                                                       capsys):
+        exit_code = main(
+            ["rank", str(saved_matrix), "--append", "10", "--repeat", "2"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "appended 10 answers" in out
+        assert "warm_start=" not in out
+
+    def test_append_respects_heterogeneous_option_counts(self, tmp_path,
+                                                         capsys):
+        """Appended options stay below each item's own option count."""
+        import numpy as np
+
+        from repro.core.response import ResponseMatrix
+
+        rng = np.random.default_rng(5)
+        num_options = np.array([2] + [4] * 11)  # one binary item among 4-option
+        mask = rng.random((40, 12)) < 0.6
+        mask[0, 0] = True
+        users, items = np.nonzero(mask)
+        options = rng.integers(0, num_options[items])
+        response = ResponseMatrix.from_triples(
+            users, items, options, shape=(40, 12), num_options=num_options
+        )
+        path = tmp_path / "hetero.npz"
+        response.save(path)
+        # The appended answers must draw each option below its own item's
+        # count — an out-of-range option on the binary item would raise
+        # InvalidResponseMatrixError at the next materialization.
+        exit_code = main(["rank", str(path), "--method", "MajorityVote",
+                          "--append", "30", "--repeat", "3"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "appended 30 answers" in out
+        assert "rank() call 3" in out

@@ -1,0 +1,73 @@
+"""Tier-1 pins for the deprecated ``Sharded*`` shim classes (PR 4/5).
+
+The class-based backend selection is deprecated in favour of
+``rank(..., execution=ExecutionPolicy(...))``, but until the shims are
+removed they must not rot silently: each construction emits a
+``DeprecationWarning``, and each shim's scores stay **bit-identical** to
+the equivalent unified-API call (they share the runners, so any drift means
+the shim stopped going through the shared code path).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.api import ExecutionPolicy, rank
+from repro.core.response import ResponseMatrix
+from repro.engine import (
+    ShardedDawidSkeneRanker,
+    ShardedHNDPower,
+    ShardedMajorityVoteRanker,
+)
+
+SHIMS = [
+    (ShardedMajorityVoteRanker, "MajorityVote", {}),
+    (ShardedDawidSkeneRanker, "Dawid-Skene", {}),
+    (ShardedHNDPower, "HnD", {"random_state": 0}),
+]
+
+
+@pytest.fixture(scope="module")
+def response():
+    rng = np.random.default_rng(17)
+    mask = rng.random((90, 30)) < 0.4
+    mask[0, 0] = True
+    users, items = np.nonzero(mask)
+    options = rng.integers(0, 3, size=users.size)
+    return ResponseMatrix.from_triples(
+        users, items, options, shape=(90, 30), num_options=3
+    )
+
+
+class TestDeprecatedShims:
+    @pytest.mark.parametrize("cls,method,params", SHIMS)
+    def test_construction_warns_deprecation(self, cls, method, params):
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            cls(num_shards=3, **params)
+
+    @pytest.mark.parametrize("cls,method,params", SHIMS)
+    @pytest.mark.parametrize("num_shards", [1, 2, 8])
+    def test_shim_bit_identical_to_execution_policy(self, response, cls,
+                                                    method, params, num_shards):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            shim = cls(num_shards=num_shards, max_workers=2, **params)
+        via_shim = shim.rank(response)
+        via_api = rank(
+            response, method,
+            execution=ExecutionPolicy(backend="threads", shards=num_shards,
+                                      workers=2),
+            **params,
+        )
+        np.testing.assert_array_equal(via_shim.scores, via_api.scores)
+
+    @pytest.mark.parametrize("cls,method,params", SHIMS)
+    def test_warning_names_the_replacement(self, cls, method, params):
+        with pytest.warns(DeprecationWarning) as caught:
+            cls(**params)
+        message = str(caught[0].message)
+        assert "ExecutionPolicy" in message
+        assert method in message

@@ -177,6 +177,69 @@ class TestRankCache:
         assert np.array_equal(first.scores, direct.scores)
 
 
+class TestStateSlots:
+    """Solver states ride inside cache entries: one slot, evicted together."""
+
+    def test_state_slot_does_not_inflate_size_accounting(self, response):
+        """Scores and solver state are one entry, not two (regression)."""
+        cache = RankCache()
+        ranking = cache.rank(HNDPower(random_state=0), response)
+        assert ranking.state is not None  # a state was captured and stored
+        assert cache.stats()["size"] == 1
+        assert len(cache) == 1
+        # A warm hit serves the same entry without growing the accounting.
+        cache.rank(HNDPower(random_state=0), response)
+        assert cache.stats() == {"hits": 1, "misses": 1, "bypasses": 0,
+                                 "size": 1}
+
+    def test_latest_state_returns_the_captured_state(self, response):
+        cache = RankCache()
+        ranker = HNDPower(random_state=0)
+        ranking = cache.rank(ranker, response)
+        state = cache.latest_state(ranker_fingerprint(ranker))
+        assert state is ranking.state
+        assert state.method == "HnD"
+        assert cache.latest_state(ranker_fingerprint(HNDPower(random_state=1))) is None
+        assert cache.latest_state(None) is None
+
+    def test_latest_state_tracks_the_most_recent_entry(self, response):
+        """After the data changes, the newest same-fingerprint state serves."""
+        cache = RankCache()
+        ranker = HNDPower(random_state=0)
+        cache.rank(ranker, response)
+        # Rank a different matrix state under the same fingerprint.
+        subset = response.subset_users(np.arange(50))
+        second = cache.rank(ranker, subset)
+        state = cache.latest_state(ranker_fingerprint(ranker))
+        assert state is second.state
+
+    def test_state_evicted_together_with_its_entry(self, response):
+        cache = RankCache(maxsize=2)
+        first = HNDPower(random_state=0)
+        cache.rank(first, response)
+        fingerprint = ranker_fingerprint(first)
+        assert cache.latest_state(fingerprint) is not None
+        # Two younger entries push the first one (scores AND state) out.
+        cache.rank(HNDPower(random_state=1), response)
+        cache.rank(HNDPower(random_state=2), response)
+        assert cache.stats()["size"] == 2
+        assert cache.latest_state(fingerprint) is None
+
+    def test_stateless_rankings_cache_without_a_state(self, response):
+        cache = RankCache()
+        ranking = cache.rank(MajorityVoteRanker(), response)
+        assert ranking.state is None
+        assert cache.stats()["size"] == 1
+        assert cache.latest_state(ranker_fingerprint(MajorityVoteRanker())) is None
+
+    def test_clear_drops_states(self, response):
+        cache = RankCache()
+        ranker = HNDPower(random_state=0)
+        cache.rank(ranker, response)
+        cache.clear()
+        assert cache.latest_state(ranker_fingerprint(ranker)) is None
+
+
 class TestEvaluateRankersCache:
     def test_suite_reuses_cached_rankings(self):
         dataset = generate_dataset(

@@ -1,0 +1,505 @@
+"""Convergence-equivalence suite for warm-started solvers (PR 5).
+
+The warm-start contract: for every method the registry marks
+``warm_startable``, a rank warm-started from the previous solution after an
+append batch is *convergence-equivalent* to a cold rank of the merged
+matrix — the same ranking up to users the solver itself cannot separate
+(score gaps below the convergence tolerance; exact duplicate answer
+patterns tie exactly, and any two solver runs order them arbitrarily), with
+scores within the method's tolerance scale.  Given the same solver state,
+the fused, thread, and process backends stay **bit-identical** (a warm
+start is only a different initial iterate).  The guards are pinned too: a
+no-op append still serves the exact warm cache hit, an incompatible state
+solves cold up front, and a residual blow-up (poisoned state) falls back to
+a cold solve whose scores equal a pure cold run bit for bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.api import REGISTRY, CrowdSession, ExecutionPolicy, SolverState
+from repro.api import rank as api_rank
+from repro.core.response import ResponseMatrix
+from repro.core.solver_state import warm_table, warm_vector
+from repro.engine import RankCache
+from repro.evaluation.metrics import ranking_inversion_gap
+
+#: Per-method (tight) solve parameters and the tie threshold: warm-vs-cold
+#: score differences and ranking-inversion gaps must stay below it.  The
+#: thresholds sit ~3 orders of magnitude above the observed differences and
+#: ~3 below genuine score gaps.
+WARM_METHODS = {
+    "HnD": ({"random_state": 0, "tolerance": 1e-10}, 1e-6),
+    "Dawid-Skene": ({"tolerance": 1e-9}, 1e-6),
+    "HITS": ({"tolerance": 1e-10, "max_iterations": 2000}, 1e-6),
+    "TruthFinder": ({"tolerance": 1e-10, "max_iterations": 2000}, 1e-6),
+}
+
+
+def structured_crowd(num_users, num_items, num_options, density, seed):
+    """Planted-truth crowd: per-item truth, per-user ability in [0.4, 0.95].
+
+    Warm-vs-cold equivalence is a statement about crowds with majority
+    structure; on pure-noise data every item is a near-tie and EM-style
+    methods legitimately have several self-consistent labelings (see the
+    Dawid–Skene module docs), so the suite generates signal-bearing data.
+    """
+    rng = np.random.default_rng(seed)
+    truth = rng.integers(0, num_options, size=num_items)
+    ability = rng.uniform(0.4, 0.95, size=num_users)
+    mask = rng.random((num_users, num_items)) < density
+    mask[0, 0] = True  # never an empty crowd
+    users, items = np.nonzero(mask)
+    correct = rng.random(users.size) < ability[users]
+    wrong = (truth[items] + rng.integers(1, num_options, size=users.size)) % num_options
+    options = np.where(correct, truth[items], wrong)
+    return users.astype(np.int64), items.astype(np.int64), options.astype(np.int64)
+
+
+def split_base_append(users, items, options, append_fraction, seed):
+    """Random base/append split of a crowd's answers (append non-empty)."""
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(users.size)
+    cut = users.size - max(1, int(users.size * append_fraction))
+    base, extra = np.sort(order[:cut]), np.sort(order[cut:])
+    return (
+        (users[base], items[base], options[base]),
+        (users[extra], items[extra], options[extra]),
+    )
+
+
+def _majorities_stable(base, append, num_items, num_options):
+    """Whether the append leaves every answered item's majority unambiguous.
+
+    True when each item's most-chosen option is the same, with a margin of
+    at least two answers, before and after the append (unanswered items are
+    ignored).  This is the regime the warm-start contract targets; flipped
+    majorities can move EM-style methods to a different self-consistent
+    labeling (see the Dawid–Skene module docs).
+    """
+    def histogram(items, options):
+        return np.bincount(
+            items * num_options + options, minlength=num_items * num_options
+        ).reshape(num_items, num_options)
+
+    before = histogram(base[1], base[2])
+    after = before + histogram(append[1], append[2])
+    for table in (before, after):
+        answered = table.sum(axis=1) > 0
+        top2 = np.sort(table, axis=1)[:, -2:]
+        if np.any(answered & (top2[:, 1] - top2[:, 0] < 2)):
+            return False
+    return bool(np.array_equal(before.argmax(axis=1), after.argmax(axis=1)))
+
+
+@pytest.fixture(scope="module")
+def medium_crowd():
+    """A deterministic 600 x 80 planted-truth crowd split 99% / 1%."""
+    triples = structured_crowd(600, 80, 4, 0.25, seed=7)
+    return split_base_append(*triples, append_fraction=0.01, seed=1)
+
+
+class TestRegistryLineup:
+    def test_warm_startable_methods(self):
+        assert sorted(s.name for s in REGISTRY if s.warm_startable) == sorted(
+            WARM_METHODS
+        )
+
+    def test_fixed_schedule_and_chaotic_methods_excluded(self):
+        for name in ("Invest", "PooledInv", "GLAD", "MajorityVote"):
+            assert not REGISTRY.get(name).warm_startable
+
+
+class TestConvergenceEquivalence:
+    """Headline property: warm after append == cold on merged, up to ties."""
+
+    @pytest.mark.parametrize("method", sorted(WARM_METHODS))
+    @settings(derandomize=True, max_examples=10, deadline=None)
+    @given(data=st.data())
+    def test_warm_rank_matches_cold_rank_after_append(self, method, data):
+        params, tie_gap = WARM_METHODS[method]
+        num_users = data.draw(st.integers(14, 32), label="num_users")
+        num_items = data.draw(st.integers(6, 12), label="num_items")
+        num_options = data.draw(st.integers(3, 4), label="num_options")
+        density = data.draw(st.floats(0.45, 0.9), label="density")
+        seed = data.draw(st.integers(0, 2**16), label="seed")
+        fraction = data.draw(st.floats(0.02, 0.15), label="append_fraction")
+        new_users = data.draw(st.integers(0, 3), label="new_users")
+
+        triples = structured_crowd(num_users, num_items, num_options, density, seed)
+        base, append = split_base_append(*triples, append_fraction=fraction,
+                                         seed=seed + 1)
+        assume(base[0].size >= 4)
+        # The warm-start contract covers appends that leave the crowd's
+        # majority structure standing (the serving scenario: small batches
+        # on a signal-bearing crowd).  An append that overturns an item's
+        # majority can legitimately move EM-style solvers to a different
+        # self-consistent labeling — that is the documented incremental-EM
+        # limitation, not an equivalence bug — so such draws are skipped.
+        assume(_majorities_stable(base, append, num_items, num_options))
+
+        session = CrowdSession(num_items=num_items, num_options=num_options,
+                               num_users=num_users)
+        session.add_answers(*base)
+        first = session.rank(method, warm_start=True, **params)
+        assert first.diagnostics["warm_start"] == "cold"
+        assert first.state is not None and first.state.method == method
+
+        session.add_answers(*append)
+        if new_users:
+            # Growth across the user axis: the state vector is shorter than
+            # the merged crowd and must pad with the cold initial values.
+            extra_rng = np.random.default_rng(seed + 2)
+            for offset in range(new_users):
+                session.add_answers(
+                    np.full(2, num_users + offset),
+                    extra_rng.choice(num_items, size=2, replace=False),
+                    extra_rng.integers(0, num_options, size=2),
+                )
+        warm = session.rank(method, warm_start=True, **params)
+        cold = api_rank(session.matrix, method, **params)
+
+        assert warm.diagnostics["warm_start"] in ("warm", "fallback-cold")
+        if warm.diagnostics["warm_start"] == "fallback-cold":
+            # The guard reran cold: bitwise equal to the pure cold solve.
+            np.testing.assert_array_equal(warm.scores, cold.scores)
+            return
+        # Convergence equivalence is a statement about *converged* solves;
+        # a budget-exhausted warm attempt keeps its (finite) iterate by
+        # design rather than paying a doubled cold rerun.
+        assume(warm.diagnostics["converged"] and cold.diagnostics["converged"])
+        if method == "Dawid-Skene":
+            # EM is a local optimizer: even with stable majorities, a tiny
+            # crowd can hold several self-consistent (labeling, confusion)
+            # equilibria, and the warm and cold inits may settle in
+            # different ones — the inherent incremental-EM limitation, not
+            # an equivalence bug.  The property is therefore conditional
+            # for EM: *given* both solves discover the same labeling, the
+            # user ranking must match.  The unconditional serving-scale
+            # behaviour is pinned by the deterministic 600 x 80 fixture
+            # below and by the committed 200k x 5k BENCH_PR5.json gates.
+            assume(np.array_equal(warm.diagnostics["discovered_truths"],
+                                  cold.diagnostics["discovered_truths"]))
+        warm_scores = warm.scores
+        if method == "HnD" and float(np.dot(warm_scores, cold.scores)) < 0:
+            # The eigenvector ordering is defined up to reversal; the
+            # decile-entropy tie-break can tie *exactly* on small crowds
+            # (singleton deciles have entropy 0), leaving the sign to the
+            # solve history.  Compare the orientation-canonical scores —
+            # two cold solves from different seeds disagree the same way.
+            warm_scores = -warm_scores
+        assert float(np.abs(warm_scores - cold.scores).max()) <= tie_gap
+        assert ranking_inversion_gap(cold.scores, warm_scores) <= tie_gap
+        # And the captured state chains: one more warm query is a cache hit.
+        assert session.rank(method, warm_start=True, **params) is warm
+
+    @pytest.mark.parametrize("method", sorted(WARM_METHODS))
+    def test_medium_crowd_warm_equals_cold_unconditionally(self, medium_crowd,
+                                                           method):
+        """The serving-scale anchor: no basin caveats at 600 x 80.
+
+        On a signal-bearing crowd of realistic density, a 1% append keeps
+        every solver — including EM — in the cold solve's basin, so the
+        equivalence holds unconditionally (same discovered truths, same
+        ranking up to solver ties).  The 200k x 5k committed scenario
+        (``BENCH_PR5.json``) gates the same at full scale.
+        """
+        params, tie_gap = WARM_METHODS[method]
+        base, append = medium_crowd
+        session = CrowdSession(num_items=80, num_options=4, num_users=600)
+        session.add_answers(*base)
+        session.rank(method, warm_start=True, **params)
+        session.add_answers(*append)
+        warm = session.rank(method, warm_start=True, **params)
+        cold = api_rank(session.matrix, method, **params)
+        assert warm.diagnostics["warm_start"] == "warm"
+        assert float(np.abs(warm.scores - cold.scores).max()) <= tie_gap
+        assert ranking_inversion_gap(cold.scores, warm.scores) <= tie_gap
+        if "discovered_truths" in cold.diagnostics:
+            np.testing.assert_array_equal(warm.diagnostics["discovered_truths"],
+                                          cold.diagnostics["discovered_truths"])
+
+    @pytest.mark.parametrize("method,params", [
+        ("HnD", {"random_state": 0, "tolerance": 1e-10}),
+        ("Dawid-Skene", {"tolerance": 1e-9}),
+    ])
+    @pytest.mark.parametrize("shards", [1, 2, 8])
+    def test_warm_solve_bit_identical_across_backends(self, medium_crowd,
+                                                      method, params, shards):
+        """Same init state => same trajectory on fused/threads/processes."""
+        base, append = medium_crowd
+        base_matrix = ResponseMatrix.from_triples(
+            *base, shape=(600, 80), num_options=4
+        )
+        state = api_rank(base_matrix, method, **params).state
+        merged = ResponseMatrix.from_triples(
+            *(np.concatenate([b, a]) for b, a in zip(base, append)),
+            shape=(600, 80), num_options=4,
+        )
+        fused = api_rank(merged, method, init_state=state, **params)
+        assert fused.diagnostics["warm_start"] == "warm"
+        threaded = api_rank(
+            merged, method, init_state=state,
+            execution=ExecutionPolicy(backend="threads", shards=shards, workers=2),
+            **params,
+        )
+        process = api_rank(
+            merged, method, init_state=state,
+            execution=ExecutionPolicy(backend="processes", shards=shards, workers=2),
+            **params,
+        )
+        np.testing.assert_array_equal(fused.scores, threaded.scores)
+        np.testing.assert_array_equal(fused.scores, process.scores)
+        assert threaded.diagnostics["warm_start"] == "warm"
+        assert process.diagnostics["warm_start"] == "warm"
+
+    def test_warm_start_saves_iterations(self, medium_crowd):
+        """The point of the subsystem: a 1% append re-converges faster."""
+        base, append = medium_crowd
+        session = CrowdSession(num_items=80, num_options=4, num_users=600)
+        session.add_answers(*base)
+        params = {"random_state": 0, "tolerance": 1e-8}
+        session.rank("HnD", warm_start=True, **params)
+        session.add_answers(*append)
+        warm = session.rank("HnD", warm_start=True, **params)
+        cold = api_rank(session.matrix, "HnD", **params)
+        assert warm.diagnostics["warm_start"] == "warm"
+        assert warm.diagnostics["iterations"] < cold.diagnostics["iterations"]
+
+
+class TestCacheIntegration:
+    def test_noop_append_still_serves_warm_hit(self, medium_crowd):
+        base, _ = medium_crowd
+        session = CrowdSession(num_items=80, num_options=4, num_users=600)
+        session.add_answers(*base)
+        params = {"random_state": 0}
+        first = session.rank("HnD", warm_start=True, **params)
+        session.add_answers(np.array([], dtype=int), np.array([], dtype=int),
+                            np.array([], dtype=int))
+        again = session.rank("HnD", warm_start=True, **params)
+        assert again is first
+        assert session.cache.stats()["hits"] == 1
+
+    def test_state_chains_across_appends(self, medium_crowd):
+        """Each warm solve's state seeds the next append's warm solve."""
+        base, append = medium_crowd
+        session = CrowdSession(num_items=80, num_options=4, num_users=600)
+        session.add_answers(*base)
+        params = {"random_state": 0}
+        session.rank("HnD", warm_start=True, **params)
+        users, items, options = append
+        half = users.size // 2
+        session.add_answers(users[:half], items[:half], options[:half])
+        second = session.rank("HnD", warm_start=True, **params)
+        session.add_answers(users[half:], items[half:], options[half:])
+        third = session.rank("HnD", warm_start=True, **params)
+        assert second.diagnostics["warm_start"] == "warm"
+        assert third.diagnostics["warm_start"] == "warm"
+
+    def test_shared_cache_never_leaks_foreign_states(self):
+        """A shared RankCache must not seed one crowd from another's state.
+
+        Two sessions over unrelated crowds share one cache; both rank the
+        same method with the same parameters (same fingerprint).  Session
+        B's warm lookup is restricted to its own crowd lineage, so it
+        solves cold instead of resuming from A's converged posteriors —
+        a foreign state could converge to A's optimum without ever
+        tripping the residual blow-up guard (regression).
+        """
+        shared = RankCache()
+        crowd_a = structured_crowd(30, 10, 3, 0.7, seed=1)
+        crowd_b = structured_crowd(30, 10, 3, 0.7, seed=2)
+        session_a = CrowdSession(num_items=10, num_options=3, num_users=30,
+                                 cache=shared)
+        session_a.add_answers(*crowd_a)
+        ranked_a = session_a.rank("Dawid-Skene", warm_start=True)
+        assert ranked_a.state is not None  # A's state is in the shared cache
+        session_b = CrowdSession(num_items=10, num_options=3, num_users=30,
+                                 cache=shared)
+        session_b.add_answers(*crowd_b)
+        ranked_b = session_b.rank("Dawid-Skene", warm_start=True)
+        assert ranked_b.diagnostics["warm_start"] == "cold"
+        # B's *own* history does feed B's later warm solves: append one
+        # answer into a cell B has not answered yet and re-rank.
+        taken = set(zip(crowd_b[0].tolist(), crowd_b[1].tolist()))
+        user, item = next((u, i) for u in range(30) for i in range(10)
+                          if (u, i) not in taken)
+        session_b.add_answers(np.array([user]), np.array([item]), np.array([0]))
+        ranked_b2 = session_b.rank("Dawid-Skene", warm_start=True)
+        assert ranked_b2.diagnostics["warm_start"] == "warm"
+
+    def test_warm_solve_does_not_mutate_the_cached_state(self, medium_crowd):
+        """The adapters copy: resuming from a state leaves it intact."""
+        base, append = medium_crowd
+        session = CrowdSession(num_items=80, num_options=4, num_users=600)
+        session.add_answers(*base)
+        params = {"random_state": 0}
+        first = session.rank("HnD", warm_start=True, **params)
+        snapshot = first.state.vectors["diff_vector"].copy()
+        session.add_answers(*append)
+        session.rank("HnD", warm_start=True, **params)
+        np.testing.assert_array_equal(first.state.vectors["diff_vector"],
+                                      snapshot)
+
+
+class TestGuards:
+    @pytest.mark.parametrize("method,params,poison", [
+        ("HnD", {"random_state": 0}, ("diff_vector", 599)),
+        ("Dawid-Skene", {}, ("posteriors", (80, 4))),
+        ("HITS", {}, ("user_scores", 600)),
+        ("TruthFinder", {}, ("user_scores", 600)),
+    ])
+    def test_residual_blowup_falls_back_to_cold(self, medium_crowd, method,
+                                                params, poison):
+        base, _ = medium_crowd
+        matrix = ResponseMatrix.from_triples(*base, shape=(600, 80), num_options=4)
+        name, shape = poison
+        bad = SolverState(method, {name: np.full(shape, np.nan)})
+        warm = api_rank(matrix, method, init_state=bad, **params)
+        cold = api_rank(matrix, method, **params)
+        assert warm.diagnostics["warm_start"] == "fallback-cold"
+        np.testing.assert_array_equal(warm.scores, cold.scores)
+        # The blow-up is detected after one aborted attempt, not after
+        # burning the full iteration budget twice.
+        assert warm.diagnostics["iterations"] == cold.diagnostics["iterations"]
+
+    @pytest.mark.parametrize("state", [
+        SolverState("Dawid-Skene", {"posteriors": np.full((80, 4), 0.25)}),
+        SolverState("HnD", {"diff_vector": np.zeros(5000)}),
+        SolverState("HnD", {"wrong_name": np.zeros(599)}),
+    ])
+    def test_incompatible_state_solves_cold(self, medium_crowd, state):
+        base, _ = medium_crowd
+        matrix = ResponseMatrix.from_triples(*base, shape=(600, 80), num_options=4)
+        warm = api_rank(matrix, "HnD", init_state=state, random_state=0)
+        cold = api_rank(matrix, "HnD", random_state=0)
+        assert warm.diagnostics["warm_start"] == "incompatible-cold"
+        np.testing.assert_array_equal(warm.scores, cold.scores)
+
+    def test_fixed_schedule_state_is_incompatible(self, medium_crowd):
+        """Invest has no stopping rule: a warm start would change the answer."""
+        from repro.truth_discovery.investment import InvestmentRanker
+
+        base, _ = medium_crowd
+        matrix = ResponseMatrix.from_triples(*base, shape=(600, 80), num_options=4)
+        cold = InvestmentRanker().rank(matrix)
+        warm = InvestmentRanker().rank(matrix, init_state=cold.state)
+        assert warm.diagnostics["warm_start"] == "incompatible-cold"
+        np.testing.assert_array_equal(warm.scores, cold.scores)
+
+    def test_budget_exhaustion_keeps_the_warm_iterate(self, medium_crowd):
+        """Only a residual blow-up triggers the cold rerun — running out of
+        iterations with a finite residual keeps the warm iterate (a cold
+        rerun with the same budget could not land closer)."""
+        base, _ = medium_crowd
+        matrix = ResponseMatrix.from_triples(*base, shape=(600, 80), num_options=4)
+        state = api_rank(matrix, "HITS").state
+        # tolerance 0.0 can never be met, so the budget always exhausts.
+        warm = api_rank(matrix, "HITS", init_state=state, tolerance=0.0,
+                        max_iterations=2)
+        assert warm.diagnostics["warm_start"] == "warm"
+        assert not warm.diagnostics["converged"]
+        assert warm.diagnostics["iterations"] == 2  # no hidden cold rerun
+
+    def test_trivial_crowd_keeps_the_diagnostics_contract(self):
+        """m < 2 early returns still report the warm_start key."""
+        matrix = ResponseMatrix.from_triples(
+            np.array([0]), np.array([0]), np.array([0]),
+            shape=(1, 2), num_options=2,
+        )
+        cold = api_rank(matrix, "HnD", random_state=0)
+        assert cold.diagnostics["warm_start"] == "cold"
+        state = SolverState("HnD", {"diff_vector": np.zeros(3)})
+        warm = api_rank(matrix, "HnD", init_state=state, random_state=0)
+        assert warm.diagnostics["warm_start"] == "incompatible-cold"
+
+    def test_api_rejects_non_warm_startable_method(self, medium_crowd):
+        base, _ = medium_crowd
+        matrix = ResponseMatrix.from_triples(*base, shape=(600, 80), num_options=4)
+        state = SolverState("MajorityVote", {})
+        with pytest.raises(ValueError, match="warm_startable=False"):
+            api_rank(matrix, "MajorityVote", init_state=state)
+
+    def test_session_rejects_non_warm_startable_method(self, medium_crowd):
+        base, _ = medium_crowd
+        session = CrowdSession(num_items=80, num_options=4, num_users=600)
+        session.add_answers(*base)
+        with pytest.raises(ValueError, match="does not support warm starts"):
+            session.rank("GLAD", warm_start=True)
+        with pytest.raises(ValueError, match="does not support warm starts"):
+            session.rank("Invest", warm_start=True)
+
+    def test_session_rejects_nondeterministic_configuration(self, medium_crowd):
+        base, _ = medium_crowd
+        session = CrowdSession(num_items=80, num_options=4, num_users=600)
+        session.add_answers(*base)
+        with pytest.raises(ValueError, match="deterministic"):
+            session.rank("HnD", warm_start=True, random_state=None)
+
+
+class TestStateAdapters:
+    def test_warm_vector_pads_with_cold_values(self):
+        state = SolverState("HITS", {"user_scores": np.array([2.0, 3.0])})
+        out = warm_vector(state, "HITS", "user_scores", 4, np.full(4, 7.0))
+        np.testing.assert_array_equal(out, [2.0, 3.0, 7.0, 7.0])
+        out = warm_vector(state, "HITS", "user_scores", 3, 0.5)
+        np.testing.assert_array_equal(out, [2.0, 3.0, 0.5])
+
+    def test_warm_vector_incompatibilities(self):
+        state = SolverState("HITS", {"user_scores": np.arange(4.0)})
+        assert warm_vector(None, "HITS", "user_scores", 4, 0.0) is None
+        assert warm_vector(state, "HnD", "user_scores", 4, 0.0) is None
+        assert warm_vector(state, "HITS", "other", 4, 0.0) is None
+        assert warm_vector(state, "HITS", "user_scores", 3, 0.0) is None
+
+    def test_warm_table_pads_rows_and_checks_columns(self):
+        cold = np.full((4, 3), 1 / 3)
+        state = SolverState("Dawid-Skene", {"posteriors": np.eye(3)})
+        out = warm_table(state, "Dawid-Skene", "posteriors", cold)
+        np.testing.assert_array_equal(out[:3], np.eye(3))
+        np.testing.assert_array_equal(out[3], cold[3])
+        wider = SolverState("Dawid-Skene", {"posteriors": np.eye(4)})
+        assert warm_table(wider, "Dawid-Skene", "posteriors", cold) is None
+        assert warm_table(state, "HnD", "posteriors", cold) is None
+
+    def test_solver_state_copies_vectors(self):
+        source = np.arange(3.0)
+        state = SolverState("HnD", {"diff_vector": source})
+        source[:] = -1.0
+        np.testing.assert_array_equal(state.vectors["diff_vector"],
+                                      [0.0, 1.0, 2.0])
+
+
+class TestRankingInversionGap:
+    def test_identical_rankings_have_zero_gap(self):
+        scores = np.array([0.1, 0.5, 0.3, 0.9])
+        assert ranking_inversion_gap(scores, scores) == 0.0
+        assert ranking_inversion_gap(scores, scores * 2.0 + 1.0) == 0.0
+
+    def test_swapped_pair_reports_its_reference_gap(self):
+        reference = np.array([0.0, 1.0, 2.0, 3.0])
+        other = np.array([0.0, 2.0, 1.0, 3.0])  # swaps users 1 and 2
+        assert ranking_inversion_gap(reference, other) == pytest.approx(1.0)
+
+    @settings(derandomize=True, max_examples=50, deadline=None)
+    @given(st.integers(2, 12), st.integers(0, 2**16))
+    def test_matches_brute_force(self, size, seed):
+        rng = np.random.default_rng(seed)
+        reference = rng.normal(size=size)
+        other = rng.normal(size=size)
+        best = 0.0
+        for i in range(size):
+            for j in range(size):
+                if reference[i] < reference[j] and other[i] > other[j]:
+                    best = max(best, reference[j] - reference[i])
+        assert ranking_inversion_gap(reference, other) == pytest.approx(best)
+
+    def test_bounded_by_twice_the_score_error(self):
+        rng = np.random.default_rng(3)
+        reference = np.sort(rng.normal(size=200))
+        other = reference + rng.uniform(-1e-6, 1e-6, size=200)
+        assert ranking_inversion_gap(reference, other) <= 2e-6
