@@ -38,6 +38,12 @@ Usage::
                                                     # vs cold re-solve (PR 5)
     python benchmarks/bench_perf.py --update-incremental
                                                     # rewrite BENCH_PR5.json
+    python benchmarks/bench_perf.py --remote        # 200k x 5k over two
+                                                    # localhost socket workers,
+                                                    # incl. a kill-one-worker-
+                                                    # mid-solve recovery run
+                                                    # (PR 6)
+    python benchmarks/bench_perf.py --update-remote # rewrite BENCH_PR6.json
 
 The PR 1 JSON file holds two sections: ``seed`` (timings captured on the
 seed implementation, before the fused-kernel layer of PR 1) and ``current``
@@ -74,6 +80,17 @@ PR 4 unified API (``repro.api.rank`` with
 worker processes, hot vectors travel through shared memory, and the scores
 are asserted bit-identical to the fused single-process rankers at full
 scale.  Committed as ``BENCH_PR4.json``.
+
+``--remote`` exercises the PR 6 remote execution backend at the same
+200k x 5k scale: two real worker subprocesses are spawned on localhost
+ephemeral ports, the crowd is ranked with HnD-Power / Dawid–Skene /
+MajorityVote over ``ExecutionPolicy(backend="remote")`` (scores asserted
+bit-identical to the fused single-process rankers), and then the HnD solve
+is repeated with a ChaosProxy in front of worker 1 that SIGKILLs it after
+a fixed number of protocol requests — the coordinator must reassign the
+dead worker's shards to the survivor and still land on the same bits, and
+a repeated query must be served from the rank cache.  Committed as
+``BENCH_PR6.json``.
 
 ``--incremental`` exercises the PR 5 warm-start subsystem: a planted-truth
 200k x 5k crowd is split 99%/1%, the base is ranked cold through a
@@ -115,6 +132,7 @@ SPARSE_RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_PR2.json"
 SHARDED_RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_PR3.json"
 PROCESS_RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_PR4.json"
 INCREMENTAL_RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_PR5.json"
+REMOTE_RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_PR6.json"
 
 #: Required warm-hit speedup of the rank cache in the sharded scenario.
 CACHE_SPEEDUP_FLOOR = 100.0
@@ -368,6 +386,233 @@ def _run_sharded(num_users: int = 200_000, num_items: int = 5_000,
 
     results["peak_rss_mb"] = round(_peak_rss_mb(), 1)
     return results
+
+
+# --------------------------------------------------------------------------- #
+# Remote scenario (PR 6): socket workers with supervised failover
+# --------------------------------------------------------------------------- #
+class _BenchWorker:
+    """One ``python -m repro.engine.remote.worker`` subprocess."""
+
+    def __init__(self) -> None:
+        import os
+        import subprocess
+
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.engine.remote.worker", "--port", "0"],
+            stdout=subprocess.PIPE, text=True, env=env,
+        )
+        line = self.proc.stdout.readline().strip()
+        if not line.startswith("READY"):
+            self.proc.kill()
+            raise RuntimeError("worker failed to start (got %r)" % line)
+        fields = dict(part.split("=", 1) for part in line.split()[1:])
+        self.host, self.port = fields["host"], int(fields["port"])
+        self.address = "%s:%d" % (self.host, self.port)
+
+    def kill(self) -> None:
+        self.proc.kill()
+        self.proc.wait(timeout=10)
+
+    def stop(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.terminate()
+            try:
+                self.proc.wait(timeout=5)
+            except Exception:
+                self.kill()
+        if self.proc.stdout is not None:
+            self.proc.stdout.close()
+
+
+#: Protocol request after which the chaos run SIGKILLs worker 1 (mid-solve,
+#: well past shard shipping, deterministic — the proxy counts frames).
+REMOTE_KILL_AT_REQUEST = 50
+
+
+def _run_remote(num_users: int = 200_000, num_items: int = 5_000,
+                density: float = 0.001, num_options: int = 4,
+                num_shards: int = 8, seed: int = 7) -> Dict[str, object]:
+    from repro.api import ExecutionPolicy
+    from repro.api import rank as api_rank
+    from repro.engine import ChaosProxy, RankCache, ShardedResponse
+    from repro.engine.remote.supervision import SupervisionConfig
+
+    users, items, options = _sparse_triples(
+        num_users, num_items, density, num_options, seed
+    )
+    nnz = int(users.size)
+    results: Dict[str, object] = {
+        "num_users": num_users,
+        "num_items": num_items,
+        "density": density,
+        "num_options": num_options,
+        "num_answers": nnz,
+        "num_shards": num_shards,
+        "num_workers": 2,
+        "backend": "remote",
+        "kill_at_request": REMOTE_KILL_AT_REQUEST,
+        "rss_before_mb": round(_peak_rss_mb(), 1),
+    }
+    source = ResponseMatrix.from_triples(
+        users, items, options,
+        shape=(num_users, num_items), num_options=num_options,
+    )
+    sharded = ShardedResponse.split(source, num_shards)
+    # Benchmark-friendly supervision: short enough that the kill run
+    # recovers in seconds, long enough that a loaded machine never
+    # false-trips a timeout on the healthy worker.
+    supervision = SupervisionConfig(
+        request_timeout=30.0, connect_timeout=5.0, max_attempts=2,
+        backoff_base=0.05, backoff_max=0.5, heartbeat_interval=1.0,
+        heartbeat_timeout=2.0, breaker_threshold=2, breaker_reset=2.0,
+    )
+
+    single = {
+        "HnD-Power": HNDPower(random_state=0),
+        "Dawid-Skene": DawidSkeneRanker(),
+        "MajorityVote": MajorityVoteRanker(),
+    }
+    methods = {
+        "HnD-Power": ("HnD", {"random_state": 0}),
+        "Dawid-Skene": ("Dawid-Skene", {}),
+        "MajorityVote": ("MajorityVote", {}),
+    }
+
+    workers = [_BenchWorker(), _BenchWorker()]
+    try:
+        policy = ExecutionPolicy(
+            backend="remote", shards=num_shards,
+            remote_workers=[worker.address for worker in workers],
+            supervision=supervision,
+        )
+        # Undisturbed runs: remote vs fused, bit for bit.  The timed remote
+        # call includes engine set-up (connections + shard shipping) — that
+        # is what a cold serving call pays.
+        for name, (method, params) in methods.items():
+            start = time.perf_counter()
+            ranking = api_rank(sharded, method, execution=policy, **params)
+            results["%s_remote_seconds" % name] = round(
+                time.perf_counter() - start, 4
+            )
+            iterations = ranking.diagnostics.get("iterations")
+            results["%s_iterations" % name] = (
+                int(iterations) if iterations is not None else None
+            )
+            start = time.perf_counter()
+            reference = single[name].rank(source)
+            results["%s_single_seconds" % name] = round(
+                time.perf_counter() - start, 4
+            )
+            identical = bool(np.array_equal(ranking.scores, reference.scores))
+            results["%s_bit_identical" % name] = identical
+            assert identical, "%s remote scores diverged" % name
+
+        # Chaos run: worker 1's traffic goes through a frame-counting
+        # proxy that SIGKILLs it mid-solve; the coordinator must fail over
+        # to worker 0 and reproduce the same bits.  Served through a
+        # RankCache to prove the recovered run stores a servable entry.
+        from repro.engine.remote.coordinator import RemoteEngine
+        from repro.engine.rankers import rank_hnd_power
+
+        with ChaosProxy(workers[1].host, workers[1].port) as proxy:
+            proxy.on_request = (
+                lambda count: workers[1].kill()
+                if count == REMOTE_KILL_AT_REQUEST else None
+            )
+            start = time.perf_counter()
+            with RemoteEngine(
+                sharded, [workers[0].address, proxy.address],
+                supervision=SupervisionConfig(
+                    request_timeout=5.0, connect_timeout=2.0, max_attempts=2,
+                    backoff_base=0.05, backoff_max=0.2,
+                    heartbeat_interval=0.5, heartbeat_timeout=1.0,
+                    breaker_threshold=2, breaker_reset=1.0,
+                ),
+            ) as engine:
+                chaos_ranking = rank_hnd_power(engine, random_state=0)
+                diagnostics = engine.diagnostics()
+            results["kill_recovery_seconds"] = round(
+                time.perf_counter() - start, 4
+            )
+        reference = single["HnD-Power"].rank(source)
+        identical = bool(
+            np.array_equal(chaos_ranking.scores, reference.scores)
+        )
+        results["kill_bit_identical"] = identical
+        assert identical, "post-kill scores diverged"
+        results["kill_reassignments"] = int(diagnostics["reassignments"])
+        results["kill_alive_workers"] = int(diagnostics["alive_workers"])
+        results["kill_overhead_seconds"] = round(
+            results["kill_recovery_seconds"]
+            - results["HnD-Power_remote_seconds"], 4
+        )
+
+        # The rank cache serves repeated remote queries without touching
+        # the (now degraded) fleet.
+        cache = RankCache()
+        start = time.perf_counter()
+        api_rank(sharded, "MajorityVote", execution=policy, cache=cache)
+        cold = time.perf_counter() - start
+        start = time.perf_counter()
+        api_rank(sharded, "MajorityVote", execution=policy, cache=cache)
+        warm = time.perf_counter() - start
+        results["cache_cold_seconds"] = round(cold, 4)
+        results["cache_warm_seconds"] = round(warm, 6)
+        results["cache_hit_served"] = cache.stats()["hits"] == 1
+        assert results["cache_hit_served"]
+    finally:
+        for worker in workers:
+            worker.stop()
+
+    results["peak_rss_mb"] = round(_peak_rss_mb(), 1)
+    return results
+
+
+def _check_remote(results: Dict[str, object]) -> List[str]:
+    """The remote acceptance gates: bit-identity, recovery, cache service."""
+    failures = []
+    for name in ("HnD-Power", "Dawid-Skene", "MajorityVote"):
+        if not results["%s_bit_identical" % name]:
+            failures.append("%s remote scores are not bit-identical" % name)
+    if not results["kill_bit_identical"]:
+        failures.append("kill-mid-solve run did not reproduce the bits")
+    if results["kill_reassignments"] < 1:
+        failures.append("kill-mid-solve run recorded no shard reassignment")
+    if not results["cache_hit_served"]:
+        failures.append("repeated remote query was not served from the cache")
+    return failures
+
+
+def _print_remote(results: Dict[str, object]) -> None:
+    print("remote-backend scenario (2 localhost socket workers)")
+    print("  crowd:   %dx%d @ %.2f%% density -> %s answers, %d shards" % (
+        results["num_users"], results["num_items"],
+        100 * float(results["density"]),
+        format(results["num_answers"], ","), results["num_shards"],
+    ))
+    for name in ("HnD-Power", "Dawid-Skene", "MajorityVote"):
+        print("  %-14s remote %8.3f s | single %8.3f s | bit-identical: %s" % (
+            name,
+            results["%s_remote_seconds" % name],
+            results["%s_single_seconds" % name],
+            results["%s_bit_identical" % name],
+        ))
+    print("  kill worker @ request %d: recovered in %.3f s "
+          "(+%.3f s vs undisturbed), %d reassignment(s), bit-identical: %s" % (
+              results["kill_at_request"], results["kill_recovery_seconds"],
+              results["kill_overhead_seconds"], results["kill_reassignments"],
+              results["kill_bit_identical"],
+          ))
+    print("  rank cache: cold %.3f s -> warm hit %.5f s (served: %s)" % (
+        results["cache_cold_seconds"], results["cache_warm_seconds"],
+        results["cache_hit_served"],
+    ))
+    print("  peak RSS: %.0f MB" % results["peak_rss_mb"])
+    print()
 
 
 # --------------------------------------------------------------------------- #
@@ -703,6 +948,13 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument("--update-incremental", action="store_true",
                         help="run the incremental scenario and rewrite "
                              "BENCH_PR5.json")
+    parser.add_argument("--remote", action="store_true",
+                        help="run the 200k x 5k remote-backend scenario: two "
+                             "localhost socket workers, incl. a kill-one-"
+                             "worker-mid-solve recovery run (PR 6)")
+    parser.add_argument("--update-remote", action="store_true",
+                        help="run the remote scenario and rewrite "
+                             "BENCH_PR6.json")
     parser.add_argument("--backend", default="threads",
                         choices=["threads", "processes"],
                         help="with --sharded/--update-sharded: shard dispatch "
@@ -717,17 +969,63 @@ def main(argv: List[str] | None = None) -> int:
     standalone = (
         args.sparse or args.update_sparse or args.sharded or args.update_sharded
         or args.incremental or args.update_incremental
+        or args.remote or args.update_remote
     )
     if standalone and (args.smoke or args.update or args.capture_seed):
         parser.error(
             "--sparse/--update-sparse/--sharded/--update-sharded/"
-            "--incremental/--update-incremental run a standalone scenario "
+            "--incremental/--update-incremental/--remote/--update-remote "
+            "run a standalone scenario "
             "and cannot be combined with --smoke/--update/--capture-seed"
         )
     if args.calibrate and not args.smoke:
         parser.error("--calibrate only applies to --smoke")
     if args.backend != "threads" and not (args.sharded or args.update_sharded):
         parser.error("--backend only applies to --sharded/--update-sharded")
+
+    if args.remote or args.update_remote:
+        remote_results = _run_remote()
+        _print_remote(remote_results)
+        failures = _check_remote(remote_results)
+        if failures:
+            for failure in failures:
+                print("FAIL:", failure)
+            return 1
+        if args.update_remote:
+            payload = {
+                "environment": _environment(),
+                "protocol": {
+                    "description": (
+                        "single run; two real worker subprocesses "
+                        "(python -m repro.engine.remote.worker) are spawned "
+                        "on localhost ephemeral ports and the seed-7 sparse "
+                        "crowd is ranked over "
+                        "ExecutionPolicy(backend='remote') at 8 shards with "
+                        "HnD-Power (random_state 0), Dawid-Skene and "
+                        "MajorityVote; every remote score vector is "
+                        "asserted bit-identical to the fused single-process "
+                        "ranker.  The timed remote calls include engine "
+                        "set-up (connections + shard shipping).  The kill "
+                        "run routes worker 1 through a frame-counting "
+                        "ChaosProxy that SIGKILLs it after a fixed request "
+                        "count mid-HnD-solve; the coordinator reassigns the "
+                        "orphaned shards to the survivor and the recovered "
+                        "scores must again be bit-identical, with the "
+                        "recovery overhead recorded.  Finally a repeated "
+                        "MajorityVote query must be served from the rank "
+                        "cache without touching the degraded fleet.  Peak "
+                        "RSS via getrusage(RUSAGE_SELF).ru_maxrss; workers "
+                        "are separate processes so coordinator RSS excludes "
+                        "their shard copies."
+                    ),
+                },
+                "remote_engine": remote_results,
+            }
+            REMOTE_RESULTS_PATH.write_text(
+                json.dumps(payload, indent=2, sort_keys=True, allow_nan=False) + "\n"
+            )
+            print("wrote", REMOTE_RESULTS_PATH)
+        return 0
 
     if args.incremental or args.update_incremental:
         incremental_results = _run_incremental()

@@ -100,13 +100,18 @@ from repro.evaluation import (
     stability_experiment,
 )
 from repro.exceptions import (
+    CircuitOpenError,
     ConvergenceError,
     DatasetError,
     DisconnectedGraphError,
+    EngineError,
     EstimationError,
     InvalidResponseMatrixError,
     NotC1PError,
+    ProtocolError,
     ReproError,
+    WorkerTimeoutError,
+    WorkerUnavailableError,
 )
 
 __version__ = "1.0.0"
@@ -181,4 +186,9 @@ __all__ = [
     "NotC1PError",
     "EstimationError",
     "DatasetError",
+    "EngineError",
+    "WorkerUnavailableError",
+    "WorkerTimeoutError",
+    "ProtocolError",
+    "CircuitOpenError",
 ]

@@ -23,7 +23,7 @@ data are served from the hash-keyed cache regardless of backend.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Union
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 from repro.api.registry import REGISTRY, RankerSpec
 from repro.core.ranking import AbilityRanker, AbilityRanking
@@ -32,13 +32,16 @@ from repro.core.solver_state import SolverState
 from repro.engine.cache import RankCache, ranker_fingerprint
 from repro.engine.process_backend import ProcessEngine
 from repro.engine.rankers import ThreadKernels
+from repro.engine.remote.coordinator import RemoteEngine, parse_worker_address
+from repro.engine.remote.supervision import SupervisionConfig
 from repro.engine.sharding import ShardedResponse
 
 RankInput = Union[ResponseMatrix, ShardedResponse]
 
-#: Execution backends: ``auto`` resolves to ``fused`` (one shard) or
-#: ``threads`` (several); the other three are literal.
-BACKENDS = ("auto", "fused", "threads", "processes")
+#: Execution backends: ``auto`` resolves to ``fused`` (one shard),
+#: ``threads`` (several), or ``remote`` (worker addresses configured);
+#: the others are literal.
+BACKENDS = ("auto", "fused", "threads", "processes", "remote")
 
 
 @dataclass
@@ -60,6 +63,13 @@ class ExecutionPolicy:
         Dispatch parallelism: worker threads (``threads``) or worker
         processes (``processes``).  ``None`` means serial dispatch for
         threads and ``min(shards, cpu_count)`` processes.
+    remote_workers:
+        Remote worker addresses (``"host:port"`` strings or ``(host,
+        port)`` pairs) for the ``remote`` backend.  Setting this with
+        ``backend="auto"`` resolves the policy to ``remote``.
+    supervision:
+        :class:`~repro.engine.remote.supervision.SupervisionConfig`
+        overriding the remote backend's timeout/retry/breaker defaults.
     cache:
         Optional :class:`~repro.engine.cache.RankCache` serving repeated
         ``rank()`` calls of unchanged data.  The cache key ignores the
@@ -70,6 +80,8 @@ class ExecutionPolicy:
     backend: str = "auto"
     shards: int = 1
     workers: Optional[int] = None
+    remote_workers: Optional[Sequence[Union[str, Tuple[str, int]]]] = None
+    supervision: Optional[SupervisionConfig] = None
     cache: Optional[RankCache] = None
 
     def __post_init__(self) -> None:
@@ -88,11 +100,31 @@ class ExecutionPolicy:
                 "backend 'fused' runs single-process; use backend='threads' "
                 "or 'processes' to shard (got shards=%d)" % self.shards
             )
+        if self.remote_workers is not None:
+            # Normalize and fail fast on malformed addresses, long before a
+            # socket is touched.
+            self.remote_workers = tuple(
+                parse_worker_address(worker) for worker in self.remote_workers
+            )
+        if self.backend == "remote" and not self.remote_workers:
+            raise ValueError(
+                "backend 'remote' needs remote_workers — at least one "
+                "host:port worker address"
+            )
+        if self.remote_workers is not None and self.backend not in (
+            "auto", "remote",
+        ):
+            raise ValueError(
+                "remote_workers only applies to backend 'remote' (got "
+                "backend=%r)" % self.backend
+            )
 
     @property
     def resolved_backend(self) -> str:
         if self.backend != "auto":
             return self.backend
+        if self.remote_workers:
+            return "remote"
         return "threads" if self.shards > 1 else "fused"
 
 
@@ -254,12 +286,20 @@ class _PolicyRanker(AbilityRanker):
                 )
             return runner(ThreadKernels(sharded), **state_kwargs, **self._params)
 
-        # processes: the shard split itself stays in the parent (serial —
-        # the split is O(S log nnz)); only kernel dispatch crosses processes.
+        # processes/remote: the shard split itself stays in the parent
+        # (serial — the split is O(S log nnz)); only kernel dispatch
+        # crosses the process or network boundary.
         sharded = (
             response
             if isinstance(response, ShardedResponse)
             else ShardedResponse.split(response, self._policy.shards)
         )
+        if backend == "remote":
+            with RemoteEngine(
+                sharded,
+                self._policy.remote_workers,
+                supervision=self._policy.supervision,
+            ) as engine:
+                return runner(engine, **state_kwargs, **self._params)
         with ProcessEngine(sharded, max_workers=self._policy.workers) as engine:
             return runner(engine, **state_kwargs, **self._params)

@@ -11,6 +11,8 @@ Usage::
     python -m repro.cli fig13
     python -m repro.cli rank crowd.npz --method HnD --shards 8 --repeat 3
     python -m repro.cli rank crowd.npz --backend processes --shards 8
+    python -m repro.cli rank crowd.npz --backend remote \
+        --workers 127.0.0.1:9101,127.0.0.1:9102 --shards 8
 
 Each ``figN`` command prints a plain-text table with the same rows/series
 the paper reports; the figure-to-command mapping follows the benchmark
@@ -21,9 +23,10 @@ CSV triples) through the chunked readers and ranks it through
 :func:`repro.api.rank` — the method name resolves in the ranker registry
 and ``--backend``/``--shards``/``--workers`` populate an
 :class:`~repro.api.execution.ExecutionPolicy` (``threads`` dispatches the
-shard kernels in-process, ``processes`` over a worker pool; both are
-bit-identical to the fused kernels).  Repeated calls are served from the
-hash-keyed :class:`~repro.engine.cache.RankCache`.
+shard kernels in-process, ``processes`` over a worker pool, ``remote``
+over supervised socket workers; all are bit-identical to the fused
+kernels).  Repeated calls are served from the hash-keyed
+:class:`~repro.engine.cache.RankCache`.
 """
 
 from __future__ import annotations
@@ -38,6 +41,7 @@ from repro.api import REGISTRY, ExecutionPolicy
 from repro.api import rank as api_rank
 from repro.datasets import dataset_summary_table, list_datasets, load_dataset
 from repro.engine import RankCache, load_streaming
+from repro.exceptions import EngineError
 from repro.evaluation import (
     accuracy_sweep,
     c1p_dataset_factory,
@@ -296,17 +300,37 @@ def command_rank(args: argparse.Namespace) -> int:
         except ValueError as error:
             print("error:", error, file=sys.stderr)
             return 2
+    # --workers doubles as a count (threads/processes) and a host:port
+    # list (remote); anything containing ':' or ',' is an address list.
+    worker_count = None
+    remote_workers = None
+    if args.workers is not None:
+        if ":" in args.workers or "," in args.workers:
+            remote_workers = [part.strip() for part in args.workers.split(",")
+                              if part.strip()]
+        else:
+            try:
+                worker_count = int(args.workers)
+            except ValueError:
+                print(
+                    "error: --workers takes a count or a comma-separated "
+                    "host:port list, got %r" % args.workers,
+                    file=sys.stderr,
+                )
+                return 2
     cache = RankCache(maxsize=args.cache_size)
     try:
         policy = ExecutionPolicy(
             backend=args.backend,
             shards=args.shards,
-            workers=args.workers,
+            workers=worker_count,
+            remote_workers=remote_workers,
             cache=cache,
         )
     except ValueError as error:
-        # e.g. an explicit --backend fused combined with --shards > 1:
-        # surface the conflict instead of silently dropping the sharding.
+        # e.g. an explicit --backend fused combined with --shards > 1, or
+        # --backend remote without worker addresses: surface the conflict
+        # instead of silently dropping the flag.
         print("error:", error, file=sys.stderr)
         return 2
 
@@ -324,9 +348,15 @@ def command_rank(args: argparse.Namespace) -> int:
             args.chunk_size,
         )
     )
+    if policy.resolved_backend == "remote":
+        worker_desc = ",".join(
+            "%s:%d" % address for address in policy.remote_workers
+        )
+    else:
+        worker_desc = policy.workers
     print(
         "method %s via backend %s (%d shard(s), workers=%s%s)"
-        % (spec.name, policy.resolved_backend, policy.shards, policy.workers,
+        % (spec.name, policy.resolved_backend, policy.shards, worker_desc,
            ", warm-started" if args.warm_start else "")
     )
 
@@ -366,6 +396,11 @@ def command_rank(args: argparse.Namespace) -> int:
                     detail += ", warm_start=%s" % warm_mode
             print("rank() call %d: %.4f s (%s%s)"
                   % (call + 1, elapsed, served, detail))
+    except EngineError as error:
+        # An execution failure (remote workers lost with local fallback
+        # disabled, a dead process pool): typed, actionable, no traceback.
+        print("error:", error, file=sys.stderr)
+        return 3
     except ValueError as error:
         # e.g. a sharded backend for a method without shard kernels
         # (GLAD --shards 4): a clean error, not a traceback.
@@ -455,16 +490,18 @@ def build_parser() -> argparse.ArgumentParser:
     rank.add_argument(
         "--backend",
         default="auto",
-        choices=["auto", "fused", "threads", "processes"],
+        choices=["auto", "fused", "threads", "processes", "remote"],
         help="execution backend (auto = threads when --shards > 1, else "
              "fused single-process kernels); all backends are bit-identical",
     )
     rank.add_argument("--shards", type=int, default=1,
                       help="user-range shards (1 = single-process kernels)")
-    rank.add_argument("--workers", type=int, default=None,
-                      help="shard-dispatch workers: threads for --backend "
-                           "threads (default serial), processes for "
-                           "--backend processes (default min(shards, cpus))")
+    rank.add_argument("--workers", default=None,
+                      help="shard-dispatch workers: a count (threads for "
+                           "--backend threads, processes for --backend "
+                           "processes), or a comma-separated host:port list "
+                           "for --backend remote (e.g. "
+                           "--workers 127.0.0.1:9101,127.0.0.1:9102)")
     rank.add_argument("--repeat", type=int, default=2,
                       help="rank() calls to issue (later calls hit the cache)")
     rank.add_argument("--warm-start", action="store_true",

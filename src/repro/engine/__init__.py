@@ -9,9 +9,11 @@ merge across shards (:mod:`~repro.engine.kernels`,
 the chunked readers stream datasets bigger than the raw input buffers
 (:mod:`~repro.engine.ingest`), and the ``O(nnz)`` content hash keys an LRU
 cache over repeated ``rank()`` calls (:mod:`~repro.engine.cache`).  Shard
-dispatch runs serially, over a thread pool, or — via
-:class:`~repro.engine.process_backend.ProcessEngine` — over a process pool
-with worker-resident shard slices; every mode is bit-identical.  Prefer the
+dispatch runs serially, over a thread pool, via
+:class:`~repro.engine.process_backend.ProcessEngine` over a process pool
+with worker-resident shard slices, or — via
+:class:`~repro.engine.remote.RemoteEngine` — over remote socket workers
+with supervised failover; every mode is bit-identical.  Prefer the
 :func:`repro.api.rank` entry point with an ``ExecutionPolicy`` over
 constructing the ``Sharded*`` shim classes directly (deprecated).
 """
@@ -38,6 +40,11 @@ from repro.engine.rankers import (
     rank_majority_vote,
 )
 from repro.engine.process_backend import ProcessEngine
+from repro.engine.remote import (
+    ChaosProxy,
+    RemoteEngine,
+    SupervisionConfig,
+)
 from repro.engine.ingest import (
     DEFAULT_CHUNK_SIZE,
     build_from_chunks,
@@ -67,6 +74,9 @@ __all__ = [
     "ShardKernels",
     "ThreadKernels",
     "ProcessEngine",
+    "RemoteEngine",
+    "SupervisionConfig",
+    "ChaosProxy",
     "rank_majority_vote",
     "rank_dawid_skene",
     "rank_hnd_power",

@@ -25,6 +25,7 @@ are pinned by ``tests/test_engine_ingest.py``.
 from __future__ import annotations
 
 import zipfile
+import zlib
 from pathlib import Path
 from typing import IO, Iterable, Iterator, Optional, Sequence, Tuple, Union
 
@@ -81,7 +82,22 @@ def iter_triples_csv(
                     break
             if not lines:
                 return
-            table = np.loadtxt(lines, dtype=np.int64, delimiter=",", ndmin=2)
+            try:
+                table = np.loadtxt(lines, dtype=np.int64, delimiter=",",
+                                   ndmin=2)
+            except ValueError as err:
+                # A mid-row truncation (power loss, partial copy) or stray
+                # text surfaces here as a parse error, not an index crash.
+                raise InvalidResponseMatrixError(
+                    "%s: malformed triples row (truncated or corrupt "
+                    "CSV?): %s" % (path, err)
+                ) from err
+            if table.shape[1] != 3:
+                raise InvalidResponseMatrixError(
+                    "%s: triples rows must have 3 columns "
+                    "(user,item,option), found %d — truncated or corrupt "
+                    "CSV?" % (path, table.shape[1])
+                )
             yield table[:, 0], table[:, 1], table[:, 2]
 
 
@@ -89,15 +105,22 @@ def _read_npy_int64_stream(
     handle: IO[bytes],
 ) -> Tuple[int, np.dtype]:
     """Consume an NPY header, returning (row count, dtype) for a 1-D array."""
-    version = np.lib.format.read_magic(handle)
-    if version == (1, 0):
-        shape, fortran, dtype = np.lib.format.read_array_header_1_0(handle)
-    elif version == (2, 0):
-        shape, fortran, dtype = np.lib.format.read_array_header_2_0(handle)
-    else:
+    try:
+        version = np.lib.format.read_magic(handle)
+        if version == (1, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_1_0(handle)
+        elif version == (2, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_2_0(handle)
+        else:
+            raise InvalidResponseMatrixError(
+                "unsupported NPY format version %s in NPZ member" % (version,)
+            )
+    except ValueError as err:
+        # numpy's header readers raise bare ValueError on a truncated or
+        # garbled NPY header; surface it as the library's input error.
         raise InvalidResponseMatrixError(
-            "unsupported NPY format version %s in NPZ member" % (version,)
-        )
+            "corrupt NPY header in NPZ member: %s" % err
+        ) from err
     if len(shape) != 1 or fortran or not np.issubdtype(dtype, np.integer):
         raise InvalidResponseMatrixError(
             "NPZ member is not a flat integer array (shape %s, dtype %s); "
@@ -135,7 +158,14 @@ def iter_triples_npz(
     if chunk_size < 1:
         raise ValueError("chunk_size must be >= 1, got %d" % chunk_size)
     path = Path(path)
-    with zipfile.ZipFile(path) as archive:
+    try:
+        archive = zipfile.ZipFile(path)
+    except zipfile.BadZipFile as err:
+        raise InvalidResponseMatrixError(
+            "%s is not a readable NPZ archive (truncated or corrupt): %s"
+            % (path, err)
+        ) from err
+    with archive:
         names = set(archive.namelist())
         members = {}
         try:
@@ -170,6 +200,14 @@ def iter_triples_npz(
                 "%s is not a ResponseMatrix archive (missing %r)"
                 % (path, missing.args[0])
             ) from None
+        except (zipfile.BadZipFile, zlib.error, EOFError) as err:
+            # A member whose compressed stream is cut short or bit-flipped
+            # fails inside zipfile/zlib mid-read; translate to the
+            # library's input error instead of leaking a decoder traceback.
+            raise InvalidResponseMatrixError(
+                "%s: corrupt NPZ member stream (truncated or bit-damaged "
+                "archive): %s" % (path, err)
+            ) from err
         finally:
             for handle in members.values():
                 handle.close()

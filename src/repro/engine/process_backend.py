@@ -44,12 +44,15 @@ import os
 import secrets
 import weakref
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import get_context, shared_memory
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.engine.rankers import ShardKernels
+from repro.exceptions import EngineError, WorkerTimeoutError, WorkerUnavailableError
 from repro.engine.sharding import ShardedResponse
 from repro.linalg.operators import apply_cumulative_into, apply_difference
 from repro.truth_discovery.majority import agreement_counts
@@ -198,6 +201,14 @@ class ProcessEngine(ShardKernels):
         (``fork`` on Linux — cheap start-up; ``spawn`` elsewhere — the
         workers re-import this module, which is why the task functions are
         module-level).
+    task_timeout:
+        Seconds a single shard task may take before the engine gives up,
+        aborts the pool, and raises
+        :class:`~repro.exceptions.WorkerTimeoutError`.  ``None`` disables
+        the deadline.  The default is generous — shard tasks are
+        sub-second even at the committed 200k x 5k scale — and exists so a
+        wedged worker (e.g. stuck in a kernel call after memory pressure)
+        can never hang the solve forever.
 
     Notes
     -----
@@ -215,8 +226,13 @@ class ProcessEngine(ShardKernels):
         max_workers: Optional[int] = None,
         *,
         start_method: Optional[str] = None,
+        task_timeout: Optional[float] = 120.0,
     ) -> None:
         self.sharded = sharded
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError("task_timeout must be positive or None, got %r"
+                             % task_timeout)
+        self.task_timeout = task_timeout
         if max_workers is None:
             max_workers = min(sharded.num_shards, os.cpu_count() or 1)
         self.num_workers = max(1, min(int(max_workers), sharded.num_shards))
@@ -305,15 +321,50 @@ class ProcessEngine(ShardKernels):
         segment, view = entry
         return view, (segment.name, tuple(shape))
 
+    def _abort(self) -> None:
+        """Kill the pool after a timeout or worker death.
+
+        A plain ``shutdown(wait=True)`` would block on the very task that
+        just timed out (or deadlock against a dead worker's queue), so the
+        abort path cancels what it can, terminates the worker processes,
+        and leaves the shared-memory segments for :meth:`close`.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        processes = list(getattr(pool, "_processes", {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+
     def _map(self, task: Callable, *args) -> List[object]:
         """Run ``task(token, shard_index, *args)`` for every shard; shard order."""
         if self._pool is None:
-            raise RuntimeError("ProcessEngine is closed")
-        futures = [
-            self._pool.submit(task, self._token, index, *args)
-            for index in range(self.num_shards)
-        ]
-        return [future.result() for future in futures]
+            raise EngineError("ProcessEngine is closed")
+        try:
+            futures = [
+                self._pool.submit(task, self._token, index, *args)
+                for index in range(self.num_shards)
+            ]
+            return [
+                future.result(timeout=self.task_timeout)
+                for future in futures
+            ]
+        except FutureTimeoutError as err:
+            self._abort()
+            raise WorkerTimeoutError(
+                "a shard task did not finish within %.3gs; the worker pool "
+                "was aborted and this engine is now closed"
+                % self.task_timeout,
+                timeout=self.task_timeout,
+            ) from err
+        except BrokenProcessPool as err:
+            self._abort()
+            raise WorkerUnavailableError(
+                "a pool worker died mid-task (killed or crashed); the "
+                "worker pool was aborted and this engine is now closed"
+            ) from err
 
     # ------------------------------------------------------------------ #
     # Kernels (ShardKernels interface + the matvec primitives)

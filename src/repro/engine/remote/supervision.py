@@ -1,0 +1,371 @@
+"""Fault tolerance for the remote backend: timeouts, retries, breakers.
+
+Three cooperating pieces:
+
+* :class:`SupervisionConfig` — every knob in one dataclass with
+  production-ish defaults (tests shrink the timeouts to keep the fault
+  matrix fast).
+* :class:`CircuitBreaker` — the classic closed → open → half-open state
+  machine, per worker.  ``breaker_threshold`` *consecutive* failures trip
+  it open; while open every request fails fast with
+  :class:`~repro.exceptions.CircuitOpenError` (no network touched); after
+  ``breaker_reset`` seconds one probe request is let through (half-open)
+  and its outcome closes or re-opens the breaker.
+* :class:`WorkerClient` — a supervised connection to one worker.  Every
+  engine op is a pure function of the request (shard slices are immutable
+  once shipped), so every request is **idempotent and safe to retry**:
+  the client retries connection losses, protocol violations, and timeouts
+  with exponential backoff plus jitter, up to ``max_attempts``, before
+  surfacing a typed error.  Application errors the worker *reports* (an
+  unknown shard, a compute error) are not transport failures and are
+  raised immediately without retry.
+
+Heartbeats run on a **separate short-lived connection** per probe, so a
+long-running kernel request on the main connection never makes a healthy
+worker look dead, and a stuck worker is detected even while the main
+connection is idle.  Heartbeat outcomes feed the same breaker as requests.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.remote import protocol
+from repro.exceptions import (
+    CircuitOpenError,
+    EngineError,
+    ProtocolError,
+    WorkerTimeoutError,
+    WorkerUnavailableError,
+)
+
+
+@dataclass(frozen=True)
+class SupervisionConfig:
+    """Every supervision knob, in one place.
+
+    Attributes
+    ----------
+    request_timeout:
+        Seconds a single request attempt may take end-to-end.
+    connect_timeout:
+        Seconds to wait for a TCP connect.
+    max_attempts:
+        Total attempts per request (first try + retries).
+    backoff_base / backoff_multiplier / backoff_max:
+        Exponential backoff between attempts: the ``i``-th retry sleeps
+        ``min(backoff_base * backoff_multiplier**i, backoff_max)`` seconds
+        before jitter.
+    jitter:
+        Fraction of each backoff delay randomized away (0.5 means the
+        sleep is uniform in ``[0.5 * d, d]``), decorrelating retry storms.
+    heartbeat_interval:
+        Seconds between background pings per worker; ``0`` disables the
+        heartbeat thread.
+    heartbeat_timeout:
+        Deadline for one heartbeat probe (connect + ping round trip).
+    breaker_threshold:
+        Consecutive failures that trip the breaker open.
+    breaker_reset:
+        Seconds the breaker stays open before allowing a half-open probe.
+    """
+
+    request_timeout: float = 30.0
+    connect_timeout: float = 5.0
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_multiplier: float = 2.0
+    backoff_max: float = 2.0
+    jitter: float = 0.5
+    heartbeat_interval: float = 2.0
+    heartbeat_timeout: float = 1.0
+    breaker_threshold: int = 3
+    breaker_reset: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1, got %d"
+                             % self.max_attempts)
+        if self.request_timeout <= 0 or self.connect_timeout <= 0:
+            raise ValueError("timeouts must be positive")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1], got %r" % self.jitter)
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1, got %d"
+                             % self.breaker_threshold)
+
+
+def backoff_delays(config: SupervisionConfig,
+                   rng: random.Random) -> Iterator[float]:
+    """The jittered sleep before each retry (``max_attempts - 1`` values)."""
+    delay = config.backoff_base
+    for _ in range(config.max_attempts - 1):
+        capped = min(delay, config.backoff_max)
+        yield capped * (1.0 - config.jitter * rng.random())
+        delay *= config.backoff_multiplier
+
+
+class CircuitBreaker:
+    """Per-worker closed → open → half-open breaker.
+
+    Thread-safe.  ``clock`` is injectable for deterministic tests.
+    """
+
+    CLOSED, OPEN, HALF_OPEN = "closed", "open", "half-open"
+
+    def __init__(self, threshold: int = 3, reset_timeout: float = 5.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.threshold = threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._state = self.CLOSED
+        self._opened_at = 0.0
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        if (self._state == self.OPEN
+                and self._clock() - self._opened_at >= self.reset_timeout):
+            self._state = self.HALF_OPEN
+            self._probing = False
+
+    def allow(self) -> bool:
+        """May a request proceed now?  Half-open admits a single probe."""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == self.CLOSED:
+                return True
+            if self._state == self.HALF_OPEN and not self._probing:
+                self._probing = True
+                return True
+            return False
+
+    def retry_after(self) -> float:
+        """Seconds until the breaker would admit a probe (0 when it would)."""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == self.OPEN:
+                return max(
+                    0.0,
+                    self.reset_timeout - (self._clock() - self._opened_at),
+                )
+            return 0.0
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._state = self.CLOSED
+            self._probing = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            if self._state == self.HALF_OPEN or self._failures >= self.threshold:
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                self._probing = False
+
+
+class WorkerClient:
+    """A supervised, retrying connection to one remote worker."""
+
+    def __init__(self, host: str, port: int,
+                 config: Optional[SupervisionConfig] = None,
+                 *, seed: Optional[int] = None) -> None:
+        self.host = host
+        self.port = int(port)
+        self.config = config or SupervisionConfig()
+        self.breaker = CircuitBreaker(self.config.breaker_threshold,
+                                      self.config.breaker_reset)
+        # Jitter draws come from a private generator: request retries must
+        # never touch global random state (solver reproducibility).
+        self._rng = random.Random(seed if seed is not None
+                                  else (hash((host, port)) & 0xFFFF))
+        self._lock = threading.Lock()
+        self._sock: Optional[socket.socket] = None
+
+    @property
+    def address(self) -> str:
+        return "%s:%d" % (self.host, self.port)
+
+    # ------------------------------------------------------------------ #
+    def _connect(self) -> socket.socket:
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.config.connect_timeout
+        )
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
+
+    def _drop(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def close(self) -> None:
+        with self._lock:
+            self._drop()
+
+    # ------------------------------------------------------------------ #
+    def request(
+        self,
+        op: str,
+        meta: Optional[Dict[str, object]] = None,
+        arrays: Optional[Dict[str, np.ndarray]] = None,
+        *,
+        shard: Optional[int] = None,
+    ) -> Tuple[Dict[str, object], Dict[str, np.ndarray]]:
+        """One supervised request: breaker gate, retries, typed failures."""
+        if not self.breaker.allow():
+            raise CircuitOpenError(
+                "circuit breaker for worker %s is %s"
+                % (self.address, self.breaker.state),
+                worker=self.address, shard=shard,
+                retry_after=self.breaker.retry_after(),
+            )
+        with self._lock:
+            delays = backoff_delays(self.config, self._rng)
+            last_error: Optional[BaseException] = None
+            timed_out = False
+            for attempt in range(self.config.max_attempts):
+                if attempt:
+                    time.sleep(next(delays))
+                try:
+                    if self._sock is None:
+                        self._sock = self._connect()
+                    self._sock.settimeout(self.config.request_timeout)
+                    protocol.send_message(self._sock, op, meta, arrays)
+                    reply_op, reply_meta, reply_arrays = protocol.recv_message(
+                        self._sock
+                    )
+                except (socket.timeout, TimeoutError) as err:
+                    self._drop()
+                    self.breaker.record_failure()
+                    last_error, timed_out = err, True
+                    continue
+                except (ProtocolError, ConnectionError, OSError) as err:
+                    self._drop()
+                    self.breaker.record_failure()
+                    last_error, timed_out = err, False
+                    continue
+                if reply_op == "error":
+                    # The worker answered; transport is healthy.  The op
+                    # itself failed — retrying the same bad request cannot
+                    # help, so surface it immediately.
+                    self.breaker.record_success()
+                    raise EngineError(
+                        "worker %s rejected %r: %s"
+                        % (self.address, op, reply_meta.get("message")),
+                        worker=self.address, shard=shard,
+                    )
+                self.breaker.record_success()
+                return reply_meta, reply_arrays
+            if timed_out:
+                raise WorkerTimeoutError(
+                    "worker %s did not answer %r within %.3gs "
+                    "(%d attempts)" % (self.address, op,
+                                       self.config.request_timeout,
+                                       self.config.max_attempts),
+                    worker=self.address, shard=shard,
+                    timeout=self.config.request_timeout,
+                ) from last_error
+            raise WorkerUnavailableError(
+                "worker %s unreachable after %d attempts: %s"
+                % (self.address, self.config.max_attempts, last_error),
+                worker=self.address, shard=shard,
+            ) from last_error
+
+    # ------------------------------------------------------------------ #
+    def ping(self) -> Dict[str, object]:
+        """One heartbeat probe on a fresh, short-lived connection.
+
+        Raises :class:`~repro.exceptions.WorkerUnavailableError` on any
+        failure; feeds the breaker either way.  Never touches the main
+        request connection, so it stays honest while a long op is in
+        flight.
+        """
+        deadline = self.config.heartbeat_timeout
+        try:
+            with socket.create_connection((self.host, self.port),
+                                          timeout=deadline) as sock:
+                sock.settimeout(deadline)
+                protocol.send_message(sock, "ping")
+                reply_op, reply_meta, _ = protocol.recv_message(sock)
+        except (ProtocolError, ConnectionError, OSError,
+                socket.timeout, TimeoutError) as err:
+            self.breaker.record_failure()
+            raise WorkerUnavailableError(
+                "heartbeat to worker %s failed: %s" % (self.address, err),
+                worker=self.address,
+            ) from err
+        if reply_op != "ok":  # pragma: no cover - worker never errors a ping
+            self.breaker.record_failure()
+            raise WorkerUnavailableError(
+                "heartbeat to worker %s returned %r" % (self.address, reply_op),
+                worker=self.address,
+            )
+        self.breaker.record_success()
+        return reply_meta
+
+
+class HeartbeatMonitor:
+    """Background pinger: probes every client each ``heartbeat_interval``.
+
+    Failures only feed each client's breaker (and the ``on_event`` log) —
+    acting on them is the coordinator's job, at the next request, through
+    the breaker.  The thread is a daemon and never blocks shutdown.
+    """
+
+    def __init__(self, clients: Dict[object, WorkerClient],
+                 config: SupervisionConfig,
+                 on_event: Optional[Callable[..., None]] = None) -> None:
+        self._clients = clients
+        self._config = config
+        self._on_event = on_event or (lambda *a, **k: None)
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def forget(self, key: object) -> None:
+        """Stop probing one client (e.g. a worker declared lost)."""
+        self._clients.pop(key, None)
+
+    def start(self) -> None:
+        if self._config.heartbeat_interval <= 0 or self._thread is not None:
+            return
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-heartbeat")
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2 * self._config.heartbeat_interval)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._config.heartbeat_interval):
+            for key, client in list(self._clients.items()):
+                if self._stop.is_set():
+                    return
+                try:
+                    client.ping()
+                except WorkerUnavailableError as err:
+                    self._on_event("heartbeat_failed", worker=client.address,
+                                   error=str(err),
+                                   breaker=client.breaker.state)

@@ -41,6 +41,66 @@ class ConvergenceError(ReproError):
         self.residual = residual
 
 
+class EngineError(ReproError, RuntimeError):
+    """Base class for execution-engine failures (pools, remote workers).
+
+    Also derives from :class:`RuntimeError` so callers written against the
+    engines' pre-taxonomy errors keep working.  Subclasses carry the
+    failing worker/shard so supervision layers and operators can tell
+    *which* component misbehaved without parsing messages.
+
+    Attributes
+    ----------
+    worker:
+        Identifier of the failing worker — a ``"host:port"`` string for
+        remote workers, a pid for pool workers — or ``None`` when the
+        failure is not attributable to one worker.
+    shard:
+        Index of the shard whose task failed, or ``None``.
+    """
+
+    def __init__(self, message: str, *, worker: object = None,
+                 shard: int | None = None) -> None:
+        super().__init__(message)
+        self.worker = worker
+        self.shard = shard
+
+
+class WorkerUnavailableError(EngineError):
+    """A worker died, refused connections, or exhausted its retry budget."""
+
+
+class WorkerTimeoutError(EngineError):
+    """A worker failed to answer within the configured deadline."""
+
+    def __init__(self, message: str, *, worker: object = None,
+                 shard: int | None = None,
+                 timeout: float | None = None) -> None:
+        super().__init__(message, worker=worker, shard=shard)
+        self.timeout = timeout
+
+
+class ProtocolError(EngineError):
+    """A remote message frame failed validation (bad magic, truncation,
+    checksum mismatch, malformed header).  The connection that produced it
+    can no longer be trusted and is dropped; the request itself is safe to
+    retry on a fresh connection because every engine op is pure."""
+
+
+class CircuitOpenError(EngineError):
+    """A request was refused because the worker's circuit breaker is open.
+
+    Raised *without* touching the network: the breaker tripped on repeated
+    failures and is backing off until its reset timeout elapses.
+    """
+
+    def __init__(self, message: str, *, worker: object = None,
+                 shard: int | None = None,
+                 retry_after: float | None = None) -> None:
+        super().__init__(message, worker=worker, shard=shard)
+        self.retry_after = retry_after
+
+
 class NotC1PError(ReproError):
     """Raised when a matrix is required to have the consecutive ones property
     (after row permutation) but does not."""

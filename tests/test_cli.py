@@ -95,7 +95,9 @@ class TestRankCommand:
         assert args.input == "crowd.npz"
         assert args.method == "Dawid-Skene"
         assert args.shards == 4
-        assert args.workers == 2
+        # --workers doubles as a count and a host:port list; it stays a
+        # string at parse time and is interpreted by command_rank.
+        assert args.workers == "2"
 
     def test_rank_requires_input(self):
         with pytest.raises(SystemExit):

@@ -155,6 +155,62 @@ class TestEngineLifecycle:
             assert 1 <= engine.num_workers <= 2
 
 
+class TestPoolFaults:
+    """The pool can no longer hang: a dead worker or a wedged task ends in
+    a typed error and a closed engine (PR 6 regression tests)."""
+
+    def test_sigkilled_worker_raises_typed_error(self, crowd):
+        import os
+        import signal
+
+        from repro.exceptions import EngineError, WorkerUnavailableError
+
+        engine = ProcessEngine(ShardedResponse.split(crowd, 2), max_workers=2)
+        try:
+            engine.option_histograms()  # warm-up spawns the workers
+            victim = next(iter(engine._pool._processes))
+            os.kill(victim, signal.SIGKILL)
+            with pytest.raises(WorkerUnavailableError, match="died mid-task"):
+                for _ in range(50):  # the pool notices within a submit or two
+                    engine.option_histograms()
+            # The abort path closed the engine; later calls fail typed too.
+            with pytest.raises(EngineError, match="closed"):
+                engine.option_histograms()
+        finally:
+            engine.close()
+
+    def test_wedged_worker_times_out(self, crowd):
+        import os
+        import signal
+
+        from repro.exceptions import WorkerTimeoutError
+
+        engine = ProcessEngine(ShardedResponse.split(crowd, 2),
+                               max_workers=2, task_timeout=0.5)
+        pids = []
+        try:
+            engine.option_histograms()  # warm-up spawns the workers
+            pids = list(engine._pool._processes)
+            for pid in pids:
+                os.kill(pid, signal.SIGSTOP)  # wedge, don't kill
+            with pytest.raises(WorkerTimeoutError, match="did not finish"):
+                engine.option_histograms()
+        finally:
+            for pid in pids:
+                # _abort's SIGTERM is queued behind the stop; resume and
+                # reap so the interpreter never waits on a stopped child.
+                for sig in (signal.SIGCONT, signal.SIGKILL):
+                    try:
+                        os.kill(pid, sig)
+                    except ProcessLookupError:
+                        pass
+            engine.close()
+
+    def test_task_timeout_validation(self, crowd):
+        with pytest.raises(ValueError, match="task_timeout"):
+            ProcessEngine(ShardedResponse.split(crowd, 2), task_timeout=0.0)
+
+
 class TestExecutionPolicy:
     def test_auto_backend_resolution(self):
         assert ExecutionPolicy().resolved_backend == "fused"

@@ -240,6 +240,104 @@ class TestStateSlots:
         assert cache.latest_state(ranker_fingerprint(ranker)) is None
 
 
+class TestFailurePaths:
+    """A raising ranker must never leave a poisoned or half-written entry
+    (PR 6): the cache computes outside its lock and stores only on success."""
+
+    class _FlakyRanker(HNDPower):
+        """Raises on the first ``fail_times`` rank() calls, then succeeds."""
+
+        # The call counter is bookkeeping, not a result-affecting parameter.
+        cache_excluded_attributes = ("fail_times", "calls")
+
+        def __init__(self, fail_times=1, **kwargs):
+            super().__init__(**kwargs)
+            self.fail_times = fail_times
+            self.calls = 0
+
+        def rank(self, response, **kwargs):
+            self.calls += 1
+            if self.calls <= self.fail_times:
+                raise RuntimeError("transient solver failure")
+            return super().rank(response, **kwargs)
+
+    def test_raising_ranker_leaves_no_entry(self, response):
+        cache = RankCache()
+        flaky = self._FlakyRanker(fail_times=1, random_state=0)
+        with pytest.raises(RuntimeError, match="transient"):
+            cache.rank(flaky, response)
+        assert cache.stats()["size"] == 0
+        assert cache.latest_state(ranker_fingerprint(flaky)) is None
+        # The retry computes and stores a correct entry.
+        recovered = cache.rank(flaky, response)
+        direct = HNDPower(random_state=0).rank(response)
+        assert np.array_equal(recovered.scores, direct.scores)
+        assert cache.stats()["size"] == 1
+        # And the same configuration now hits the stored entry.
+        assert cache.rank(flaky, response) is recovered
+        assert cache.stats()["hits"] == 1
+
+    def test_concurrent_stress_with_intermittent_failures(self, response):
+        """Hammer one cache from many threads with a sometimes-raising
+        ranker plus rotating-seed entries that force LRU churn; the cache
+        must stay consistent and every successful result correct."""
+        import threading
+
+        cache = RankCache(maxsize=4)
+        reference = HNDPower(random_state=0).rank(response)
+        errors = []
+        results = []
+        lock = threading.Lock()
+
+        class _SometimesRaises(HNDPower):
+            def __init__(self, trigger, **kwargs):
+                super().__init__(**kwargs)
+                self._trigger = trigger
+
+            def rank(self, inner_response, **kwargs):
+                if self._trigger:
+                    raise RuntimeError("injected mid-solve failure")
+                return super().rank(inner_response, **kwargs)
+
+        def worker(thread_id):
+            try:
+                for step in range(8):
+                    flaky = (thread_id + step) % 3 == 0
+                    ranker = _SometimesRaises(flaky, random_state=0)
+                    try:
+                        ranking = cache.rank(ranker, response)
+                    except RuntimeError:
+                        continue
+                    with lock:
+                        results.append(ranking)
+                    # Churn the LRU with other fingerprints in parallel.
+                    cache.rank(MajorityVoteRanker(), response)
+                    cache.rank(
+                        HNDPower(random_state=1 + (thread_id + step) % 3),
+                        response,
+                    )
+            except BaseException as err:  # pragma: no cover - must not happen
+                errors.append(err)
+
+        threads = [threading.Thread(target=worker, args=(index,))
+                   for index in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        assert results  # the non-flaky calls all produced rankings
+        for ranking in results:
+            assert np.array_equal(ranking.scores, reference.scores)
+        stats = cache.stats()
+        assert stats["size"] == len(cache) <= 4
+        assert stats["misses"] + stats["hits"] + stats["bypasses"] > 0
+        # The cache still functions normally after the stress.
+        after = cache.rank(HNDPower(random_state=0), response)
+        assert np.array_equal(after.scores, reference.scores)
+
+
 class TestEvaluateRankersCache:
     def test_suite_reuses_cached_rankings(self):
         dataset = generate_dataset(
