@@ -44,6 +44,13 @@ Usage::
                                                     # mid-solve recovery run
                                                     # (PR 6)
     python benchmarks/bench_perf.py --update-remote # rewrite BENCH_PR6.json
+    python benchmarks/bench_perf.py --speedwar      # PR 7 speed-war gates:
+                                                    # sharded/process/remote
+                                                    # HnD ratios vs a fresh
+                                                    # fused anchor, O(nnz)
+                                                    # GLAD vs seed reference,
+                                                    # momentum iterations
+    python benchmarks/bench_perf.py --update-speedwar  # rewrite BENCH_PR7.json
 
 The PR 1 JSON file holds two sections: ``seed`` (timings captured on the
 seed implementation, before the fused-kernel layer of PR 1) and ``current``
@@ -133,6 +140,18 @@ SHARDED_RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_PR3.json"
 PROCESS_RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_PR4.json"
 INCREMENTAL_RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_PR5.json"
 REMOTE_RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_PR6.json"
+SPEEDWAR_RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_PR7.json"
+
+#: Speed-war gates (PR 7), all machine-independent ratios.  The backend
+#: gates compare the fresh backend/fused ratio against the ratio committed
+#: in BENCH_PR4/BENCH_PR6 (the "before" numbers) — a required >= 2x
+#: improvement — so a slower CI runner cannot false-fail them.
+SPEEDWAR_SHARDED_CEILING = 1.3       # sharded-threads / fused, was ~2.2x
+SPEEDWAR_BACKEND_IMPROVEMENT = 2.0   # process + remote vs committed ratios
+SPEEDWAR_GLAD_FLOOR = 8.0            # seed-reference / O(nnz) GLAD, was 3.4x
+SPEEDWAR_ACCEL_ITERATION_CEILING = 0.7  # momentum / plain iterations
+SPEEDWAR_ACCEL_TIE_GAP = 1e-5        # ranking_inversion_gap(plain, momentum)
+SPEEDWAR_ITERATION_BATCH = 32
 
 #: Required warm-hit speedup of the rank cache in the sharded scenario.
 CACHE_SPEEDUP_FLOOR = 100.0
@@ -241,22 +260,41 @@ def _sparse_triples(num_users: int, num_items: int, density: float,
     return users, items, options
 
 
-def _run_sparse(num_users: int = 200_000, num_items: int = 5_000,
-                density: float = 0.001, num_options: int = 4,
-                seed: int = 7) -> Dict[str, object]:
-    users, items, options = _sparse_triples(
+def _scenario_crowd(num_users: int = 200_000, num_items: int = 5_000,
+                    density: float = 0.001, num_options: int = 4,
+                    seed: int = 7, *, planted: bool = False,
+                    **extra: object):
+    """The canonical 200k x 5k scenario every standalone mode shares.
+
+    Generates the deterministic triples (uniform flat keys by default,
+    planted-truth for the accuracy-sensitive scenarios — see
+    ``_structured_triples``) and the pre-populated results header every
+    scenario report starts from, so the construction lives in exactly one
+    place.  Returns ``(users, items, options, results)``.
+    """
+    generate = _structured_triples if planted else _sparse_triples
+    users, items, options = generate(
         num_users, num_items, density, num_options, seed
     )
-    nnz = int(users.size)
     results: Dict[str, object] = {
         "num_users": num_users,
         "num_items": num_items,
         "density": density,
         "num_options": num_options,
-        "num_answers": nnz,
-        "dense_equivalent_mb": round(num_users * num_items * 8 / 1024 / 1024, 1),
+        "num_answers": int(users.size),
+        **extra,
         "rss_before_mb": round(_peak_rss_mb(), 1),
     }
+    return users, items, options, results
+
+
+def _run_sparse(num_users: int = 200_000, num_items: int = 5_000,
+                density: float = 0.001, num_options: int = 4,
+                seed: int = 7) -> Dict[str, object]:
+    users, items, options, results = _scenario_crowd(
+        num_users, num_items, density, num_options, seed,
+        dense_equivalent_mb=round(num_users * num_items * 8 / 1024 / 1024, 1),
+    )
 
     start = time.perf_counter()
     response = ResponseMatrix.from_triples(
@@ -297,22 +335,11 @@ def _run_sharded(num_users: int = 200_000, num_items: int = 5_000,
     from repro.api import rank as api_rank
     from repro.engine import RankCache, ShardedResponse, load_streaming
 
-    users, items, options = _sparse_triples(
-        num_users, num_items, density, num_options, seed
+    users, items, options, results = _scenario_crowd(
+        num_users, num_items, density, num_options, seed,
+        num_shards=num_shards, max_workers=max_workers,
+        chunk_size=chunk_size, backend=backend,
     )
-    nnz = int(users.size)
-    results: Dict[str, object] = {
-        "num_users": num_users,
-        "num_items": num_items,
-        "density": density,
-        "num_options": num_options,
-        "num_answers": nnz,
-        "num_shards": num_shards,
-        "max_workers": max_workers,
-        "chunk_size": chunk_size,
-        "backend": backend,
-        "rss_before_mb": round(_peak_rss_mb(), 1),
-    }
 
     # Out-of-core ingestion: NPZ on disk -> chunked streams -> builder ->
     # canonical matrix -> user-range shards.  The raw input is never held
@@ -441,22 +468,11 @@ def _run_remote(num_users: int = 200_000, num_items: int = 5_000,
     from repro.engine import ChaosProxy, RankCache, ShardedResponse
     from repro.engine.remote.supervision import SupervisionConfig
 
-    users, items, options = _sparse_triples(
-        num_users, num_items, density, num_options, seed
+    users, items, options, results = _scenario_crowd(
+        num_users, num_items, density, num_options, seed,
+        num_shards=num_shards, num_workers=2, backend="remote",
+        kill_at_request=REMOTE_KILL_AT_REQUEST,
     )
-    nnz = int(users.size)
-    results: Dict[str, object] = {
-        "num_users": num_users,
-        "num_items": num_items,
-        "density": density,
-        "num_options": num_options,
-        "num_answers": nnz,
-        "num_shards": num_shards,
-        "num_workers": 2,
-        "backend": "remote",
-        "kill_at_request": REMOTE_KILL_AT_REQUEST,
-        "rss_before_mb": round(_peak_rss_mb(), 1),
-    }
     source = ResponseMatrix.from_triples(
         users, items, options,
         shape=(num_users, num_items), num_options=num_options,
@@ -616,6 +632,281 @@ def _print_remote(results: Dict[str, object]) -> None:
 
 
 # --------------------------------------------------------------------------- #
+# Speed-war scenario (PR 7): the four single-node gaps, before/after
+# --------------------------------------------------------------------------- #
+def _median_run(fn, repeats: int):
+    """``(median seconds over repeats, last return value)`` of ``fn()``."""
+    times = []
+    value = None
+    for _ in range(max(repeats, 1)):
+        start = time.perf_counter()
+        value = fn()
+        times.append(time.perf_counter() - start)
+    return float(np.median(times)), value
+
+
+def _committed_backend_ratio(path: Path, timing_key: str) -> float:
+    """The backend/fused HnD ratio committed in a prior trajectory file."""
+    section = next(iter(
+        value for key, value in json.loads(path.read_text()).items()
+        if key not in ("environment", "protocol")
+    ))
+    return float(section[timing_key]) / float(section["HnD-Power_single_seconds"])
+
+
+def _run_speedwar(num_users: int = 200_000, num_items: int = 5_000,
+                  density: float = 0.001, num_options: int = 4,
+                  num_shards: int = 8, max_workers: int = 4,
+                  seed: int = 7, repeats: int = 3) -> Dict[str, object]:
+    """Measure all four PR 7 gaps on the canonical crowd, median-of-N.
+
+    Every timed segment is a ratio to a *fresh* fused anchor measured in
+    the same run, so the committed gates hold on hardware of any speed;
+    the process/remote "before" ratios come from the committed
+    BENCH_PR4/BENCH_PR6 files.  GLAD runs at a reduced 20k x 2k scale —
+    the seed-faithful dense reference needs ``O(m * n)`` memory *per
+    gradient step* and would take hours at 200k x 5k, which is the point
+    of the rewrite.
+    """
+    from repro.api import ExecutionPolicy
+    from repro.api import rank as api_rank
+    from repro.engine import ShardedResponse
+    from repro.engine.remote.supervision import SupervisionConfig
+    from repro.evaluation.metrics import ranking_inversion_gap
+    from repro.truth_discovery.reference import ReferenceGLADRanker
+
+    users, items, options, results = _scenario_crowd(
+        num_users, num_items, density, num_options, seed,
+        num_shards=num_shards, max_workers=max_workers,
+        iteration_batch=SPEEDWAR_ITERATION_BATCH, repeats=repeats,
+    )
+    source = ResponseMatrix.from_triples(
+        users, items, options,
+        shape=(num_users, num_items), num_options=num_options,
+    )
+    source.compiled
+    sharded = ShardedResponse.split(source, num_shards,
+                                    max_workers=max_workers)
+
+    # The fused anchor: plain single-process HnD at default tolerance —
+    # the denominator of every backend ratio.
+    fused_seconds, fused = _median_run(
+        lambda: HNDPower(random_state=0).rank(source), repeats
+    )
+    results["fused_seconds"] = round(fused_seconds, 4)
+    results["fused_iterations"] = int(fused.diagnostics["iterations"])
+
+    # (a) Per-shard CSR kernels over the thread backend.
+    threads_policy = ExecutionPolicy(backend="threads", shards=num_shards,
+                                     workers=max_workers)
+    sharded_seconds, ranking = _median_run(
+        lambda: api_rank(sharded, "HnD", execution=threads_policy,
+                         random_state=0), repeats
+    )
+    assert np.array_equal(ranking.scores, fused.scores), \
+        "sharded scores diverged from fused"
+    results["sharded_seconds"] = round(sharded_seconds, 4)
+    results["sharded_vs_fused"] = round(sharded_seconds / fused_seconds, 3)
+    results["sharded_vs_fused_before"] = round(
+        _committed_backend_ratio(SHARDED_RESULTS_PATH,
+                                 "HnD-Power_sharded_seconds"), 3
+    )
+
+    # (b) Batched-iteration dispatch: process pool and remote sockets.
+    process_policy = ExecutionPolicy(
+        backend="processes", shards=num_shards, workers=max_workers,
+        iteration_batch=SPEEDWAR_ITERATION_BATCH,
+    )
+    process_seconds, ranking = _median_run(
+        lambda: api_rank(sharded, "HnD", execution=process_policy,
+                         random_state=0), repeats
+    )
+    assert np.array_equal(ranking.scores, fused.scores), \
+        "batched process scores diverged from fused"
+    results["process_seconds"] = round(process_seconds, 4)
+    results["process_vs_fused"] = round(process_seconds / fused_seconds, 3)
+    results["process_vs_fused_before"] = round(
+        _committed_backend_ratio(PROCESS_RESULTS_PATH,
+                                 "HnD-Power_sharded_seconds"), 3
+    )
+
+    workers = [_BenchWorker(), _BenchWorker()]
+    try:
+        remote_policy = ExecutionPolicy(
+            backend="remote", shards=num_shards,
+            remote_workers=[worker.address for worker in workers],
+            iteration_batch=SPEEDWAR_ITERATION_BATCH,
+            supervision=SupervisionConfig(
+                request_timeout=60.0, connect_timeout=5.0, max_attempts=2,
+                backoff_base=0.05, backoff_max=0.5,
+                heartbeat_interval=1.0, heartbeat_timeout=5.0,
+                breaker_threshold=2, breaker_reset=2.0,
+            ),
+        )
+        remote_seconds, ranking = _median_run(
+            lambda: api_rank(sharded, "HnD", execution=remote_policy,
+                             random_state=0), repeats
+        )
+    finally:
+        for worker in workers:
+            worker.stop()
+    assert np.array_equal(ranking.scores, fused.scores), \
+        "batched remote scores diverged from fused"
+    results["remote_seconds"] = round(remote_seconds, 4)
+    results["remote_vs_fused"] = round(remote_seconds / fused_seconds, 3)
+    results["remote_vs_fused_before"] = round(
+        _committed_backend_ratio(REMOTE_RESULTS_PATH,
+                                 "HnD-Power_remote_seconds"), 3
+    )
+
+    # (c) O(nnz) GLAD vs the seed-faithful dense reference, reduced scale.
+    glad_users, glad_items = 20_000, 2_000
+    gu, gi, go = _sparse_triples(glad_users, glad_items, 0.005, 3, seed)
+    glad_crowd = ResponseMatrix.from_triples(
+        gu, gi, go, shape=(glad_users, glad_items), num_options=3,
+    )
+    glad_crowd.compiled
+    results["glad_num_users"] = glad_users
+    results["glad_num_items"] = glad_items
+    results["glad_num_answers"] = int(gu.size)
+    glad_seconds, glad = _median_run(
+        lambda: GLADRanker(max_iterations=3).rank(glad_crowd), repeats
+    )
+    seed_seconds, seed_glad = _median_run(
+        lambda: ReferenceGLADRanker(max_iterations=3).rank(glad_crowd),
+        repeats,
+    )
+    results["glad_seconds"] = round(glad_seconds, 4)
+    results["glad_seed_seconds"] = round(seed_seconds, 4)
+    results["glad_speedup_vs_seed"] = round(seed_seconds / glad_seconds, 1)
+    from scipy.stats import spearmanr
+
+    results["glad_spearman_vs_seed"] = round(
+        float(spearmanr(glad.scores, seed_glad.scores).statistic), 6
+    )
+
+    # (d) Momentum-accelerated HnD vs a plain solve at equal *tight*
+    # tolerance.  The comparison deliberately runs at 1e-8, not the 1e-5
+    # default the anchor uses: the inversion-gap contract compares two
+    # *converged* solves, and at 1e-5 the plain run's own remaining error
+    # (residual / (1 - contraction rate), ~1e-3 at this scale's ~0.9984
+    # per-iteration rate) dwarfs the 1e-5 tie bound — the gap would
+    # measure the baseline's sloppiness, not the acceleration's fidelity.
+    # Both runs share random_state, so the iteration counts and the gap
+    # are deterministic: one run each, no median needed.
+    accel_tolerance, accel_budget = 1e-8, 40_000
+    plain_started = time.perf_counter()
+    plain_tight = HNDPower(random_state=0, tolerance=accel_tolerance,
+                           max_iterations=accel_budget).rank(source)
+    results["accel_plain_seconds"] = round(
+        time.perf_counter() - plain_started, 4
+    )
+    accel_started = time.perf_counter()
+    accel = HNDPower(random_state=0, tolerance=accel_tolerance,
+                     max_iterations=accel_budget,
+                     acceleration="momentum").rank(source)
+    results["accel_seconds"] = round(time.perf_counter() - accel_started, 4)
+    results["accel_tolerance"] = accel_tolerance
+    results["accel_mode"] = accel.diagnostics["acceleration"]
+    results["accel_plain_iterations"] = int(
+        plain_tight.diagnostics["iterations"]
+    )
+    results["accel_iterations"] = int(accel.diagnostics["iterations"])
+    results["accel_iteration_ratio"] = round(
+        results["accel_iterations"] / results["accel_plain_iterations"], 3
+    )
+    results["accel_inversion_gap"] = float(
+        ranking_inversion_gap(plain_tight.scores, accel.scores)
+    )
+
+    results["peak_rss_mb"] = round(_peak_rss_mb(), 1)
+    return results
+
+
+def _check_speedwar(results: Dict[str, object]) -> List[str]:
+    """The four speed-war gates (machine-independent ratios)."""
+    failures = []
+    if results["sharded_vs_fused"] > SPEEDWAR_SHARDED_CEILING:
+        failures.append(
+            "sharded/fused ratio %.2f exceeds the %.1fx ceiling (was %.2fx)"
+            % (results["sharded_vs_fused"], SPEEDWAR_SHARDED_CEILING,
+               results["sharded_vs_fused_before"])
+        )
+    for backend in ("process", "remote"):
+        before = float(results["%s_vs_fused_before" % backend])
+        now = float(results["%s_vs_fused" % backend])
+        if now > before / SPEEDWAR_BACKEND_IMPROVEMENT:
+            failures.append(
+                "%s/fused ratio %.2f is not >= %.0fx better than the "
+                "committed %.2f" % (backend, now,
+                                    SPEEDWAR_BACKEND_IMPROVEMENT, before)
+            )
+    if results["glad_speedup_vs_seed"] < SPEEDWAR_GLAD_FLOOR:
+        failures.append(
+            "GLAD speedup vs seed reference %.1fx is below the %.0fx floor"
+            % (results["glad_speedup_vs_seed"], SPEEDWAR_GLAD_FLOOR)
+        )
+    if results["accel_mode"] != "momentum":
+        failures.append(
+            "accelerated solve fell back to %r" % results["accel_mode"]
+        )
+    if results["accel_iteration_ratio"] > SPEEDWAR_ACCEL_ITERATION_CEILING:
+        failures.append(
+            "momentum iterations ratio %.2f exceeds the %.2f ceiling "
+            "(needs >= 30%% fewer iterations)"
+            % (results["accel_iteration_ratio"],
+               SPEEDWAR_ACCEL_ITERATION_CEILING)
+        )
+    if results["accel_inversion_gap"] > SPEEDWAR_ACCEL_TIE_GAP:
+        failures.append(
+            "momentum ranking inversion gap %.3g exceeds the tie bound %.0e"
+            % (results["accel_inversion_gap"], SPEEDWAR_ACCEL_TIE_GAP)
+        )
+    return failures
+
+
+def _print_speedwar(results: Dict[str, object]) -> None:
+    print("speed-war scenario (median of %d)" % results["repeats"])
+    print("  crowd:   %dx%d @ %.2f%% density -> %s answers, %d shards, "
+          "iteration_batch %d" % (
+              results["num_users"], results["num_items"],
+              100 * float(results["density"]),
+              format(results["num_answers"], ","), results["num_shards"],
+              results["iteration_batch"],
+          ))
+    print("  fused anchor:    %8.3f s (%d iterations)" % (
+        results["fused_seconds"], results["fused_iterations"]))
+    for backend, ceiling in (
+        ("sharded", "%.1fx ceiling" % SPEEDWAR_SHARDED_CEILING),
+        ("process", "committed/2"),
+        ("remote", "committed/2"),
+    ):
+        print("  %-8s %8.3f s -> %.2fx fused (was %.2fx; gate: %s)" % (
+            backend, results["%s_seconds" % backend],
+            results["%s_vs_fused" % backend],
+            results["%s_vs_fused_before" % backend], ceiling,
+        ))
+    print("  GLAD %dx%d (%s answers): %.3f s vs seed reference %.3f s "
+          "-> %.1fx (spearman %.4f)" % (
+              results["glad_num_users"], results["glad_num_items"],
+              format(results["glad_num_answers"], ","),
+              results["glad_seconds"], results["glad_seed_seconds"],
+              results["glad_speedup_vs_seed"],
+              results["glad_spearman_vs_seed"],
+          ))
+    print("  momentum HnD @ tol %.0e: %d -> %d iterations (%.2fx, "
+          "%.1f s -> %.1f s), inversion gap %.3g" % (
+              results["accel_tolerance"],
+              results["accel_plain_iterations"], results["accel_iterations"],
+              results["accel_iteration_ratio"],
+              results["accel_plain_seconds"], results["accel_seconds"],
+              results["accel_inversion_gap"],
+          ))
+    print("  peak RSS: %.0f MB" % results["peak_rss_mb"])
+    print()
+
+
+# --------------------------------------------------------------------------- #
 # Incremental scenario (PR 5): warm-started re-ranking after a 1% append
 # --------------------------------------------------------------------------- #
 def _structured_triples(num_users: int, num_items: int, density: float,
@@ -657,26 +948,17 @@ def _run_incremental(num_users: int = 200_000, num_items: int = 5_000,
     from repro.api import rank as api_rank
     from repro.evaluation.metrics import ranking_inversion_gap, spearman_accuracy
 
-    users, items, options = _structured_triples(
-        num_users, num_items, density, num_options, seed
+    users, items, options, results = _scenario_crowd(
+        num_users, num_items, density, num_options, seed, planted=True,
+        append_fraction=append_fraction,
     )
-    nnz = int(users.size)
+    nnz = int(results["num_answers"])
     split_rng = np.random.default_rng(seed + 1)
     shuffled = split_rng.permutation(nnz)
     cut = nnz - int(nnz * append_fraction)
     base = np.sort(shuffled[:cut])
     append = np.sort(shuffled[cut:])
-
-    results: Dict[str, object] = {
-        "num_users": num_users,
-        "num_items": num_items,
-        "density": density,
-        "num_options": num_options,
-        "num_answers": nnz,
-        "append_fraction": append_fraction,
-        "append_answers": int(append.size),
-        "rss_before_mb": round(_peak_rss_mb(), 1),
-    }
+    results["append_answers"] = int(append.size)
 
     # The two paper methods the acceptance gate names; HnD runs at a tight
     # tolerance so warm-vs-cold score differences sit orders of magnitude
@@ -955,6 +1237,15 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument("--update-remote", action="store_true",
                         help="run the remote scenario and rewrite "
                              "BENCH_PR6.json")
+    parser.add_argument("--speedwar", action="store_true",
+                        help="run the PR 7 speed-war scenario: the four "
+                             "single-node gaps (sharded/process/remote HnD "
+                             "ratios vs fused, O(nnz) GLAD vs the seed "
+                             "reference, momentum iterations) gated on "
+                             "machine-independent ratios")
+    parser.add_argument("--update-speedwar", action="store_true",
+                        help="run the speed-war scenario and rewrite "
+                             "BENCH_PR7.json")
     parser.add_argument("--backend", default="threads",
                         choices=["threads", "processes"],
                         help="with --sharded/--update-sharded: shard dispatch "
@@ -970,18 +1261,67 @@ def main(argv: List[str] | None = None) -> int:
         args.sparse or args.update_sparse or args.sharded or args.update_sharded
         or args.incremental or args.update_incremental
         or args.remote or args.update_remote
+        or args.speedwar or args.update_speedwar
     )
     if standalone and (args.smoke or args.update or args.capture_seed):
         parser.error(
             "--sparse/--update-sparse/--sharded/--update-sharded/"
-            "--incremental/--update-incremental/--remote/--update-remote "
-            "run a standalone scenario "
+            "--incremental/--update-incremental/--remote/--update-remote/"
+            "--speedwar/--update-speedwar run a standalone scenario "
             "and cannot be combined with --smoke/--update/--capture-seed"
         )
     if args.calibrate and not args.smoke:
         parser.error("--calibrate only applies to --smoke")
     if args.backend != "threads" and not (args.sharded or args.update_sharded):
         parser.error("--backend only applies to --sharded/--update-sharded")
+
+    if args.speedwar or args.update_speedwar:
+        speedwar_results = _run_speedwar(repeats=args.repeats)
+        _print_speedwar(speedwar_results)
+        failures = _check_speedwar(speedwar_results)
+        if failures:
+            for failure in failures:
+                print("FAIL:", failure)
+            return 1
+        if args.update_speedwar:
+            payload = {
+                "environment": _environment(),
+                "protocol": {
+                    "description": (
+                        "median of N repeats per timed segment; the seed-7 "
+                        "sparse crowd is ranked with plain fused HnD (the "
+                        "anchor), then over the thread backend (per-shard "
+                        "CSR kernels), the process pool and two localhost "
+                        "socket workers (both with iteration_batch=%d, "
+                        "i.e. %d solver iterations per dispatch on a "
+                        "worker-held replica), every score vector asserted "
+                        "bit-identical to fused.  Gates are ratios to the "
+                        "fresh fused anchor, compared against the ratios "
+                        "committed in BENCH_PR3/PR4/PR6 (the 'before' "
+                        "numbers), so they hold on hardware of any speed.  "
+                        "GLAD runs the O(nnz) M-step against the frozen "
+                        "seed-faithful ReferenceGLADRanker at a reduced "
+                        "20k x 2k scale (the dense reference needs "
+                        "O(m * n) memory per gradient step).  The momentum "
+                        "pair (plain vs acceleration='momentum', same seed) "
+                        "runs once each at tolerance 1e-8 — tight enough "
+                        "that the plain baseline's own remaining error sits "
+                        "below the 1e-5 tie bound, so the inversion gap "
+                        "measures the acceleration, not the baseline — and "
+                        "records the iteration ratio and the gap." % (
+                            SPEEDWAR_ITERATION_BATCH,
+                            SPEEDWAR_ITERATION_BATCH,
+                        )
+                    ),
+                },
+                "speedwar": speedwar_results,
+            }
+            SPEEDWAR_RESULTS_PATH.write_text(
+                json.dumps(payload, indent=2, sort_keys=True,
+                           allow_nan=False) + "\n"
+            )
+            print("wrote", SPEEDWAR_RESULTS_PATH)
+        return 0
 
     if args.remote or args.update_remote:
         remote_results = _run_remote()

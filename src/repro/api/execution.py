@@ -70,6 +70,16 @@ class ExecutionPolicy:
     supervision:
         :class:`~repro.engine.remote.supervision.SupervisionConfig`
         overriding the remote backend's timeout/retry/breaker defaults.
+    iteration_batch:
+        Solver iterations per dispatch for the ``processes`` and
+        ``remote`` backends (default 1 — per-op dispatch).  Above 1, the
+        HnD power loop ships its serialized driver state and runs that
+        many iterations per task/socket round-trip on a worker-held full
+        replica of the fused kernel, amortizing the dispatch latency.
+        Execution-only: every batch size produces bit-identical scores,
+        so the cache fingerprint ignores it.  Meaningless (rejected) for
+        ``fused``/``threads``, whose dispatch has no round-trip to
+        amortize.
     cache:
         Optional :class:`~repro.engine.cache.RankCache` serving repeated
         ``rank()`` calls of unchanged data.  The cache key ignores the
@@ -82,6 +92,7 @@ class ExecutionPolicy:
     workers: Optional[int] = None
     remote_workers: Optional[Sequence[Union[str, Tuple[str, int]]]] = None
     supervision: Optional[SupervisionConfig] = None
+    iteration_batch: int = 1
     cache: Optional[RankCache] = None
 
     def __post_init__(self) -> None:
@@ -95,6 +106,17 @@ class ExecutionPolicy:
         self.shards = int(self.shards)
         if self.workers is not None and int(self.workers) < 1:
             raise ValueError("workers must be >= 1 or None, got %r" % (self.workers,))
+        if int(self.iteration_batch) < 1:
+            raise ValueError(
+                "iteration_batch must be >= 1, got %r" % (self.iteration_batch,)
+            )
+        self.iteration_batch = int(self.iteration_batch)
+        if self.iteration_batch > 1 and self.backend in ("fused", "threads"):
+            raise ValueError(
+                "iteration_batch only applies to the 'processes' and "
+                "'remote' backends — backend %r dispatches in-process with "
+                "no round-trip to amortize" % self.backend
+            )
         if self.backend == "fused" and self.shards > 1:
             raise ValueError(
                 "backend 'fused' runs single-process; use backend='threads' "
@@ -299,7 +321,12 @@ class _PolicyRanker(AbilityRanker):
                 sharded,
                 self._policy.remote_workers,
                 supervision=self._policy.supervision,
+                iteration_batch=self._policy.iteration_batch,
             ) as engine:
                 return runner(engine, **state_kwargs, **self._params)
-        with ProcessEngine(sharded, max_workers=self._policy.workers) as engine:
+        with ProcessEngine(
+            sharded,
+            max_workers=self._policy.workers,
+            iteration_batch=self._policy.iteration_batch,
+        ) as engine:
             return runner(engine, **state_kwargs, **self._params)

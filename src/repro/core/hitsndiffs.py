@@ -18,7 +18,8 @@ in the returned :class:`~repro.core.ranking.AbilityRanking`.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+import dataclasses
+from typing import Callable, Optional, Union
 
 import numpy as np
 
@@ -38,7 +39,7 @@ from repro.linalg.operators import apply_cumulative
 from repro.linalg.power_iteration import (
     DEFAULT_MAX_ITERATIONS,
     DEFAULT_TOLERANCE,
-    power_iteration_matvec,
+    PowerIterationDriver,
 )
 from repro.linalg.spectral import second_largest_eigenvector
 
@@ -67,6 +68,9 @@ def hnd_power_solve(
     max_iterations: int,
     random_state: RandomState,
     init_state: Optional[SolverState] = None,
+    acceleration: Optional[str] = None,
+    run_chunk: Optional[Callable[[PowerIterationDriver, int], None]] = None,
+    iteration_batch: int = 1,
 ):
     """The HnD power solve with optional warm start; shared by all backends.
 
@@ -86,28 +90,50 @@ def hnd_power_solve(
     A warm start is just a different initial vector: given the same state,
     every execution backend walks a bit-identical trajectory, and with no
     state the behaviour is exactly the pre-warm-start cold solve.
+
+    ``acceleration`` opts into the momentum scheme of
+    :class:`~repro.linalg.power_iteration.PowerIterationDriver`.  It gets
+    the same treatment as warm starts: a blow-up (non-finite residual)
+    after any warm fallback triggers one plain rerun, reported as
+    ``acceleration="fallback-plain"`` on the result, so a mis-tuned
+    momentum coefficient can cost time but never a ranking.
+
+    ``run_chunk`` (with ``iteration_batch``) hands the iteration loop to an
+    execution backend in batches: it is called as ``run_chunk(driver, k)``
+    and must advance the driver ``k`` iterations (wherever it likes — the
+    driver state serializes).  When omitted the loop runs in-process on
+    ``diff_step``.
     """
     initial = warm_vector(init_state, "HnD", "diff_vector", num_users - 1, 0.0)
     warm_mode = "cold"
     if init_state is not None:
         warm_mode = "warm" if initial is not None else "incompatible-cold"
-    result = power_iteration_matvec(
-        diff_step,
-        num_users - 1,
-        initial=initial,
-        tolerance=tolerance,
-        max_iterations=max_iterations,
-        random_state=random_state,
-    )
-    if initial is not None and not np.isfinite(result.residual):
-        result = power_iteration_matvec(
+
+    def solve(start: Optional[np.ndarray], accel: Optional[str]):
+        driver = PowerIterationDriver(
             diff_step,
             num_users - 1,
+            initial=start,
             tolerance=tolerance,
             max_iterations=max_iterations,
             random_state=random_state,
+            acceleration=accel,
         )
+        if run_chunk is None:
+            driver.advance()
+        else:
+            while not driver.finished:
+                run_chunk(driver, iteration_batch)
+        return driver.result()
+
+    result = solve(initial, acceleration)
+    if initial is not None and not np.isfinite(result.residual):
+        result = solve(None, acceleration)
         warm_mode = "fallback-cold"
+    if acceleration is not None and not np.isfinite(result.residual):
+        result = dataclasses.replace(
+            solve(None, None), acceleration="fallback-plain"
+        )
     state = SolverState(
         "HnD",
         {"diff_vector": result.vector},
@@ -120,7 +146,7 @@ def hnd_power_solve(
 @register_ranker(
     "HnD",
     params=("tolerance", "max_iterations", "break_symmetry",
-            "check_connectivity", "random_state"),
+            "check_connectivity", "random_state", "acceleration"),
     warm_startable=True,
     summary="HITSnDIFFS power iteration (Algorithm 1, the paper's method)",
 )
@@ -142,6 +168,13 @@ class HNDPower(AbilityRanker):
         raise :class:`~repro.exceptions.DisconnectedGraphError` otherwise.
     random_state:
         Seed for the random initialization of the score differences.
+    acceleration:
+        ``None`` (plain power iteration) or ``"momentum"`` (adaptive
+        heavy-ball).  Momentum changes the float trajectory — the contract
+        is ranking equivalence within the ``ranking_inversion_gap`` tie
+        bound, not bit-identity — and a diverging accelerated solve falls
+        back to one plain rerun (``acceleration="fallback-plain"`` in the
+        diagnostics), mirroring the warm-start fallback.
     """
 
     name = "HnD"
@@ -154,12 +187,14 @@ class HNDPower(AbilityRanker):
         break_symmetry: bool = True,
         check_connectivity: bool = False,
         random_state: RandomState = None,
+        acceleration: Optional[str] = None,
     ) -> None:
         self.tolerance = tolerance
         self.max_iterations = max_iterations
         self.break_symmetry = break_symmetry
         self.check_connectivity = check_connectivity
         self.random_state = random_state
+        self.acceleration = acceleration
 
     def rank(
         self,
@@ -181,6 +216,7 @@ class HNDPower(AbilityRanker):
             max_iterations=self.max_iterations,
             random_state=self.random_state,
             init_state=init_state,
+            acceleration=self.acceleration,
         )
         scores = apply_cumulative(result.vector)
         diagnostics = {
@@ -190,6 +226,7 @@ class HNDPower(AbilityRanker):
             "eigenvalue": result.eigenvalue,
             "diff_vector_variance": float(np.var(result.vector)),
             "warm_start": warm_mode,
+            "acceleration": result.acceleration,
         }
         if self.break_symmetry:
             scores, symmetry_diag = orient_scores(response, scores)

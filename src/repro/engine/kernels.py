@@ -99,30 +99,25 @@ def option_sums(
 ) -> np.ndarray:
     """``C^T v``: per-column sums of ``user_values`` over the picking users.
 
-    The per-answer gather ``v[user]`` runs shard-parallel into a scratch
-    buffer; the reduce is one sequential scatter in canonical order,
-    matching the CSC matvec of ``CompiledResponse.option_sums`` bitwise.
+    The canonical-order accumulation contract makes the scatter inherently
+    sequential (one add per answer, in user-major answer order), so when the
+    whole matrix shares the caller's address space — the serial and threads
+    backends — splitting the work into a shard-parallel gather plus a
+    separate scatter only *adds* an ``O(nnz)`` memory pass over the one-pass
+    CSC matvec that performs the identical adds in the identical order.
+    This therefore runs ``CompiledResponse.option_sums`` on the source
+    matrix directly: bit-identical by the same equivalence the old gather +
+    ``np.bincount`` reduce was pinned by (``tests/test_engine_sharding.py``
+    still asserts exact equality), and ~2x less memory traffic.  The
+    cross-process backends keep the explicit gather/scatter split in their
+    own kernels — there the gather is what moves per-answer contributions
+    out of the workers.
 
-    ``scratch`` is an optional caller-owned ``(nnz,)`` float buffer; the
-    iterative rankers pass a per-``rank()``-call buffer so the hot loop
-    does not re-fault ``O(nnz)`` pages every iteration.  It is allocated
-    per call when omitted — never stored on the shared
-    :class:`ShardedResponse` — so concurrent ``rank()`` calls sharing one
-    sharding cannot clobber each other's gathers.
+    ``scratch`` is accepted (and ignored) for signature compatibility with
+    the gather-based formulation.
     """
     user_values = np.asarray(user_values, dtype=float)
-    if scratch is None:
-        scratch = np.empty(sharded.num_answers, dtype=float)
-    cuts = sharded.answer_cuts
-
-    def gather(index: int) -> None:
-        shard = sharded.shards[index]
-        np.take(user_values, shard.users, out=scratch[cuts[index]:cuts[index + 1]])
-
-    sharded.run(gather)
-    return np.bincount(
-        sharded.columns, weights=scratch, minlength=sharded.num_columns
-    )
+    return sharded.source.compiled.option_sums(user_values)
 
 
 def user_sums(
@@ -133,26 +128,27 @@ def user_sums(
 ) -> np.ndarray:
     """``C v``: per-user sums of ``option_values`` over each user's picks.
 
-    Fully shard-parallel — each shard scatters into its own row block of the
-    output, in the same per-user accumulation order as the CSR matvec of
-    ``CompiledResponse.user_sums``.  ``scratch`` as in :func:`option_sums`.
+    Fully shard-parallel — each shard runs one fused SciPy CSR matvec over
+    its cached one-hot block (:attr:`ShardedResponse.shard_blocks`) into its
+    own row block of the output.  The per-row accumulation order of the CSR
+    matvec is the canonical answer order, i.e. exactly the order of the
+    ``CompiledResponse.user_sums`` matvec (and of the gather + ``bincount``
+    formulation this replaced), so the result is bit-identical at any shard
+    count.  ``scratch`` is accepted for signature compatibility with
+    :func:`option_sums` but no longer needed: the fused matvec has no
+    separate ``O(nnz)`` gather pass.
     """
     option_values = np.asarray(option_values, dtype=float)
-    out = np.zeros(sharded.num_users, dtype=float)
-    if scratch is None:
-        scratch = np.empty(sharded.num_answers, dtype=float)
-    cuts = sharded.answer_cuts
-    columns = sharded.columns
+    # The shards partition the user axis and every shard assigns its whole
+    # row block below, so the output needs no zero-fill.
+    out = np.empty(sharded.num_users, dtype=float)
+    blocks = sharded.shard_blocks
 
     def shard_sums(index: int) -> None:
         shard = sharded.shards[index]
         if shard.num_users == 0:
             return
-        lo, hi = cuts[index], cuts[index + 1]
-        np.take(option_values, columns[lo:hi], out=scratch[lo:hi])
-        out[shard.user_start:shard.user_stop] = np.bincount(
-            shard.local_users, weights=scratch[lo:hi], minlength=shard.num_users
-        )
+        out[shard.user_start:shard.user_stop] = blocks[index] @ option_values
 
     sharded.run(shard_sums)
     return out

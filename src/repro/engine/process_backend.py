@@ -50,11 +50,13 @@ from multiprocessing import get_context, shared_memory
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.engine.rankers import ShardKernels
 from repro.exceptions import EngineError, WorkerTimeoutError, WorkerUnavailableError
 from repro.engine.sharding import ShardedResponse
 from repro.linalg.operators import apply_cumulative_into, apply_difference
+from repro.linalg.power_iteration import PowerIterationDriver
 from repro.truth_discovery.majority import agreement_counts
 
 #: A buffer reference a worker can resolve: (shared-memory name, shape).
@@ -79,7 +81,57 @@ def _worker_init(token: str, payload: Dict[str, np.ndarray]) -> None:
     state["columns"] = (
         np.asarray(state["column_starts"])[state["items"]] + state["options"]
     )
+    state["blocks"] = {}
     _WORKER_STATE[token] = state
+
+
+def _worker_block(state: Dict[str, object], index: int) -> sp.csr_matrix:
+    """Shard ``index``'s one-hot CSR row block, built once per worker.
+
+    The same block :attr:`ShardedResponse.shard_blocks` caches parent-side:
+    row ``u`` holds ones at the binary columns of user ``start + u``'s
+    answers, in canonical answer order, so a SciPy CSR matvec over it
+    accumulates each user row exactly like the fused kernel.
+    """
+    blocks: Dict[int, sp.csr_matrix] = state["blocks"]
+    block = blocks.get(index)
+    if block is None:
+        lo, hi, start, stop = _shard_slice(state, index)
+        num_columns = int(state["num_columns"])
+        local_users = state["users"][lo:hi] - start
+        counts = np.bincount(local_users, minlength=stop - start)
+        indptr = np.zeros(stop - start + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        block = sp.csr_matrix((stop - start, num_columns))
+        block.data = np.ones(hi - lo, dtype=np.float64)
+        block.indices = np.ascontiguousarray(state["columns"][lo:hi])
+        block.indptr = indptr
+        blocks[index] = block
+    return block
+
+
+def _worker_diff_step(state: Dict[str, object]):
+    """The fused HnD difference step over a worker-local full replica.
+
+    Built lazily from the triples every worker already holds (the pool
+    initializer ships them once) plus the per-item option counts, so the
+    replica's binary-column layout — and therefore every accumulation
+    order — matches the parent's ``CompiledResponse`` exactly: k driver
+    iterations here are bit-identical to k iterations of the fused kernel.
+    """
+    step = state.get("diff_step")
+    if step is None:
+        from repro.core.avghits import hnd_difference_step
+        from repro.core.response import ResponseMatrix
+
+        matrix = ResponseMatrix.from_triples(
+            state["users"], state["items"], state["options"],
+            shape=(int(state["boundaries"][-1]), len(state["column_starts"])),
+            num_options=state["num_options"],
+        )
+        step = hnd_difference_step(matrix)
+        state["diff_step"] = step
+    return step
 
 
 def _worker_view(ref: BufferRef) -> np.ndarray:
@@ -117,16 +169,18 @@ def _task_gather_user(token: str, index: int, vec_ref: BufferRef,
 
 def _task_user_sums(token: str, index: int, vec_ref: BufferRef,
                     out_ref: BufferRef) -> None:
-    """out[shard's user rows] = per-user sums of the picked option values."""
+    """out[shard's user rows] = per-user sums of the picked option values.
+
+    One fused SciPy CSR matvec over the worker-cached shard block — the
+    same per-row accumulation order as the old gather + ``np.bincount``
+    pair, without its extra ``O(nnz)`` pass.
+    """
     state = _WORKER_STATE[token]
     lo, hi, start, stop = _shard_slice(state, index)
     if stop == start:
         return
-    weights = _worker_view(vec_ref)[state["columns"][lo:hi]]
     out = _worker_view(out_ref)
-    out[start:stop] = np.bincount(
-        state["users"][lo:hi] - start, weights=weights, minlength=stop - start
-    )
+    out[start:stop] = _worker_block(state, index) @ _worker_view(vec_ref)
 
 
 def _task_histogram(token: str, index: int, num_items: int, k: int) -> np.ndarray:
@@ -181,6 +235,26 @@ def _task_ds_gather(token: str, index: int, num_classes: int,
     gathered[lo:hi, :] = _worker_view(logconf_ref)[keys]
 
 
+def _task_hnd_chunk(
+    token: str,
+    meta: Dict[str, object],
+    arrays: Dict[str, np.ndarray],
+    steps: int,
+) -> Tuple[Dict[str, object], Dict[str, np.ndarray]]:
+    """Advance a serialized power-iteration driver ``steps`` iterations.
+
+    Pure state-in/state-out over the worker's full replica (see
+    :func:`_worker_diff_step`): rerunning the same chunk after a worker
+    death or timeout re-produces the same output state, so failover simply
+    re-submits.
+    """
+    driver = PowerIterationDriver.from_state(
+        _worker_diff_step(_WORKER_STATE[token]), meta, arrays
+    )
+    driver.advance(steps)
+    return driver.export_state()
+
+
 # ----------------------------------------------------------------------- #
 # Parent side
 # ----------------------------------------------------------------------- #
@@ -227,12 +301,17 @@ class ProcessEngine(ShardKernels):
         *,
         start_method: Optional[str] = None,
         task_timeout: Optional[float] = 120.0,
+        iteration_batch: int = 1,
     ) -> None:
         self.sharded = sharded
         if task_timeout is not None and task_timeout <= 0:
             raise ValueError("task_timeout must be positive or None, got %r"
                              % task_timeout)
         self.task_timeout = task_timeout
+        if int(iteration_batch) < 1:
+            raise ValueError("iteration_batch must be >= 1, got %r"
+                             % iteration_batch)
+        self.iteration_batch = int(iteration_batch)
         if max_workers is None:
             max_workers = min(sharded.num_shards, os.cpu_count() or 1)
         self.num_workers = max(1, min(int(max_workers), sharded.num_shards))
@@ -249,6 +328,8 @@ class ProcessEngine(ShardKernels):
             "boundaries": np.asarray(sharded.boundaries),
             "cuts": np.asarray(sharded.answer_cuts),
             "column_starts": np.asarray(sharded.column_offsets[:-1]),
+            "num_columns": int(sharded.num_columns),
+            "num_options": np.asarray(sharded.source.num_options),
         }
         context = get_context(start_method) if start_method else get_context()
         self._pool: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(
@@ -338,15 +419,15 @@ class ProcessEngine(ShardKernels):
             if process.is_alive():
                 process.terminate()
 
-    def _map(self, task: Callable, *args) -> List[object]:
-        """Run ``task(token, shard_index, *args)`` for every shard; shard order."""
+    def _submit(self, task: Callable, *args):
+        """Submit one task to the pool (raises if the engine is closed)."""
         if self._pool is None:
             raise EngineError("ProcessEngine is closed")
+        return self._pool.submit(task, self._token, *args)
+
+    def _collect(self, futures: List) -> List[object]:
+        """Await futures, converting pool failures to engine exceptions."""
         try:
-            futures = [
-                self._pool.submit(task, self._token, index, *args)
-                for index in range(self.num_shards)
-            ]
             return [
                 future.result(timeout=self.task_timeout)
                 for future in futures
@@ -365,6 +446,15 @@ class ProcessEngine(ShardKernels):
                 "a pool worker died mid-task (killed or crashed); the "
                 "worker pool was aborted and this engine is now closed"
             ) from err
+
+    def _map(self, task: Callable, *args) -> List[object]:
+        """Run ``task(token, shard_index, *args)`` for every shard; shard order."""
+        if self._pool is None:
+            raise EngineError("ProcessEngine is closed")
+        return self._collect([
+            self._submit(task, index, *args)
+            for index in range(self.num_shards)
+        ])
 
     # ------------------------------------------------------------------ #
     # Kernels (ShardKernels interface + the matvec primitives)
@@ -421,6 +511,24 @@ class ProcessEngine(ShardKernels):
             return apply_difference(updated)
 
         return diff_step
+
+    def hnd_chunk_runner(self) -> Callable[[PowerIterationDriver, int], None]:
+        """Batched-iteration dispatch: k driver iterations per pool task.
+
+        The workers hold the full triples anyway (shipped once at pool
+        start-up for shard execution), so a chunk runs on a worker-local
+        replica of the fused kernel — bit-identical to the in-process loop
+        — and the per-task round-trip is paid once per ``k`` iterations
+        instead of twice per matvec.
+        """
+
+        def run_chunk(driver: PowerIterationDriver, steps: int) -> None:
+            meta, arrays = driver.export_state()
+            future = self._submit(_task_hnd_chunk, meta, arrays, steps)
+            new_meta, new_arrays = self._collect([future])[0]
+            driver.restore_state(new_meta, new_arrays)
+
+        return run_chunk
 
     def dawid_skene_accumulators(self, num_classes: int):
         num_items = self.num_items

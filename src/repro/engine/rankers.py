@@ -76,6 +76,12 @@ class ShardKernels:
     #: Reported in result diagnostics (``"threads"`` / ``"serial"`` / ``"processes"``).
     backend: str = "abstract"
 
+    #: Iterations executed per dispatch when the backend provides a chunk
+    #: runner (see :meth:`hnd_chunk_runner`).  Execution-only — every value
+    #: produces the same bits — so it lives on the kernel object, not in
+    #: the registry param spec the rank-cache fingerprints read.
+    iteration_batch: int = 1
+
     @property
     def source(self) -> ResponseMatrix:
         raise NotImplementedError
@@ -116,6 +122,21 @@ class ShardKernels:
 
     def hnd_difference_step(self) -> Callable[[np.ndarray], np.ndarray]:
         raise NotImplementedError
+
+    def hnd_chunk_runner(self) -> Optional[Callable]:
+        """Batched-iteration dispatch hook: ``runner(driver, k)`` or None.
+
+        A backend that pays a per-dispatch round-trip (processes, remote)
+        returns a callable that advances the given
+        :class:`~repro.linalg.power_iteration.PowerIterationDriver` by
+        ``k`` iterations in one dispatch — shipping the serialized driver
+        state to where the data lives and restoring the advanced state —
+        instead of one task/socket round-trip per matvec.  The driver
+        state is complete, so every batch size produces the same bits as
+        the in-process loop.  Backends whose matvec dispatch is cheap
+        (fused, threads) return None and the loop runs in-process.
+        """
+        return None
 
 
 class ThreadKernels(ShardKernels):
@@ -228,6 +249,7 @@ def rank_hnd_power(
     check_connectivity: bool = False,
     random_state: RandomState = None,
     init_state: Optional[SolverState] = None,
+    acceleration: Optional[str] = None,
 ) -> AbilityRanking:
     """HnD-Power (Algorithm 1) over shard kernels (bit-identical to ``HNDPower``).
 
@@ -239,6 +261,10 @@ def rank_hnd_power(
     partial products (gather in shards, canonical-order scatter reduce).  A
     warm start is only a different initial vector, so the bit-identity
     guarantee across backends holds for warm solves too.
+
+    When the backend offers a chunk runner and ``kernels.iteration_batch``
+    exceeds 1, the iteration loop is dispatched in batches instead of one
+    round-trip per matvec — same bits, fewer sync points.
     """
     matrix = kernels.source
     if check_connectivity:
@@ -247,6 +273,8 @@ def rank_hnd_power(
     if m < 2:
         return AbilityRanking(scores=np.zeros(m), method="HnD",
                               diagnostics=_trivial_diagnostics(init_state))
+    iteration_batch = int(getattr(kernels, "iteration_batch", 1) or 1)
+    run_chunk = kernels.hnd_chunk_runner() if iteration_batch > 1 else None
     diff_step = kernels.hnd_difference_step()
     result, state, warm_mode = hnd_power_solve(
         diff_step,
@@ -255,6 +283,9 @@ def rank_hnd_power(
         max_iterations=max_iterations,
         random_state=random_state,
         init_state=init_state,
+        acceleration=acceleration,
+        run_chunk=run_chunk,
+        iteration_batch=iteration_batch,
     )
     scores = apply_cumulative(result.vector)
     diagnostics: Dict[str, object] = {
@@ -264,6 +295,8 @@ def rank_hnd_power(
         "eigenvalue": result.eigenvalue,
         "diff_vector_variance": float(np.var(result.vector)),
         "warm_start": warm_mode,
+        "acceleration": result.acceleration,
+        "iteration_batch": iteration_batch,
     }
     diagnostics.update(kernels.diagnostics())
     if break_symmetry:
@@ -376,6 +409,7 @@ class ShardedHNDPower(AbilityRanker):
         break_symmetry: bool = True,
         check_connectivity: bool = False,
         random_state: RandomState = None,
+        acceleration: Optional[str] = None,
     ) -> None:
         _warn_deprecated_shim(type(self), "HnD")
         self.num_shards = num_shards
@@ -385,6 +419,7 @@ class ShardedHNDPower(AbilityRanker):
         self.break_symmetry = break_symmetry
         self.check_connectivity = check_connectivity
         self.random_state = random_state
+        self.acceleration = acceleration
 
     def rank(
         self, response: Union[ResponseMatrix, ShardedResponse]
@@ -399,6 +434,7 @@ class ShardedHNDPower(AbilityRanker):
             break_symmetry=self.break_symmetry,
             check_connectivity=self.check_connectivity,
             random_state=self.random_state,
+            acceleration=self.acceleration,
         )
 
 

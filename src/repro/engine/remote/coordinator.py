@@ -101,6 +101,13 @@ class RemoteEngine(ShardKernels):
         (default).  ``False`` raises
         :class:`~repro.exceptions.WorkerUnavailableError` instead —
         for callers that must not absorb remote load.
+    iteration_batch:
+        Solver iterations executed per ``hnd_chunk`` dispatch (default 1 —
+        per-op dispatch, the pre-batching behaviour).  Above 1 the HnD
+        power loop ships its serialized driver state and runs ``k``
+        iterations per socket round-trip on a worker-held full replica
+        (shipped once per worker, like shard slices); every value produces
+        the same bits.
 
     Notes
     -----
@@ -119,13 +126,20 @@ class RemoteEngine(ShardKernels):
         *,
         supervision: Optional[SupervisionConfig] = None,
         local_fallback: bool = True,
+        iteration_batch: int = 1,
     ) -> None:
         if not workers:
             raise ValueError("remote backend needs at least one worker "
                              "address (host:port)")
+        if int(iteration_batch) < 1:
+            raise ValueError("iteration_batch must be >= 1, got %r"
+                             % iteration_batch)
         self.sharded = sharded
         self.config = supervision or SupervisionConfig()
         self.local_fallback = bool(local_fallback)
+        self.iteration_batch = int(iteration_batch)
+        self._replica_on: set = set()
+        self._local_diff_step = None
         addresses = [parse_worker_address(worker) for worker in workers]
         self._clients = [WorkerClient(host, port, self.config)
                          for host, port in addresses]
@@ -474,6 +488,88 @@ class RemoteEngine(ShardKernels):
             return apply_difference(updated)
 
         return diff_step
+
+    # ------------------------------------------------------------------ #
+    # Batched-iteration dispatch (full-replica chunks)
+    # ------------------------------------------------------------------ #
+    def _replica_payload(self):
+        source = self.sharded.source
+        users, items, options = source.triples
+        meta = {"num_users": source.num_users, "num_items": source.num_items}
+        arrays = {
+            "users": users,
+            "items": items,
+            "options": options,
+            "num_options": np.asarray(source.num_options, dtype=np.int64),
+        }
+        return meta, arrays
+
+    def _ensure_replica(self, worker_index: int) -> None:
+        """Ship the full triples to a worker once (tracked per worker)."""
+        with self._state_lock:
+            shipped = worker_index in self._replica_on
+        if shipped:
+            return
+        meta, arrays = self._replica_payload()
+        self._clients[worker_index].request("load_replica", meta, arrays)
+        with self._state_lock:
+            self._replica_on.add(worker_index)
+
+    def _local_hnd_step(self) -> Callable[[np.ndarray], np.ndarray]:
+        """Coordinator-local fused difference step (total-worker-loss path).
+
+        The coordinator holds the full source matrix anyway, so the local
+        fallback for a chunk is simply the fused kernel — bit-identical to
+        the replica the workers run.
+        """
+        if self._local_diff_step is None:
+            from repro.core.avghits import hnd_difference_step as fused_step
+
+            self._local_diff_step = fused_step(self.sharded.source)
+        return self._local_diff_step
+
+    def hnd_chunk_runner(self) -> Callable:
+        """Batched-iteration dispatch: k driver iterations per round-trip.
+
+        A chunk is a pure state-in/state-out function of the immutable
+        replica, so failover is plain retry: if the worker dies mid-chunk
+        the same input state is re-sent to a survivor (or advanced on the
+        coordinator's own fused kernel once none remain), producing the
+        same bytes the lost worker would have produced.
+        """
+
+        def run_chunk(driver, steps: int) -> None:
+            state_meta, state_arrays = driver.export_state()
+            while True:
+                target = self._pick_target()
+                if target is None:
+                    if not self.local_fallback:
+                        raise WorkerUnavailableError(
+                            "all %d remote workers are unavailable and "
+                            "local fallback is disabled" % self.num_workers,
+                        )
+                    original = driver.matvec
+                    driver.matvec = self._local_hnd_step()
+                    try:
+                        driver.advance(steps)
+                    finally:
+                        driver.matvec = original
+                    return
+                try:
+                    self._ensure_replica(target)
+                    reply_meta, reply_arrays = self._clients[target].request(
+                        "hnd_chunk",
+                        {"steps": int(steps), "state": state_meta},
+                        state_arrays,
+                    )
+                    driver.restore_state(reply_meta["state"], reply_arrays)
+                    return
+                except _FAILOVER_ERRORS as err:
+                    with self._state_lock:
+                        self._replica_on.discard(target)
+                    self._handle_worker_failure(target, err)
+
+        return run_chunk
 
     def dawid_skene_accumulators(self, num_classes: int):
         num_items = self.num_items

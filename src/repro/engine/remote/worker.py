@@ -30,11 +30,32 @@ import threading
 from typing import Dict, Optional, Tuple
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.engine.remote import protocol
 from repro.engine.remote.protocol import ConnectionClosed
 from repro.exceptions import ProtocolError
+from repro.linalg.power_iteration import PowerIterationDriver
 from repro.truth_discovery.majority import agreement_counts
+
+
+def _one_hot_block(users_local: np.ndarray, columns: np.ndarray,
+                   num_rows: int, num_columns: int) -> sp.csr_matrix:
+    """A shard's one-hot CSR row block (canonical answer order per row).
+
+    The same block the thread backend caches on ``ShardedResponse`` and
+    the process backend builds per worker: a SciPy matvec over it
+    accumulates each user row in canonical answer order, bit-identical to
+    the fused kernel and to the gather + ``np.bincount`` pair it replaces.
+    """
+    counts = np.bincount(users_local, minlength=num_rows)
+    indptr = np.zeros(num_rows + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    block = sp.csr_matrix((num_rows, num_columns))
+    block.data = np.ones(columns.size, dtype=np.float64)
+    block.indices = np.ascontiguousarray(columns)
+    block.indptr = indptr
+    return block
 
 
 class ShardStore:
@@ -49,6 +70,8 @@ class ShardStore:
     def __init__(self) -> None:
         self._shards: Dict[int, Dict[str, np.ndarray]] = {}
         self._lock = threading.Lock()
+        self._replica: Optional[Dict[str, object]] = None
+        self._replica_step = None
 
     def __contains__(self, shard_id: int) -> bool:
         return shard_id in self._shards
@@ -109,12 +132,23 @@ class ShardStore:
                        shard["users_local"])
 
     def user_sums(self, shard_id: int, col_vec: np.ndarray) -> np.ndarray:
-        """Per-user sums of the picked option values (disjoint row block)."""
+        """Per-user sums of the picked option values (disjoint row block).
+
+        One fused CSR matvec over the shard's cached one-hot block.  The
+        block is built lazily on first use (the column-space width comes
+        from the request); a concurrent first use races benignly — both
+        connections build the identical block and one wins the cache slot.
+        """
         shard = self._shard(shard_id)
-        length = shard["user_stop"] - shard["user_start"]
-        weights = np.asarray(col_vec, dtype=np.float64)[shard["columns"]]
-        return np.bincount(shard["users_local"], weights=weights,
-                           minlength=length)
+        col_vec = np.asarray(col_vec, dtype=np.float64)
+        block = shard.get("block")
+        if block is None or block.shape[1] != col_vec.size:
+            block = _one_hot_block(
+                shard["users_local"], shard["columns"],
+                shard["user_stop"] - shard["user_start"], col_vec.size,
+            )
+            shard["block"] = block
+        return block @ col_vec
 
     def histogram(self, shard_id: int, num_items: int, k: int) -> np.ndarray:
         """Shard's flat per-item option histogram (exact integers)."""
@@ -158,6 +192,75 @@ class ShardStore:
         shard = self._shard(shard_id)
         keys = shard["users_local"] * num_classes + shard["options"]
         return np.asarray(logconf_slice, dtype=np.float64)[keys]
+
+    # ------------------------------------------------------------------ #
+    # Full-replica ops (batched-iteration dispatch)
+    # ------------------------------------------------------------------ #
+    def load_replica(
+        self,
+        users: np.ndarray,
+        items: np.ndarray,
+        options: np.ndarray,
+        num_options: np.ndarray,
+        num_users: int,
+        num_items: int,
+    ) -> None:
+        """Register (idempotently) the full canonical triples.
+
+        Shipped once per worker by the coordinator when batched-iteration
+        dispatch is on; :meth:`hnd_chunk` then advances solver state
+        against a locally built replica of the fused kernel.
+        """
+        replica = {
+            "users": np.array(users, dtype=np.int64, copy=True),
+            "items": np.array(items, dtype=np.int64, copy=True),
+            "options": np.array(options, dtype=np.int64, copy=True),
+            "num_options": np.array(num_options, dtype=np.int64, copy=True),
+            "num_users": int(num_users),
+            "num_items": int(num_items),
+        }
+        with self._lock:
+            self._replica = replica
+            self._replica_step = None
+
+    def _replica_diff_step(self):
+        with self._lock:
+            replica = self._replica
+            step = self._replica_step
+        if replica is None:
+            raise KeyError("no replica is loaded on this worker")
+        if step is None:
+            from repro.core.avghits import hnd_difference_step
+            from repro.core.response import ResponseMatrix
+
+            matrix = ResponseMatrix.from_triples(
+                replica["users"], replica["items"], replica["options"],
+                shape=(replica["num_users"], replica["num_items"]),
+                num_options=replica["num_options"],
+            )
+            step = hnd_difference_step(matrix)
+            with self._lock:
+                self._replica_step = step
+        return step
+
+    def hnd_chunk(
+        self,
+        meta: Dict[str, object],
+        arrays: Dict[str, np.ndarray],
+        steps: int,
+    ) -> Tuple[Dict[str, object], Dict[str, np.ndarray]]:
+        """Advance a serialized power-iteration driver ``steps`` iterations.
+
+        Pure state-in/state-out over the replica: identical column layout
+        and accumulation order to the parent's ``CompiledResponse``, so a
+        chunk is bit-identical to the same iterations run anywhere else —
+        and re-running it after a failover produces the same bytes.
+        """
+        driver = PowerIterationDriver.from_state(
+            self._replica_diff_step(), meta, arrays
+        )
+        driver.advance(int(steps))
+        return driver.export_state()
 
 
 #: op name -> (store method, meta keys, array keys) — the request surface.
@@ -261,6 +364,18 @@ class WorkerServer:
                 int(meta["user_start"]), int(meta["user_stop"]),
             )
             return {"shard_id": int(meta["shard_id"])}, {}
+        if op == "load_replica":
+            self.store.load_replica(
+                arrays["users"], arrays["items"], arrays["options"],
+                arrays["num_options"],
+                int(meta["num_users"]), int(meta["num_items"]),
+            )
+            return {}, {}
+        if op == "hnd_chunk":
+            state_meta, state_arrays = self.store.hnd_chunk(
+                meta["state"], arrays, int(meta["steps"])
+            )
+            return {"state": state_meta}, state_arrays
         if op in _KERNEL_OPS:
             method, meta_keys, array_keys = _KERNEL_OPS[op]
             args = [int(meta[key]) for key in meta_keys]

@@ -39,6 +39,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, List, Optional, Sequence, TypeVar
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.core.response import ResponseMatrix, _safe_inverse
 from repro.exceptions import InvalidResponseMatrixError
@@ -166,6 +167,7 @@ class ShardedResponse:
         self._inv_answers_per_user: Optional[np.ndarray] = None
         self._column_counts: Optional[np.ndarray] = None
         self._inv_column_counts: Optional[np.ndarray] = None
+        self._shard_blocks: Optional[List[sp.csr_matrix]] = None
 
     # ------------------------------------------------------------------ #
     # Construction / reassembly
@@ -326,6 +328,57 @@ class ShardedResponse:
         if self._inv_column_counts is None:
             self._inv_column_counts = _safe_inverse(self.column_counts)
         return self._inv_column_counts
+
+    @property
+    def shard_blocks(self) -> List[sp.csr_matrix]:
+        """Per-shard one-hot CSR blocks of the binary response matrix (cached).
+
+        Block ``s`` has shape ``(shards[s].num_users, num_columns)`` — the
+        shard's row block of the same binary matrix
+        :class:`~repro.core.response.CompiledResponse` compiles — so a
+        per-shard SciPy matvec ``block @ v`` accumulates each user row in
+        exactly the canonical answer order the fused CSR kernel (and the
+        previous gather + ``np.bincount`` formulation) uses: shard-parallel
+        matvecs over these blocks are bit-identical to the fused kernel.
+
+        Built once per sharding, shard-parallel, like :attr:`columns`; the
+        ``data`` arrays are views of one shared all-ones buffer, so the
+        extra memory is the ``O(nnz)`` column-index copy.
+        """
+        if self._shard_blocks is None:
+            columns = self.columns
+            cuts = self.answer_cuts
+            num_columns = self.num_columns
+            index_dtype = (
+                np.int32
+                if max(num_columns, self.num_answers) < np.iinfo(np.int32).max
+                else np.int64
+            )
+            ones = np.ones(self.num_answers, dtype=np.float64)
+            ones.flags.writeable = False
+
+            def build(index: int) -> sp.csr_matrix:
+                shard = self.shards[index]
+                lo, hi = int(cuts[index]), int(cuts[index + 1])
+                counts = np.bincount(
+                    shard.local_users, minlength=shard.num_users
+                )
+                indptr = np.zeros(shard.num_users + 1, dtype=index_dtype)
+                np.cumsum(counts, out=indptr[1:], dtype=index_dtype)
+                indices = columns[lo:hi].astype(index_dtype, copy=True)
+                indices.flags.writeable = False
+                indptr.flags.writeable = False
+                # Assemble without the validating constructors: the arrays
+                # are canonical by construction (same trick as
+                # CompiledResponse) and copies would double the memory.
+                block = sp.csr_matrix((shard.num_users, num_columns))
+                block.data = ones[lo:hi]
+                block.indices = indices
+                block.indptr = indptr
+                return block
+
+            self._shard_blocks = self.run(build)
+        return self._shard_blocks
 
     # ------------------------------------------------------------------ #
     # Dispatch

@@ -16,23 +16,25 @@ can be used as an additional ability-discovery baseline:
 
 Users are ranked by their estimated ability ``alpha_j``.
 
-Implementation notes (PR 1): the E-step runs as two ``np.bincount``
-scatter-adds over the flat ``(user, item, choice)`` answer triples instead
-of a per-item/per-candidate Python loop, and the M-step's inner gradient
-ascent reuses preallocated ``(m, n)`` work buffers with in-place SIMD
-ufuncs (``1 / (1 + exp(-z)`` spelled out, which vectorizes where
-``scipy.special.expit`` does not).  The ``dtype`` parameter optionally
-drops the work buffers to ``float32`` for a further ~30% — measured to
+Implementation notes (PR 1, reworked in PR 7): the E-step runs as two
+``np.bincount`` scatter-adds over the flat ``(user, item, choice)`` answer
+triples instead of a per-item/per-candidate Python loop.  The M-step is
+**O(nnz) per gradient step**: the expected log-likelihood only involves
+answered ``(worker, item)`` pairs — unanswered cells contribute a zero
+residual — so the sigmoid, the residual, and both gradient reductions are
+evaluated on the answer triples alone (per-answer gathers plus two
+``np.bincount`` scatter-adds), never on a dense ``(m, n)`` grid.  Nothing
+on the hot path allocates ``O(m * n)`` memory; the dense formulation
+survives only in the seed-faithful oracle
+(:mod:`repro.truth_discovery.reference`).  The ``dtype`` parameter
+optionally drops the per-answer work buffers to ``float32`` — measured to
 cost real ranking quality on hard instances, so ``float64`` stays the
 default; the EM parameters ``alpha``/``log beta`` and the truth
 posteriors — including the convergence check — always stay ``float64``.
 
-The dominant remaining cost is irreducible for this model: every gradient
-step must evaluate the sigmoid on all ``(m, n)`` pairs, which bounds the
-achievable speedup well below the loop-free EM of Dawid–Skene.  GLAD's
-EM/gradient dynamics are also chaotic — a ``1e-12`` input perturbation
+GLAD's EM/gradient dynamics are chaotic — a ``1e-12`` input perturbation
 changes the converged scores by ``O(1)`` — so any reordering of float ops
-(including this vectorization, at either precision) yields different
+(including the sparse M-step, at either precision) yields different
 scores; the equivalence tests therefore compare *rankings* against the
 seed-faithful oracle in :mod:`repro.truth_discovery.reference`, not raw
 scores.
@@ -79,8 +81,8 @@ class GLADRanker(AbilityRanker):
     tolerance:
         Early-stopping threshold on the change of the truth posteriors.
     dtype:
-        Floating dtype of the ``(m, n)`` sigmoid/residual work buffers.
-        ``float32`` cuts the gradient-loop cost by ~30% but measurably
+        Floating dtype of the per-answer sigmoid/residual work buffers.
+        ``float32`` cuts the gradient-loop cost further but measurably
         degrades ranking quality on hard instances, so the default is
         ``float64``; parameters and posteriors remain ``float64`` either
         way.
@@ -111,16 +113,10 @@ class GLADRanker(AbilityRanker):
         user_idx = compiled.user_index
         item_idx = compiled.item_index
         choice_idx = compiled.option_index
-        # Flat row-major positions of the answers inside (m, n) buffers and
-        # inside the (n, k_max) posterior table.
-        flat_answer = user_idx * num_items + item_idx
+        num_answers = user_idx.size
+        # Flat row-major positions of the answers inside the (n, k_max)
+        # posterior table.
         flat_item_choice = item_idx * num_classes + choice_idx
-        # The M-step's residual buffer is dense (m, n) by necessity (the
-        # sigmoid is evaluated everywhere), so its 0/1 answered weights are
-        # scattered from the triples rather than going through the dense
-        # answered_mask view.
-        answered = np.zeros((num_users, num_items), dtype=dtype)
-        answered.ravel()[flat_answer] = 1.0
         # Items someone answered keep the seed behaviour of masking the
         # out-of-range candidate columns to -inf; fully unanswered items
         # stay uniform over all k_max columns, exactly like the original
@@ -131,25 +127,32 @@ class GLADRanker(AbilityRanker):
         ) & has_answers[:, np.newaxis]
         wrong_denominator = np.maximum(num_options[item_idx] - 1, 1).astype(dtype)
 
-        # Preallocated (m, n) work buffers for the gradient inner loop.
-        correct = np.empty((num_users, num_items), dtype=dtype)
-        residual = np.empty((num_users, num_items), dtype=dtype)
-        agreement = np.zeros((num_users, num_items), dtype=dtype)
+        # Preallocated O(nnz) per-answer work buffers.  The likelihood only
+        # involves answered (worker, item) pairs — unanswered cells have a
+        # zero residual — so nothing here is (m, n).
+        work = np.empty(num_answers, dtype=dtype)
+        alpha_at = np.empty(num_answers, dtype=dtype)
+        beta_at = np.empty(num_answers, dtype=dtype)
+        agreement = np.empty(num_answers, dtype=dtype)
 
-        def correct_probability(alpha: np.ndarray, log_beta: np.ndarray) -> np.ndarray:
-            """``P(worker j labels item i correctly)`` into the shared buffer.
+        def answer_correct_probability(alpha_work: np.ndarray,
+                                       beta_work: np.ndarray) -> np.ndarray:
+            """``P(worker of answer a labeled its item correctly)`` into ``work``.
 
-            ``sigma(z) = 1 / (1 + exp(-z))`` written as in-place ufuncs;
-            overflow of ``exp`` saturates to ``inf`` whose reciprocal is 0,
-            which the clip then maps to the same 1e-6 floor the seed used.
+            ``sigma(z) = 1 / (1 + exp(-z))`` written as in-place ufuncs over
+            the per-answer gathers; overflow of ``exp`` saturates to ``inf``
+            whose reciprocal is 0, which the clip then maps to the same
+            1e-6 floor the seed used.
             """
-            np.multiply.outer(alpha, np.exp(log_beta), out=correct)
-            np.negative(correct, out=correct)
-            np.exp(correct, out=correct)
-            np.add(correct, 1.0, out=correct)
-            np.reciprocal(correct, out=correct)
-            np.clip(correct, 1e-6, 1.0 - 1e-6, out=correct)
-            return correct
+            np.take(alpha_work, user_idx, out=alpha_at)
+            np.take(beta_work, item_idx, out=beta_at)
+            np.multiply(alpha_at, beta_at, out=work)
+            np.negative(work, out=work)
+            np.exp(work, out=work)
+            np.add(work, 1.0, out=work)
+            np.reciprocal(work, out=work)
+            np.clip(work, 1e-6, 1.0 - 1e-6, out=work)
+            return work
 
         def truth_posteriors(alpha: np.ndarray, log_beta: np.ndarray) -> np.ndarray:
             """Posterior over each item's true option, shape (n, k_max).
@@ -159,7 +162,10 @@ class GLADRanker(AbilityRanker):
             over the users who answered ``i`` — two bincount passes over the
             answer triples instead of a per-item/per-candidate loop.
             """
-            probability = correct_probability(alpha, log_beta).ravel()[flat_answer]
+            probability = answer_correct_probability(
+                alpha.astype(dtype, copy=False),
+                np.exp(log_beta).astype(dtype, copy=False),
+            )
             wrong_share = (1.0 - probability) / wrong_denominator
             log_wrong = np.log(wrong_share)
             log_correct = np.log(probability)
@@ -177,20 +183,41 @@ class GLADRanker(AbilityRanker):
             return posterior
 
         def m_step(posterior, alpha, log_beta):
-            """Gradient ascent on the expected log-likelihood (in-place math)."""
-            # q[j, i]: probability (under the posterior) that worker j's label
-            # of item i equals the true option.
-            agreement.ravel()[flat_answer] = posterior.ravel()[flat_item_choice]
+            """Gradient ascent on the expected log-likelihood, O(nnz) per step.
+
+            The dense gradient ``(q - sigma) * answered`` is zero wherever
+            nobody answered, so both reductions collapse to scatter-adds
+            over the answers: ``grad alpha[j] = sum_{a of j} r_a beta_i(a)``
+            and ``grad log beta[i] = beta_i sum_{a of i} r_a alpha_j(a)``.
+            """
+            # q[a]: probability (under the posterior) that answer a's label
+            # equals its item's true option.  (The posterior stays float64;
+            # the assignment casts into the dtype-policy buffer.)
+            if agreement.dtype == posterior.dtype:
+                np.take(posterior.ravel(), flat_item_choice, out=agreement)
+            else:
+                agreement[...] = posterior.ravel().take(flat_item_choice)
             for _ in range(self.gradient_steps):
-                probability = correct_probability(alpha, log_beta)
-                # d/dz of [q log sigma(z) + (1-q) log(1-sigma(z))] = q - sigma(z).
-                np.subtract(agreement, probability, out=residual)
-                np.multiply(residual, answered, out=residual)
                 beta = np.exp(log_beta)
-                beta_work = beta.astype(dtype, copy=False)
-                alpha_work = alpha.astype(dtype, copy=False)
-                grad_alpha = (residual @ beta_work).astype(float) - self.prior_precision * alpha
-                grad_log_beta = (alpha_work @ residual).astype(float) * beta - self.prior_precision * log_beta
+                residual = answer_correct_probability(
+                    alpha.astype(dtype, copy=False),
+                    beta.astype(dtype, copy=False),
+                )
+                # d/dz of [q log sigma(z) + (1-q) log(1-sigma(z))] = q - sigma(z).
+                np.subtract(agreement, residual, out=residual)
+                # The gathers alpha_at/beta_at still hold this step's
+                # parameter values; fold the residual in for the weights.
+                np.multiply(residual, beta_at, out=beta_at)
+                grad_alpha = (
+                    np.bincount(user_idx, weights=beta_at, minlength=num_users)
+                    - self.prior_precision * alpha
+                )
+                np.multiply(residual, alpha_at, out=alpha_at)
+                grad_log_beta = (
+                    np.bincount(item_idx, weights=alpha_at, minlength=num_items)
+                    * beta
+                    - self.prior_precision * log_beta
+                )
                 alpha = alpha + self.learning_rate * grad_alpha
                 log_beta = log_beta + self.learning_rate * grad_log_beta
                 log_beta = np.clip(log_beta, -4.0, 4.0)

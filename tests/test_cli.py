@@ -126,6 +126,19 @@ class TestRankCommand:
         assert exit_code == 0
         assert "top" in capsys.readouterr().out
 
+    def test_rank_accelerated(self, saved_matrix, capsys):
+        exit_code = main(["rank", str(saved_matrix), "--repeat", "1",
+                          "--acceleration", "momentum"])
+        assert exit_code == 0
+        assert "top" in capsys.readouterr().out
+
+    def test_rank_batched_processes(self, saved_matrix, capsys):
+        exit_code = main(["rank", str(saved_matrix), "--repeat", "1",
+                          "--backend", "processes", "--shards", "2",
+                          "--workers", "1", "--iteration-batch", "8"])
+        assert exit_code == 0
+        assert "top" in capsys.readouterr().out
+
 
 class TestRankErrorPaths:
     """Bad invocations exit 2 with actionable messages, never tracebacks."""
@@ -169,6 +182,30 @@ class TestRankErrorPaths:
                           "--random-state", "3"])
         assert exit_code == 2
         assert "no random_state parameter" in capsys.readouterr().err
+
+    def test_acceleration_on_unaccelerated_method_rejected(self, capsys):
+        exit_code = main(["rank", "no-such-file.npz", "--method", "GLAD",
+                          "--acceleration", "momentum"])
+        assert exit_code == 2
+        assert "no acceleration parameter" in capsys.readouterr().err
+
+    def test_iteration_batch_on_non_power_method_rejected(self, capsys):
+        exit_code = main(["rank", "no-such-file.npz", "--method", "Dawid-Skene",
+                          "--iteration-batch", "4"])
+        assert exit_code == 2
+        assert "no batched-iteration path" in capsys.readouterr().err
+
+    def test_iteration_batch_must_be_positive(self, capsys):
+        exit_code = main(["rank", "no-such-file.npz", "--iteration-batch", "0"])
+        assert exit_code == 2
+        assert "--iteration-batch" in capsys.readouterr().err
+
+    def test_iteration_batch_on_in_process_backend_rejected(self, capsys):
+        """ExecutionPolicy's own validation surfaces through the CLI."""
+        exit_code = main(["rank", "no-such-file.npz", "--backend", "fused",
+                          "--iteration-batch", "4"])
+        assert exit_code == 2
+        assert "iteration_batch" in capsys.readouterr().err
 
 
 class TestRankWarmStart:
