@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import CrowdSession, generate_dataset, spearman_accuracy
+from repro import SessionManager, generate_dataset, spearman_accuracy
 from repro.evaluation.metrics import top_fraction_precision
 
 
@@ -41,10 +41,19 @@ def main() -> None:
     print(f"{task.num_users} workers, {task.num_items} questions, "
           f"average coverage {coverage:.0%}")
 
-    # A CrowdSession is the serving surface a platform would keep per task:
-    # answers arrive incrementally, every method resolves by name through
-    # the repro.api registry, and repeated queries hit the rank cache.
-    session = CrowdSession.from_matrix(task.response)
+    # A platform hosts many named crowds (one per posted task) behind a
+    # SessionManager — the same registry `python -m repro.cli serve`
+    # exposes over sockets.  Each crowd is a CrowdSession: answers arrive
+    # incrementally, every method resolves by name through the repro.api
+    # registry, and repeated queries hit the rank cache.
+    manager = SessionManager(max_sessions=8)
+    session = manager.create(
+        "labeling-hit-42",
+        num_items=task.num_items,
+        num_options=4,
+    )
+    users, items, options = task.response.triples
+    session.add_answers(users, items, options)
     methods = {
         "HnD": {"random_state": 7},
         "HITS": {},
@@ -74,13 +83,15 @@ def main() -> None:
         print(f"  {name:<18s} {agreement:6.3f}")
 
     # top_k serves straight from the session cache — the HnD ranking above
-    # was already computed, so this is an O(nnz) hash lookup.
-    selected = session.top_k(20, "HnD", random_state=7)
+    # was already computed, so this is an O(nnz) hash lookup.  The crowd
+    # resolves by name, exactly as a serving request would.
+    selected = manager.get("labeling-hit-42").top_k(20, "HnD", random_state=7)
     print(f"\nworkers selected for the follow-up batch (HnD top 20): "
           f"{np.sort(selected).tolist()}")
     stats = session.stats()
     print(f"session cache: {stats['cache_hits']} hit(s), "
           f"{stats['cache_misses']} miss(es)")
+    print(f"resident crowds: {manager.describe()}")
 
 
 if __name__ == "__main__":

@@ -87,6 +87,7 @@ from repro.api import (
     CrowdSession,
     ExecutionPolicy,
     RankerRegistry,
+    SessionManager,
     rank,
     register_ranker,
 )
@@ -102,6 +103,7 @@ from repro.evaluation import (
 from repro.exceptions import (
     CircuitOpenError,
     ConvergenceError,
+    CrowdExistsError,
     DatasetError,
     DisconnectedGraphError,
     EngineError,
@@ -109,7 +111,12 @@ from repro.exceptions import (
     InvalidResponseMatrixError,
     NotC1PError,
     ProtocolError,
+    RateLimitedError,
     ReproError,
+    SchemaError,
+    ServeError,
+    ServerOverloadedError,
+    UnknownCrowdError,
     WorkerTimeoutError,
     WorkerUnavailableError,
 )
@@ -170,6 +177,7 @@ __all__ = [
     "rank",
     "ExecutionPolicy",
     "CrowdSession",
+    "SessionManager",
     # evaluation
     "spearman_accuracy",
     "kendall_accuracy",
@@ -191,4 +199,10 @@ __all__ = [
     "WorkerTimeoutError",
     "ProtocolError",
     "CircuitOpenError",
+    "ServeError",
+    "SchemaError",
+    "UnknownCrowdError",
+    "CrowdExistsError",
+    "RateLimitedError",
+    "ServerOverloadedError",
 ]

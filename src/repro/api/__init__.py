@@ -44,6 +44,7 @@ _LAZY = {
     "rank": "repro.api.execution",
     "warm_start_fingerprint": "repro.api.execution",
     "CrowdSession": "repro.api.session",
+    "SessionManager": "repro.api.manager",
     "SolverState": "repro.core.solver_state",
 }
 
@@ -57,6 +58,7 @@ __all__ = [
     "rank",
     "warm_start_fingerprint",
     "CrowdSession",
+    "SessionManager",
     "SolverState",
 ]
 

@@ -1,0 +1,216 @@
+"""``SessionManager``: a named-crowd registry over :class:`CrowdSession`.
+
+A serving process hosts *many* crowds — one per task, classroom, or
+survey — and the scripts that used to juggle ad-hoc one-off sessions all
+re-implemented the same bookkeeping: name -> session lookup, a default
+:class:`~repro.api.execution.ExecutionPolicy`, and some bound on how many
+resident sessions memory can hold.  :class:`SessionManager` is that
+bookkeeping, once:
+
+* ``create`` / ``get`` / ``drop`` / ``names`` — the registry surface.
+  Unknown names raise :class:`~repro.exceptions.UnknownCrowdError` with a
+  did-you-mean hint (same discipline as the ranker registry); creating an
+  existing name raises :class:`~repro.exceptions.CrowdExistsError` unless
+  ``exist_ok`` asks for idempotent creation.
+* per-crowd **policy defaults** — sessions inherit the manager's
+  :class:`ExecutionPolicy` and cache capacity unless ``create`` overrides
+  them, so "this deployment ranks through 8-thread shards" is said once.
+* an **LRU bound** on resident sessions — every ``get``/``create``
+  touch refreshes recency, and creating past ``max_sessions`` evicts the
+  least recently used crowd (sessions are in-memory state; an evicted
+  crowd is gone, counted in ``stats()['evictions']``, and a later request
+  for it raises :class:`UnknownCrowdError` — the durable-state tier in the
+  ROADMAP is what will make eviction cheap).
+
+Both the ``repro.serve`` front end and the CLI route through this class,
+and it is thread-safe: the registry map is guarded by its own lock, and
+each :class:`CrowdSession` holds its own coarse operation lock, so
+operations on *different* crowds run fully in parallel.
+
+>>> from repro.api import SessionManager
+>>> manager = SessionManager(max_sessions=2)
+>>> _ = manager.create("quiz-a", num_items=3, num_options=4)
+>>> _ = manager.get("quiz-a").add_answers([0, 1], [0, 0], [1, 1])
+>>> manager.names()
+('quiz-a',)
+"""
+
+from __future__ import annotations
+
+import difflib
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.api.execution import ExecutionPolicy
+from repro.api.session import CrowdSession
+from repro.engine.cache import RankCache
+from repro.exceptions import CrowdExistsError, UnknownCrowdError
+
+
+class SessionManager:
+    """Thread-safe name -> :class:`CrowdSession` registry with an LRU bound.
+
+    Parameters
+    ----------
+    max_sessions:
+        Resident-session cap; creating beyond it evicts the least
+        recently used crowd (its in-memory state is discarded).
+    execution:
+        Default :class:`ExecutionPolicy` for sessions created without an
+        explicit one (fused single-process when omitted).
+    cache_size:
+        Default per-session :class:`RankCache` capacity (the
+        :class:`CrowdSession` default when omitted).
+    """
+
+    def __init__(
+        self,
+        *,
+        max_sessions: int = 64,
+        execution: Optional[ExecutionPolicy] = None,
+        cache_size: Optional[int] = None,
+    ) -> None:
+        if int(max_sessions) < 1:
+            raise ValueError(
+                "max_sessions must be >= 1, got %r" % (max_sessions,)
+            )
+        self.max_sessions = int(max_sessions)
+        self.execution = execution
+        self.cache_size = cache_size
+        self._sessions: "OrderedDict[str, CrowdSession]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._evictions = 0
+        self._created = 0
+        self._dropped = 0
+
+    # ------------------------------------------------------------------ #
+    # Registry surface
+    # ------------------------------------------------------------------ #
+    def create(
+        self,
+        name: str,
+        *,
+        exist_ok: bool = False,
+        execution: Optional[ExecutionPolicy] = None,
+        cache: Optional[Union[RankCache, int]] = None,
+        **session_kwargs,
+    ) -> CrowdSession:
+        """Create (and return) the crowd registered under ``name``.
+
+        ``session_kwargs`` go to :class:`CrowdSession` (``num_items``,
+        ``num_options``, ``num_users``); ``execution``/``cache`` default
+        to the manager's.  With ``exist_ok``, an already-resident name
+        returns the existing session untouched — idempotent creation for
+        at-least-once request streams; without it, a duplicate raises
+        :class:`~repro.exceptions.CrowdExistsError`.  Creating past
+        ``max_sessions`` evicts the least recently used crowd first.
+        """
+        if not isinstance(name, str) or not name:
+            raise ValueError("crowd name must be a non-empty string, got %r"
+                             % (name,))
+        with self._lock:
+            existing = self._sessions.get(name)
+            if existing is not None:
+                if exist_ok:
+                    self._sessions.move_to_end(name)
+                    return existing
+                raise CrowdExistsError(
+                    "crowd %r already exists (%d users, %d answers); pass "
+                    "exist_ok for idempotent creation or drop it first"
+                    % (name, existing.num_users, existing.num_answers)
+                )
+            if cache is None and self.cache_size is not None:
+                cache = self.cache_size
+            session = CrowdSession(
+                execution=execution if execution is not None else self.execution,
+                cache=cache,
+                **session_kwargs,
+            )
+            self._sessions[name] = session
+            self._created += 1
+            while len(self._sessions) > self.max_sessions:
+                self._sessions.popitem(last=False)
+                self._evictions += 1
+            return session
+
+    def get(self, name: str) -> CrowdSession:
+        """The session under ``name``; :class:`UnknownCrowdError` otherwise.
+
+        A hit refreshes the crowd's LRU recency.
+        """
+        with self._lock:
+            session = self._sessions.get(name)
+            if session is not None:
+                self._sessions.move_to_end(name)
+                return session
+            resident = list(self._sessions)
+        close = difflib.get_close_matches(str(name), resident, n=3, cutoff=0.4)
+        hint = ("; did you mean %s?" % " or ".join(repr(c) for c in close)
+                if close else "")
+        raise UnknownCrowdError(
+            "unknown crowd %r%s (resident: %s)"
+            % (name, hint, ", ".join(sorted(resident)) or "none")
+        )
+
+    def drop(self, name: str) -> bool:
+        """Forget the crowd under ``name``; ``False`` if it was not resident.
+
+        Dropping is idempotent by design (at-least-once request streams
+        replay drops), hence the boolean instead of an error.
+        """
+        with self._lock:
+            dropped = self._sessions.pop(name, None) is not None
+            if dropped:
+                self._dropped += 1
+            return dropped
+
+    def names(self) -> Tuple[str, ...]:
+        """Resident crowd names, least recently used first."""
+        with self._lock:
+            return tuple(self._sessions)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._sessions
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    # ------------------------------------------------------------------ #
+    # Diagnostics
+    # ------------------------------------------------------------------ #
+    def describe(self) -> List[Dict[str, object]]:
+        """One summary dict per resident crowd (the ``list`` wire op).
+
+        Sizes are read without refreshing recency — describing the fleet
+        must not shuffle the eviction order.
+        """
+        with self._lock:
+            sessions = list(self._sessions.items())
+        return [
+            {
+                "name": name,
+                "num_users": session.num_users,
+                "num_answers": session.num_answers,
+                "backend": (session.execution.resolved_backend
+                            if session.execution is not None else "fused"),
+            }
+            for name, session in sessions
+        ]
+
+    def stats(self) -> Dict[str, int]:
+        """Counters: ``resident`` / ``created`` / ``dropped`` / ``evictions``."""
+        with self._lock:
+            return {
+                "resident": len(self._sessions),
+                "created": self._created,
+                "dropped": self._dropped,
+                "evictions": self._evictions,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "SessionManager(resident=%d, max_sessions=%d)" % (
+            len(self), self.max_sessions,
+        )

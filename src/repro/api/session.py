@@ -30,6 +30,7 @@ a :class:`~repro.engine.cache.RankCache` — and keeps them consistent:
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Optional, Sequence, Union
 
 import numpy as np
@@ -48,6 +49,28 @@ from repro.exceptions import InvalidResponseMatrixError
 
 class CrowdSession:
     """A growing crowd served through the unified ranking API.
+
+    **Concurrency contract.**  A session is safe to share across threads:
+    every *stateful* operation (:meth:`add_answers`, :meth:`add_user`,
+    :meth:`rank`, :meth:`top_k`, the :attr:`matrix` /
+    :meth:`content_hash` reads) holds one internal :class:`threading.RLock`
+    for its whole duration, so the two stateful races — the lazy
+    :attr:`matrix` rebuild (two readers must not both materialize, and an
+    append must not invalidate a half-built matrix) and the warm-start
+    lineage lookup (``_ranked_hashes`` is read by :meth:`rank` and written
+    after it) — cannot interleave.  The size counters
+    (:attr:`num_answers` / :attr:`num_users`) and :meth:`stats` are
+    deliberately **lock-free snapshots** — monotonic integers read
+    atomically under the GIL — so observability never waits behind a
+    solve in flight.  The granularity is deliberately
+    coarse: *operations on one session serialize*, including solves, so
+    two concurrent :meth:`rank` calls on the same crowd run one after the
+    other (the second usually lands a cache hit).  Concurrency comes from
+    running many sessions — see :class:`~repro.api.manager.SessionManager`
+    — and request-level dedup belongs above the session (``repro.serve``
+    coalesces identical in-flight ranks before they reach the lock).  An
+    append issued while another thread solves simply waits; it is never
+    lost and never observed half-applied.
 
     Parameters
     ----------
@@ -85,6 +108,10 @@ class CrowdSession:
         else:
             self.cache = RankCache(maxsize=cache) if cache is not None else RankCache()
         self._matrix: Optional[ResponseMatrix] = None
+        # Reentrant: rank() holds the lock across the matrix property and
+        # the nested top_k -> rank path.  See the class docstring for the
+        # (deliberately coarse) contract.
+        self._state_lock = threading.RLock()
         # Content hashes of every crowd state this session has ranked: the
         # warm-start lineage.  A shared RankCache holds solver states from
         # unrelated crowds under the same fingerprint; restricting the
@@ -136,16 +163,18 @@ class CrowdSession:
                     "add_answers takes (users, items, options) arrays or an "
                     "(N, 3) triples array, got shape %s" % (triples.shape,)
                 )
-        before = self._builder.num_answers
-        self._builder.add_answers(users, items, options)
-        if self._builder.num_answers != before:
-            self._matrix = None
+        with self._state_lock:
+            before = self._builder.num_answers
+            self._builder.add_answers(users, items, options)
+            if self._builder.num_answers != before:
+                self._matrix = None
         return self
 
     def add_user(self, items, options) -> int:
         """Append a whole new user's answers; returns the new user index."""
-        user = self._builder.add_user(items, options)
-        self._matrix = None  # a new user row changes the shape even if empty
+        with self._state_lock:
+            user = self._builder.add_user(items, options)
+            self._matrix = None  # a new user row changes the shape even if empty
         return user
 
     # ------------------------------------------------------------------ #
@@ -153,6 +182,8 @@ class CrowdSession:
     # ------------------------------------------------------------------ #
     @property
     def num_answers(self) -> int:
+        # Lock-free snapshot (see the class contract): a plain int read,
+        # safe against a concurrent append under the GIL.
         return self._builder.num_answers
 
     @property
@@ -171,11 +202,12 @@ class CrowdSession:
         idempotent; *conflicting* repeats (one user, one item, two
         different options) raise here, leaving the ingested state intact.
         """
-        if self._matrix is None:
-            self._matrix = self._builder.build(
-                num_users=self.num_users or None, deduplicate=True
-            )
-        return self._matrix
+        with self._state_lock:
+            if self._matrix is None:
+                self._matrix = self._builder.build(
+                    num_users=self.num_users or None, deduplicate=True
+                )
+            return self._matrix
 
     def content_hash(self) -> str:
         """The stable digest of the current crowd (the cache's staleness key)."""
@@ -215,14 +247,15 @@ class CrowdSession:
         serves the exact warm cache hit.
         """
         policy = execution if execution is not None else self.execution
-        init_state: Optional[SolverState] = None
-        if warm_start:
-            init_state = self._warm_state(method, params)
-        ranking = _rank(self.matrix, method, execution=policy,
-                        cache=self.cache, init_state=init_state, **params)
-        # Record this crowd state in the warm-start lineage (the digest is
-        # memoized on the matrix, so this costs a dict insert).
-        self._ranked_hashes.add(self.matrix.content_hash())
+        with self._state_lock:
+            init_state: Optional[SolverState] = None
+            if warm_start:
+                init_state = self._warm_state(method, params)
+            ranking = _rank(self.matrix, method, execution=policy,
+                            cache=self.cache, init_state=init_state, **params)
+            # Record this crowd state in the warm-start lineage (the digest
+            # is memoized on the matrix, so this costs a dict insert).
+            self._ranked_hashes.add(self.matrix.content_hash())
         return ranking
 
     def _warm_state(self, method: str, params: Dict[str, object]) -> Optional[SolverState]:
@@ -250,7 +283,12 @@ class CrowdSession:
                          **params).top_users(count)
 
     def stats(self) -> Dict[str, object]:
-        """Session counters: crowd size plus the cache's hit/miss/bypass."""
+        """Session counters: crowd size plus the cache's hit/miss/bypass.
+
+        Lock-free (see the class contract): a stats probe must answer
+        instantly even while another thread holds the lock through a
+        solve, so these are atomic snapshot reads, not a locked view.
+        """
         info: Dict[str, object] = {
             "num_users": self.num_users,
             "num_answers": self.num_answers,

@@ -449,6 +449,73 @@ def command_rank(args: argparse.Namespace) -> int:
     return 0
 
 
+def command_serve(args: argparse.Namespace) -> int:
+    """Host named crowds behind the ``repro.serve`` front end.
+
+    All validation happens before the socket binds, so a bad invocation
+    exits 2 with prose instead of a traceback; once bound, a single
+    ``READY host=... port=...`` line goes to stdout (the remote worker's
+    convention — harnesses and CI parse it to learn the ephemeral port).
+    """
+    import asyncio
+
+    from repro.serve import CrowdServer, ServeConfig
+
+    if args.shards < 1:
+        print("error: --shards must be >= 1, got %d" % args.shards,
+              file=sys.stderr)
+        return 2
+    if args.cache_size is not None and args.cache_size < 1:
+        print("error: --cache-size must be >= 1, got %d" % args.cache_size,
+              file=sys.stderr)
+        return 2
+    if args.burst is not None and args.burst < 1:
+        print("error: --burst must be >= 1 token, got %s" % args.burst,
+              file=sys.stderr)
+        return 2
+    if args.max_sessions < 1:
+        print("error: --max-sessions must be >= 1, got %d" % args.max_sessions,
+              file=sys.stderr)
+        return 2
+    try:
+        policy = ExecutionPolicy(backend=args.backend, shards=args.shards)
+    except ValueError as error:
+        print("error:", error, file=sys.stderr)
+        return 2
+    try:
+        config = ServeConfig(
+            host=args.host,
+            port=args.port,
+            max_queue=args.max_queue,
+            solver_threads=args.solver_threads,
+            rate=args.rate,
+            burst=args.burst,
+            max_pending_answers=args.max_pending_answers,
+            max_sessions=args.max_sessions,
+            execution=policy,
+            cache_size=args.cache_size,
+        )
+    except ValueError as error:
+        print("error:", error, file=sys.stderr)
+        return 2
+
+    async def _run() -> None:
+        server = CrowdServer(config=config)
+        await server.start()
+        print("READY host=%s port=%d" % (server.host, server.port),
+              flush=True)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.aclose()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive use
+        pass
+    return 0
+
+
 # --------------------------------------------------------------------------- #
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -570,6 +637,44 @@ def build_parser() -> argparse.ArgumentParser:
     rank.add_argument("--cache-size", type=int, default=16,
                       help="rank-cache capacity (LRU entries)")
     rank.set_defaults(func=command_rank)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="host named crowds over TCP (the repro.serve front end)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 picks an ephemeral port; the bound "
+                            "port is printed on the READY line)")
+    serve.add_argument("--backend", default="auto",
+                       choices=["auto", "fused", "threads", "processes"],
+                       help="default execution backend for hosted crowds "
+                            "(remote workers are not routable from inside "
+                            "the server; run them behind the rank command)")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="user-range shards for the default backend")
+    serve.add_argument("--max-queue", type=int, default=32,
+                       help="solves admitted at once; past it, rank requests "
+                            "get a typed 'overloaded' rejection (never a "
+                            "silent queue)")
+    serve.add_argument("--solver-threads", type=int, default=4,
+                       help="worker threads executing solves off the event "
+                            "loop")
+    serve.add_argument("--rate", type=float, default=0.0,
+                       help="per-connection rate limit in requests/s "
+                            "(0 disables; excess requests get a typed "
+                            "'rate_limited' rejection with retry_after)")
+    serve.add_argument("--burst", type=float, default=None,
+                       help="token-bucket burst capacity (defaults to one "
+                            "second of --rate)")
+    serve.add_argument("--max-sessions", type=int, default=64,
+                       help="resident-crowd LRU bound (creating past it "
+                            "evicts the least recently used crowd)")
+    serve.add_argument("--max-pending-answers", type=int, default=1_000_000,
+                       help="per-crowd bound on buffered (unflushed) answers")
+    serve.add_argument("--cache-size", type=int, default=None,
+                       help="per-crowd rank-cache capacity (LRU entries)")
+    serve.set_defaults(func=command_serve)
 
     return parser
 

@@ -99,16 +99,18 @@ def _recv_exact(sock: socket.socket, num_bytes: int, *,
     return pieces[0] if len(pieces) == 1 else b"".join(pieces)
 
 
-def recv_message(
-    sock: socket.socket,
-) -> Tuple[str, Dict[str, object], Dict[str, np.ndarray]]:
-    """Receive one frame; returns ``(op, meta, arrays)``.
+#: Bytes of the fixed frame prefix (magic + crc32 + payload length) — the
+#: first read of any receiver, blocking or asyncio.
+PREFIX_SIZE = len(MAGIC) + _PREFIX.size
 
-    Raises :class:`~repro.exceptions.ProtocolError` on any malformed
-    frame and :class:`ConnectionClosed` on clean EOF between frames.
-    Array values are read-only views over the received payload.
+
+def parse_prefix(prefix: bytes) -> Tuple[int, int]:
+    """Validate a frame prefix; returns ``(checksum, payload length)``.
+
+    Shared by the blocking :func:`recv_message` and the asyncio receiver
+    in :mod:`repro.serve` — one place rejects a bad magic or an absurd
+    length, whoever owns the socket.
     """
-    prefix = _recv_exact(sock, len(MAGIC) + _PREFIX.size, at_boundary=True)
     if prefix[:4] != MAGIC:
         raise ProtocolError(
             "bad frame magic %r (expected %r)" % (prefix[:4], MAGIC)
@@ -119,8 +121,20 @@ def recv_message(
             "frame payload length %d exceeds the %d-byte cap (corrupted "
             "length prefix?)" % (length, MAX_PAYLOAD)
         )
-    payload = _recv_exact(sock, length, at_boundary=False)
-    if zlib.crc32(payload) != checksum:
+    return checksum, length
+
+
+def decode_payload(
+    payload: bytes, checksum: Optional[int] = None
+) -> Tuple[str, Dict[str, object], Dict[str, np.ndarray]]:
+    """Decode a received payload; returns ``(op, meta, arrays)``.
+
+    Verifies the crc32 when ``checksum`` is given.  Array values are
+    read-only views over ``payload``.  The payload-parsing half of
+    :func:`recv_message`, split out so transports that already hold the
+    complete frame bytes (the asyncio server) reuse the exact validation.
+    """
+    if checksum is not None and zlib.crc32(payload) != checksum:
         raise ProtocolError(
             "frame checksum mismatch (payload corrupted in transit)"
         )
@@ -158,3 +172,18 @@ def recv_message(
             % (len(payload) - offset)
         )
     return op, meta, arrays
+
+
+def recv_message(
+    sock: socket.socket,
+) -> Tuple[str, Dict[str, object], Dict[str, np.ndarray]]:
+    """Receive one frame; returns ``(op, meta, arrays)``.
+
+    Raises :class:`~repro.exceptions.ProtocolError` on any malformed
+    frame and :class:`ConnectionClosed` on clean EOF between frames.
+    Array values are read-only views over the received payload.
+    """
+    prefix = _recv_exact(sock, PREFIX_SIZE, at_boundary=True)
+    checksum, length = parse_prefix(prefix)
+    payload = _recv_exact(sock, length, at_boundary=False)
+    return decode_payload(payload, checksum)

@@ -101,6 +101,83 @@ class CircuitOpenError(EngineError):
         self.retry_after = retry_after
 
 
+class ServeError(ReproError):
+    """Base class for the serving front end's request failures.
+
+    Every subclass carries a stable wire ``code`` — the string the
+    ``repro.serve`` protocol puts in an error response — so clients can
+    dispatch on the *kind* of rejection without parsing prose.  These are
+    *request* errors: the server stays healthy, the connection stays open,
+    and (except for :class:`SchemaError` on an unparseable frame) the
+    request is safe to retry after addressing the cause.
+    """
+
+    code = "error"
+
+
+class SchemaError(ServeError):
+    """A request failed wire-schema validation.
+
+    Unknown operation, missing or mistyped field, unsupported protocol
+    version, or an unknown ranking method (the message carries the ranker
+    registry's did-you-mean hint).  Retrying the same bytes will fail the
+    same way — fix the request.
+    """
+
+    code = "bad_request"
+
+
+class UnknownCrowdError(ServeError):
+    """A request named a crowd the session manager does not host.
+
+    Either it was never created, or the manager's LRU bound evicted it
+    (resident sessions are in-memory state).  The message carries a
+    did-you-mean hint over the resident crowd names.
+    """
+
+    code = "unknown_crowd"
+
+
+class CrowdExistsError(ServeError):
+    """``create`` named a crowd that is already resident.
+
+    Pass ``exist_ok`` to make creation idempotent instead.
+    """
+
+    code = "crowd_exists"
+
+
+class RateLimitedError(ServeError):
+    """The client exhausted its token bucket; slow down and retry.
+
+    The HTTP-429 analogue: a *per-client* rejection, typed and instant,
+    never a queued wait.  ``retry_after`` is the seconds until the bucket
+    refills enough for one request.
+    """
+
+    code = "rate_limited"
+
+    def __init__(self, message: str, *, retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class ServerOverloadedError(ServeError):
+    """The server's bounded work queue is full; back off and retry.
+
+    The *global* backpressure rejection: admitting the request would grow
+    an unbounded queue, so it is refused immediately instead (same
+    degrade-don't-hang discipline as the remote backend's supervision
+    layer).  ``retry_after`` is a backoff hint, not a reservation.
+    """
+
+    code = "overloaded"
+
+    def __init__(self, message: str, *, retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class NotC1PError(ReproError):
     """Raised when a matrix is required to have the consecutive ones property
     (after row permutation) but does not."""

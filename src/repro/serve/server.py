@@ -1,0 +1,663 @@
+"""The asyncio serving front end: many named crowds, one event loop.
+
+:class:`CrowdServer` hosts a :class:`~repro.api.manager.SessionManager`
+behind a TCP endpoint speaking the framed protocol of
+:mod:`repro.engine.remote.protocol` with the request/response schema of
+:mod:`repro.serve.schema`.  The mechanics that make it safe under
+concurrent load, in dependency order:
+
+**Micro-batched appends.**  ``add_answers`` never touches the session on
+the event loop: batches land in a per-crowd pending buffer (``O(batch)``
+list append under a thread lock) and are acknowledged immediately; the
+*next solve* flushes the buffer into the session's
+:class:`~repro.core.response.ResponseBuilder` before ranking, so a burst
+of appends between two ranks costs one matrix re-materialization, not one
+per batch.  Consistency: a rank admitted after an append was acknowledged
+always observes that append (the flush drains everything buffered before
+the solve starts).
+
+**Single-flight rank coalescing.**  Identical concurrent ranks — same
+crowd state (append epoch), same method-parameter fingerprint (the rank
+cache's own :func:`~repro.engine.cache.ranker_fingerprint`), same
+warm-start flag — await one in-flight solve and all receive the *same*
+ranking object, hence bit-identical scores.  The epoch is a faithful
+stand-in for the content hash the cache keys on: equal epochs mean the
+same materialized matrix object, and cross-epoch duplicates (an append
+that turned out to be a no-op) still collapse in the
+:class:`~repro.engine.cache.RankCache` underneath.  Nondeterministic
+configurations (``random_state=None``) have no fingerprint and never
+coalesce — two such requests legitimately differ, matching the cache's
+bypass semantics.
+
+**Solves off the loop.**  Every session-lock-taking operation (flush +
+solve) runs on a bounded worker-thread pool, so the event loop keeps
+accepting requests — and serving cache hits for *other* crowds — while a
+cold solve grinds.  Sessions serialize their own operations internally
+(:class:`~repro.api.session.CrowdSession`'s coarse lock), so concurrency
+comes from hosting many crowds, exactly the serving workload.
+
+**Rate limiting + backpressure.**  Each connection gets a
+:class:`~repro.serve.ratelimit.TokenBucket`; an exhausted bucket is a
+typed ``rate_limited`` rejection with ``retry_after`` — never a queued
+wait.  Globally, at most ``max_queue`` solves may be dispatched-or-running
+at once; past that, rank requests get a typed ``overloaded`` rejection
+immediately (coalesced joiners ride free — they add no work).  Pending
+append buffers are bounded the same way (``max_pending_answers``).  The
+discipline is the remote backend's: degrade loudly and boundedly, never
+hang, never grow an unbounded queue.
+
+**Diagnostics.**  The ``server_stats`` op snapshots every counter —
+queue depth, coalesced/rejected counts, aggregate cache hit rate — from
+lock-free or short-lock sources only, so observability never blocks on a
+solve in flight.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.api.execution import ExecutionPolicy, warm_start_fingerprint
+from repro.api.manager import SessionManager
+from repro.api.registry import REGISTRY
+from repro.api.session import CrowdSession
+from repro.engine.cache import ranker_fingerprint
+from repro.engine.remote import protocol
+from repro.engine.remote.protocol import ConnectionClosed
+from repro.exceptions import (
+    InvalidResponseMatrixError,
+    ProtocolError,
+    RateLimitedError,
+    SchemaError,
+    ServeError,
+    ServerOverloadedError,
+)
+from repro.serve.ratelimit import TokenBucket
+from repro.serve.schema import (
+    PROTOCOL_VERSION,
+    RANK_OPS,
+    ServeRequest,
+    error_frame,
+    ok_frame,
+)
+
+Frame = Tuple[str, Dict[str, object], Dict[str, np.ndarray]]
+
+
+@dataclass
+class ServeConfig:
+    """Operational knobs of a :class:`CrowdServer`.
+
+    Attributes
+    ----------
+    host, port:
+        Bind address; port ``0`` picks an ephemeral port (read it back
+        from ``server.port`` / the CLI's ``READY`` line).
+    max_queue:
+        Bound on solves dispatched-or-running at once; rank requests past
+        it are rejected with the typed ``overloaded`` error.  Coalesced
+        requests do not count against it.
+    solver_threads:
+        Worker threads executing flushes + solves.  Sessions serialize
+        internally, so threads beyond the number of concurrently-active
+        crowds buy nothing.
+    rate, burst:
+        Per-connection token-bucket rate limit (requests/s and bucket
+        capacity).  ``rate=0`` disables limiting; ``burst=None`` defaults
+        to one second of traffic.
+    max_pending_answers:
+        Per-crowd bound on buffered (acknowledged but not yet flushed)
+        answers; appends past it are rejected ``overloaded``.
+    max_sessions:
+        Resident-crowd LRU bound, forwarded to
+        :class:`~repro.api.manager.SessionManager` when the server builds
+        its own manager.
+    max_request_bytes:
+        Per-frame payload cap for *this* endpoint (the transport's own
+        2 GiB cap is a corruption guard, not an admission policy); larger
+        frames drop the connection.
+    execution:
+        Default :class:`ExecutionPolicy` for crowds the server creates.
+    cache_size:
+        Per-crowd rank-cache capacity (session default when ``None``).
+    allow_shutdown:
+        Whether the wire ``shutdown`` op stops the server (the remote
+        worker's convention; disable for fleets where only the operator
+        may stop the process).
+    overload_retry_after:
+        The ``retry_after`` hint on ``overloaded`` rejections — a backoff
+        suggestion, not a reservation.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_queue: int = 32
+    solver_threads: int = 4
+    rate: float = 0.0
+    burst: Optional[float] = None
+    max_pending_answers: int = 1_000_000
+    max_sessions: int = 64
+    max_request_bytes: int = 256 << 20
+    execution: Optional[ExecutionPolicy] = None
+    cache_size: Optional[int] = None
+    allow_shutdown: bool = True
+    overload_retry_after: float = 0.5
+
+    def __post_init__(self) -> None:
+        if int(self.max_queue) < 1:
+            raise ValueError("max_queue must be >= 1, got %r" % (self.max_queue,))
+        if int(self.solver_threads) < 1:
+            raise ValueError(
+                "solver_threads must be >= 1, got %r" % (self.solver_threads,)
+            )
+        if float(self.rate) < 0:
+            raise ValueError("rate must be >= 0 (0 disables), got %r"
+                             % (self.rate,))
+        if int(self.max_pending_answers) < 1:
+            raise ValueError(
+                "max_pending_answers must be >= 1, got %r"
+                % (self.max_pending_answers,)
+            )
+        self.max_queue = int(self.max_queue)
+        self.solver_threads = int(self.solver_threads)
+        self.max_pending_answers = int(self.max_pending_answers)
+
+
+class ServerStats:
+    """Monotonic serving counters, safe across the loop + solver threads."""
+
+    _NAMES = (
+        "connections",
+        "requests",
+        "errors",
+        "protocol_errors",
+        "appends",
+        "answers_buffered",
+        "flush_failures",
+        "solves",
+        "coalesced",
+        "rate_limited",
+        "overloaded",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts: Dict[str, int] = {name: 0 for name in self._NAMES}
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counts[name] += amount
+
+    def __getitem__(self, name: str) -> int:
+        with self._lock:
+            return self._counts[name]
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._counts)
+
+
+class _Crowd:
+    """Server-side serving state of one resident crowd.
+
+    The session itself lives in the manager; this wrapper adds what only
+    the server needs: the pending append buffer (mutated on the event
+    loop, drained by solver threads — hence the thread lock), the append
+    ``epoch`` the coalescing key uses, and the in-flight solve table.
+    """
+
+    __slots__ = ("session", "pending", "pending_answers", "epoch",
+                 "inflight", "lock")
+
+    def __init__(self, session: CrowdSession) -> None:
+        self.session = session
+        self.pending: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        self.pending_answers = 0
+        self.epoch = 0
+        self.inflight: Dict[Tuple, asyncio.Future] = {}
+        self.lock = threading.Lock()
+
+
+async def read_frame(reader: asyncio.StreamReader,
+                     max_payload: Optional[int] = None) -> Frame:
+    """Receive one frame from an asyncio stream.
+
+    Same failure taxonomy as the blocking receiver: clean EOF between
+    frames raises :class:`ConnectionClosed`, anything malformed raises
+    :class:`~repro.exceptions.ProtocolError`.
+    """
+    try:
+        prefix = await reader.readexactly(protocol.PREFIX_SIZE)
+    except asyncio.IncompleteReadError as err:
+        if not err.partial:
+            raise ConnectionClosed("connection closed by peer") from err
+        raise ProtocolError(
+            "connection closed mid-frame (%d of %d prefix bytes missing)"
+            % (protocol.PREFIX_SIZE - len(err.partial), protocol.PREFIX_SIZE)
+        ) from err
+    checksum, length = protocol.parse_prefix(prefix)
+    if max_payload is not None and length > max_payload:
+        raise ProtocolError(
+            "frame payload of %d bytes exceeds this endpoint's %d-byte cap"
+            % (length, max_payload)
+        )
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as err:
+        raise ProtocolError(
+            "connection closed mid-frame (%d of %d bytes missing)"
+            % (length - len(err.partial), length)
+        ) from err
+    return protocol.decode_payload(payload, checksum)
+
+
+async def write_frame(writer: asyncio.StreamWriter, frame: Frame) -> None:
+    op, meta, arrays = frame
+    writer.write(protocol.encode_message(op, meta, arrays))
+    await writer.drain()
+
+
+class CrowdServer:
+    """Asyncio TCP server over a named-crowd :class:`SessionManager`.
+
+    >>> server = CrowdServer(config=ServeConfig(port=0))
+    >>> # async with server: ... (binds on enter, closes on exit)
+
+    Use :meth:`start` / :meth:`aclose` (or the async context manager) from
+    a running loop; :meth:`serve_forever` runs until the wire ``shutdown``
+    op or :meth:`aclose`.
+    """
+
+    def __init__(
+        self,
+        manager: Optional[SessionManager] = None,
+        *,
+        config: Optional[ServeConfig] = None,
+    ) -> None:
+        self.config = config if config is not None else ServeConfig()
+        self.manager = manager if manager is not None else SessionManager(
+            max_sessions=self.config.max_sessions,
+            execution=self.config.execution,
+            cache_size=self.config.cache_size,
+        )
+        self.stats = ServerStats()
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+        self._crowds: Dict[str, _Crowd] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._shutdown = asyncio.Event()
+        self._active_solves = 0
+        self._open_connections = 0
+        self._started = time.monotonic()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> "CrowdServer":
+        if self._server is not None:
+            return self
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.solver_threads,
+            thread_name_prefix="repro-serve",
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        self._started = time.monotonic()
+        return self
+
+    async def aclose(self) -> None:
+        self._shutdown.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._executor is not None:
+            # Queued-but-unstarted solves are cancelled; a running solve
+            # finishes (it holds a session lock and cannot be interrupted
+            # safely mid-iteration).
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    async def serve_forever(self) -> None:
+        """Serve until the wire ``shutdown`` op (or :meth:`aclose`)."""
+        await self.start()
+        await self._shutdown.wait()
+        await self.aclose()
+
+    async def __aenter__(self) -> "CrowdServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.stats.inc("connections")
+        self._open_connections += 1
+        bucket = (
+            TokenBucket(self.config.rate, self.config.burst)
+            if self.config.rate > 0 else None
+        )
+        try:
+            while not self._shutdown.is_set():
+                try:
+                    op, meta, arrays = await read_frame(
+                        reader, self.config.max_request_bytes
+                    )
+                except ConnectionClosed:
+                    return
+                except ProtocolError:
+                    # The stream can no longer be trusted (bad magic, CRC
+                    # mismatch, truncation): drop this connection only.
+                    self.stats.inc("protocol_errors")
+                    return
+                frame = await self._handle_frame(op, meta, arrays, bucket)
+                try:
+                    await write_frame(writer, frame)
+                except (ConnectionError, OSError):
+                    return
+                if frame[0] == "ok" and frame[1].get("op") == "shutdown":
+                    self._shutdown.set()
+                    return
+        finally:
+            self._open_connections -= 1
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _handle_frame(
+        self,
+        op: str,
+        meta: Dict[str, object],
+        arrays: Dict[str, np.ndarray],
+        bucket: Optional[TokenBucket],
+    ) -> Frame:
+        self.stats.inc("requests")
+        request: Optional[ServeRequest] = None
+        try:
+            request = ServeRequest.from_frame(op, meta, arrays)
+            if bucket is not None:
+                wait = bucket.try_acquire()
+                if wait > 0.0:
+                    self.stats.inc("rate_limited")
+                    raise RateLimitedError(
+                        "client exceeded %g requests/s (burst %g); retry in "
+                        "%.3f s" % (bucket.rate, bucket.burst, wait),
+                        retry_after=wait,
+                    )
+            return await self._dispatch(request)
+        except Exception as error:  # every failure becomes a typed reply
+            if not isinstance(error, ServeError):
+                self.stats.inc("errors")
+            return error_frame(error, request)
+
+    # ------------------------------------------------------------------ #
+    # Request dispatch
+    # ------------------------------------------------------------------ #
+    async def _dispatch(self, request: ServeRequest) -> Frame:
+        op = request.op
+        if op == "ping":
+            return ok_frame(request, {"server": "repro.serve",
+                                      "uptime": time.monotonic() - self._started})
+        if op == "create":
+            self.manager.create(
+                request.crowd,
+                exist_ok=request.exist_ok,
+                num_items=request.num_items,
+                num_options=request.num_options,
+                num_users=request.num_users,
+            )
+            # Manager eviction may have displaced older crowds: drop their
+            # serving state so the server does not pin evicted sessions.
+            for name in [n for n in self._crowds if n not in self.manager]:
+                del self._crowds[name]
+            return ok_frame(request, {"resident": len(self.manager)})
+        if op == "drop":
+            dropped = self.manager.drop(request.crowd)
+            self._crowds.pop(request.crowd, None)
+            return ok_frame(request, {"dropped": dropped})
+        if op == "list":
+            return ok_frame(request, {"crowds": self.manager.describe()})
+        if op == "stats":
+            entry = self._entry(request.crowd)
+            stats = dict(entry.session.stats())
+            stats["pending_answers"] = entry.pending_answers
+            stats["epoch"] = entry.epoch
+            return ok_frame(request, {"stats": stats})
+        if op == "server_stats":
+            return ok_frame(request, {"stats": self.server_stats()})
+        if op == "add_answers":
+            return self._buffer_answers(request)
+        if op in RANK_OPS:
+            return await self._serve_rank(request)
+        if op == "shutdown":
+            if not self.config.allow_shutdown:
+                raise SchemaError(
+                    "the shutdown op is disabled on this server "
+                    "(ServeConfig.allow_shutdown=False)"
+                )
+            return ok_frame(request)
+        raise SchemaError("unhandled op %r" % op)  # pragma: no cover
+
+    def _entry(self, name: str) -> _Crowd:
+        """The serving state for crowd ``name`` (typed error if absent).
+
+        Re-keyed by session identity: if the manager evicted and a client
+        re-created the crowd, the stale buffer/epoch state must not leak
+        into the new session.
+        """
+        session = self.manager.get(name)
+        entry = self._crowds.get(name)
+        if entry is None or entry.session is not session:
+            entry = _Crowd(session)
+            self._crowds[name] = entry
+        return entry
+
+    # ------------------------------------------------------------------ #
+    # Appends: buffer on the loop, flush in the solve
+    # ------------------------------------------------------------------ #
+    def _buffer_answers(self, request: ServeRequest) -> Frame:
+        entry = self._entry(request.crowd)
+        users, items, options = request.answers
+        batch = users.size
+        with entry.lock:
+            if entry.pending_answers + batch > self.config.max_pending_answers:
+                self.stats.inc("overloaded")
+                raise ServerOverloadedError(
+                    "crowd %r has %d answers buffered (cap %d); rank to "
+                    "flush, or retry later"
+                    % (request.crowd, entry.pending_answers,
+                       self.config.max_pending_answers),
+                    retry_after=self.config.overload_retry_after,
+                )
+            # The arrays are views over the request payload; keeping them
+            # keeps that one bytes object alive, which is exactly the
+            # O(batch) cost micro-batching promises.
+            entry.pending.append((users, items, options))
+            entry.pending_answers += batch
+            entry.epoch += 1
+        self.stats.inc("appends")
+        self.stats.inc("answers_buffered", batch)
+        return ok_frame(request, {
+            "buffered": batch,
+            "pending_answers": entry.pending_answers,
+            "epoch": entry.epoch,
+        })
+
+    def _flush(self, entry: _Crowd) -> None:
+        """Drain the pending buffer into the session (solver thread).
+
+        Batches passing the wire schema can still be *semantically* bad —
+        an out-of-range item for the crowd's declared shape, or a user
+        answering one item twice with different options.  Those surface
+        at the session's own validation (append or materialization inside
+        the rank that triggered the flush), typed ``bad_request`` on the
+        triggering rank and counted in ``flush_failures``.  The buffer
+        itself is drained either way (never retried forever), but per the
+        :class:`CrowdSession` contract a *conflicting* answer already
+        ingested poisons the crowd's materialization until the crowd is
+        dropped and re-created — the server surfaces that state on every
+        rank rather than guessing which answer to discard.
+        """
+        with entry.lock:
+            batches = entry.pending
+            entry.pending = []
+            entry.pending_answers = 0
+        try:
+            for users, items, options in batches:
+                entry.session.add_answers(users, items, options)
+        except Exception:
+            self.stats.inc("flush_failures")
+            raise
+
+    def _solve_sync(self, entry: _Crowd, request: ServeRequest):
+        """Flush buffered appends, then solve — on a worker thread."""
+        self._flush(entry)
+        try:
+            return entry.session.rank(
+                request.method, warm_start=request.warm_start,
+                **request.params
+            )
+        except InvalidResponseMatrixError:
+            # Ingested (already-flushed) answers failed materialization:
+            # count it with the flush failures — the request was fine,
+            # the crowd's data is not.
+            self.stats.inc("flush_failures")
+            raise
+
+    # ------------------------------------------------------------------ #
+    # Ranks: single-flight coalescing onto executor solves
+    # ------------------------------------------------------------------ #
+    def _solve_key(self, request: ServeRequest) -> Optional[Tuple]:
+        """The method-parameter half of the coalescing key.
+
+        ``None`` — never coalesce — for nondeterministic configurations,
+        mirroring the rank cache's bypass.  Raises :class:`SchemaError`
+        for parameter *values* the method's constructor rejects (names
+        were already validated by the wire schema).
+        """
+        try:
+            ranker = REGISTRY.get(request.method).create(**request.params)
+        except (TypeError, ValueError) as error:
+            raise SchemaError(str(error)) from error
+        return ranker_fingerprint(ranker)
+
+    async def _serve_rank(self, request: ServeRequest) -> Frame:
+        entry = self._entry(request.crowd)
+        if request.warm_start:
+            try:
+                warm_start_fingerprint(request.method, request.params)
+            except ValueError as error:
+                raise SchemaError(str(error)) from error
+        fingerprint = self._solve_key(request)
+        key = (
+            None if fingerprint is None
+            else (entry.epoch, fingerprint, request.warm_start)
+        )
+        future = entry.inflight.get(key) if key is not None else None
+        coalesced = future is not None
+        if coalesced:
+            self.stats.inc("coalesced")
+        else:
+            if self._active_solves >= self.config.max_queue:
+                self.stats.inc("overloaded")
+                raise ServerOverloadedError(
+                    "solve queue is full (%d in flight, cap %d); retry later"
+                    % (self._active_solves, self.config.max_queue),
+                    retry_after=self.config.overload_retry_after,
+                )
+            self._active_solves += 1
+            self.stats.inc("solves")
+            future = asyncio.get_running_loop().run_in_executor(
+                self._executor, self._solve_sync, entry, request
+            )
+            if key is not None:
+                entry.inflight[key] = future
+
+            def _finished(done_future, key=key, entry=entry) -> None:
+                self._active_solves -= 1
+                if key is not None:
+                    entry.inflight.pop(key, None)
+
+            future.add_done_callback(_finished)
+        ranking = await future
+        return self._rank_frame(request, ranking, coalesced)
+
+    def _rank_frame(self, request: ServeRequest, ranking, coalesced: bool) -> Frame:
+        meta: Dict[str, object] = {
+            "method": ranking.method,
+            "num_users": int(ranking.scores.size),
+            "served": "coalesced" if coalesced else "computed",
+        }
+        iterations = ranking.diagnostics.get("iterations")
+        if iterations is not None:
+            meta["iterations"] = int(iterations)
+        warm_mode = ranking.diagnostics.get("warm_start")
+        if request.warm_start and warm_mode is not None:
+            meta["warm_start"] = warm_mode
+        if request.op == "top_k":
+            top = ranking.top_users(request.count)
+            arrays = {
+                "users": np.asarray(top, dtype=np.int64),
+                "scores": np.ascontiguousarray(ranking.scores[top]),
+            }
+        else:
+            arrays = {"scores": np.ascontiguousarray(ranking.scores)}
+        return ok_frame(request, meta, arrays)
+
+    # ------------------------------------------------------------------ #
+    # Diagnostics
+    # ------------------------------------------------------------------ #
+    def server_stats(self) -> Dict[str, object]:
+        """The ``server_stats`` payload — observability that never blocks.
+
+        Built exclusively from lock-free reads and short-lock counters
+        (the rank caches' own stats locks are never held across a solve),
+        so this answers instantly even while every solver thread grinds.
+        """
+        cache = {"hits": 0, "misses": 0, "bypasses": 0}
+        crowds = []
+        for name, entry in list(self._crowds.items()):
+            if name not in self.manager:
+                continue
+            for key, value in entry.session.cache.stats().items():
+                if key in cache:
+                    cache[key] += value
+            crowds.append({
+                "name": name,
+                "num_answers": entry.session.num_answers,
+                "pending_answers": entry.pending_answers,
+                "epoch": entry.epoch,
+                "inflight": len(entry.inflight),
+            })
+        lookups = cache["hits"] + cache["misses"]
+        cache["hit_rate"] = cache["hits"] / lookups if lookups else 0.0
+        return {
+            "v": PROTOCOL_VERSION,
+            "counters": self.stats.snapshot(),
+            "queue": {
+                "active_solves": self._active_solves,
+                "max_queue": self.config.max_queue,
+                "solver_threads": self.config.solver_threads,
+                "open_connections": self._open_connections,
+            },
+            "sessions": self.manager.stats(),
+            "cache": cache,
+            "crowds": crowds,
+            "uptime": time.monotonic() - self._started,
+        }

@@ -236,3 +236,109 @@ class TestServing:
         assert info["materialized"] is False
         session.matrix
         assert session.stats()["materialized"] is True
+
+
+class TestConcurrencyContract:
+    """PR 8: the session's coarse-lock contract under real thread pressure.
+
+    Appends and ranks race from many threads; the contract says every
+    operation serializes, appends are never lost or half-applied, and the
+    final state equals the same ingestion done sequentially.
+    """
+
+    def test_concurrent_appends_and_ranks_lose_nothing(self):
+        import threading
+
+        num_users, num_items, num_options = 24, 18, 3
+        users, items = np.divmod(np.arange(num_users * num_items), num_items)
+        options = np.random.default_rng(3).integers(0, num_options,
+                                                    users.size)
+        session = CrowdSession(num_items=num_items, num_options=num_options)
+        num_writers = 6
+        chunks = np.array_split(np.arange(users.size), num_writers)
+        errors = []
+        barrier = threading.Barrier(num_writers + 2)
+
+        def writer(chunk):
+            barrier.wait()
+            try:
+                # Many small appends widen the race window on the lazy
+                # matrix invalidation.
+                for start in range(0, chunk.size, 7):
+                    index = chunk[start:start + 7]
+                    session.add_answers(users[index], items[index],
+                                        options[index])
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        def reader():
+            barrier.wait()
+            try:
+                for _ in range(15):
+                    try:
+                        ranking = session.rank("MajorityVote")
+                    except InvalidResponseMatrixError:
+                        # Raced ahead of the very first append: an empty
+                        # crowd is a validation error, not a race.
+                        continue
+                    # A half-applied append would materialize a matrix
+                    # inconsistent with itself; any successful rank must
+                    # cover a plausible prefix of the user population.
+                    assert 0 < ranking.scores.size <= num_users
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=writer, args=(chunk,))
+                   for chunk in chunks]
+        threads += [threading.Thread(target=reader) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert errors == []
+        assert session.num_answers == users.size
+        expected = ResponseMatrix.from_triples(
+            users, items, options, shape=(num_users, num_items),
+            num_options=num_options,
+        )
+        assert session.matrix == expected
+        assert session.content_hash() == expected.content_hash()
+
+    def test_lock_free_stats_during_a_held_lock(self):
+        """stats()/size reads answer while another thread holds the lock."""
+        import threading
+
+        session = CrowdSession(num_items=4, num_options=2)
+        session.add_answers([0, 1], [0, 1], [1, 0])
+        entered = threading.Event()
+        release = threading.Event()
+
+        def hold_lock():
+            with session._state_lock:
+                entered.set()
+                release.wait(timeout=30)
+
+        holder = threading.Thread(target=hold_lock)
+        holder.start()
+        try:
+            assert entered.wait(timeout=10)
+            # These must NOT block on the held lock (the serving front
+            # end reads them from the event loop during solves).
+            done = []
+
+            def probe():
+                stats = session.stats()
+                done.append((session.num_answers, session.num_users, stats))
+
+            prober = threading.Thread(target=probe)
+            prober.start()
+            prober.join(timeout=5)
+            assert not prober.is_alive(), "stats probe blocked on the lock"
+            (num_answers, num_users, stats), = done
+            assert num_answers == 2
+            assert num_users == 2
+            assert stats["num_answers"] == 2
+        finally:
+            release.set()
+            holder.join(timeout=10)

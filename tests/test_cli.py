@@ -290,3 +290,54 @@ class TestRankWarmStart:
         out = capsys.readouterr().out
         assert "appended 30 answers" in out
         assert "rank() call 3" in out
+
+
+class TestServeCommand:
+    def test_serve_arguments_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "8642", "--rate", "100", "--max-queue", "8"]
+        )
+        assert args.port == 8642
+        assert args.rate == 100.0
+        assert args.max_queue == 8
+        assert callable(args.func)
+
+    @pytest.mark.parametrize("argv", [
+        ["serve", "--max-queue", "0"],
+        ["serve", "--solver-threads", "0"],
+        ["serve", "--rate", "-1"],
+        ["serve", "--burst", "0"],
+        ["serve", "--max-sessions", "0"],
+        ["serve", "--max-pending-answers", "0"],
+        ["serve", "--cache-size", "0"],
+        ["serve", "--shards", "0"],
+        ["serve", "--backend", "fused", "--shards", "4"],
+    ])
+    def test_invalid_configuration_exits_2(self, argv, capsys):
+        assert main(argv) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_ready_line_and_shutdown_over_the_wire(self):
+        """The CLI binds, prints READY host/port, and serves until the
+        shutdown op — the contract CI's smoke job builds on."""
+        import re
+        import subprocess
+        import sys as _sys
+
+        proc = subprocess.Popen(
+            [_sys.executable, "-m", "repro.cli", "serve", "--port", "0"],
+            stdout=subprocess.PIPE, text=True,
+        )
+        try:
+            line = proc.stdout.readline().strip()
+            match = re.match(r"READY host=(\S+) port=(\d+)$", line)
+            assert match, "expected a READY line, got %r" % line
+            from repro.serve import ServeClient
+
+            with ServeClient(match.group(1), int(match.group(2))) as client:
+                assert client.ping()["server"] == "repro.serve"
+                client.shutdown()
+            assert proc.wait(timeout=15) == 0
+        finally:
+            if proc.poll() is None:  # pragma: no cover - failure path
+                proc.kill()
