@@ -22,6 +22,14 @@ of magnitude) of the *direct* in-process RankCache hit on the same crowd
 (~37 ms at this scale when the content hash is computed, far less once
 memoized — we measure the same memoized path the server serves).
 
+PR 9 adds the **persistence scenario** (``--persistence``): a server with
+``--store`` ranks the crowd cold, is SIGKILLed once the write-behind tier
+has persisted, and restarts against the same directory — the crowd must
+re-register, and the first post-restart rank must be a bit-identical
+snapshot replay at least ``PERSIST_GATE`` (10x) faster than the cold
+solve, with a follow-up append warm-starting from the pre-restart solver
+state.  The gate is relative and in-run, like the serving gate.
+
 Usage::
 
     python benchmarks/bench_serve.py            # full 200k x 5k, print table
@@ -30,6 +38,11 @@ Usage::
     python benchmarks/bench_serve.py --smoke    # reduced 20k x 1k gate for
                                                 # CI (<60 s, exit 1 on
                                                 # regression)
+    python benchmarks/bench_serve.py --persistence            # restart-warm
+                                                # scenario, full scale
+    python benchmarks/bench_serve.py --persistence --smoke    # CI variant
+    python benchmarks/bench_serve.py --update-persistence     # full run,
+                                                # rewrite BENCH_PR9.json
 """
 
 from __future__ import annotations
@@ -58,10 +71,19 @@ from repro.exceptions import RateLimitedError  # noqa: E402
 from repro.serve import ServeClient  # noqa: E402
 
 RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_PR8.json"
+PERSIST_RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_PR9.json"
 
 #: Served warm-hit p99 must stay within this factor of the direct
 #: in-process cache hit (the ISSUE's order-of-magnitude bound).
 GATE_BOUND = 10.0
+
+#: The first post-restart rank (a disk snapshot replay) must be at least
+#: this many times faster than the cold solve it replaces.
+PERSIST_GATE = 10.0
+
+#: The persistence scenario ranks with the real eigensolve: the gate
+#: compares a ~ms snapshot replay against the full HnD cold solve.
+PERSIST_METHOD = "HnD"
 
 #: The method every serving request uses.  MajorityVote keeps the *solve*
 #: O(nnz)-cheap so the benchmark isolates the serving overheads (wire,
@@ -239,6 +261,142 @@ def _bench_rate_limit() -> Dict[str, int]:
     }
 
 
+def _wait_for_persistence(store_dir: Path, timeout: float = 300.0) -> float:
+    """Poll until the write-behind tier has landed snapshot + crowd.
+
+    Durability is deliberately off the serving latency path (write-behind
+    thread), so the rank reply arriving does NOT mean the files exist yet
+    — a SIGKILL issued immediately could land before the store has
+    anything to replay.  The scenario kills only after both tiers are on
+    disk, which is exactly the contract an operator gets from a graceful
+    drain or a few idle milliseconds.
+    """
+    start = time.perf_counter()
+    index_path = store_dir / "index.json"
+    while time.perf_counter() - start < timeout:
+        # The index is rewritten (atomically) *after* each record/crowd
+        # lands, so an index listing both tiers proves the data files are
+        # whole — scanning the directories instead would race the store's
+        # own temp files.
+        try:
+            index = json.loads(index_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            index = {}
+        if index.get("snapshots") and index.get("crowds"):
+            return time.perf_counter() - start
+        time.sleep(0.05)
+    raise RuntimeError("write-behind persistence did not land within %.0f s"
+                       % timeout)
+
+
+def run_persistence(num_users: int = 200_000, num_items: int = 5_000,
+                    density: float = 0.001, *, smoke: bool = False,
+                    store_dir: str = "persistence-store") -> Dict[str, object]:
+    """The restart-warm scenario: cold solve, SIGKILL, warm restart."""
+    import shutil
+    import signal
+
+    scale = "smoke" if smoke else "full"
+    users, items, options, results = _scenario_crowd(
+        num_users=num_users, num_items=num_items, density=density,
+        scale=scale,
+    )
+    num_options = int(results["num_options"])
+    store = Path(store_dir)
+    if store.exists():
+        shutil.rmtree(store)
+
+    print("persistence: cold server with --store %s ..." % store)
+    server = ServerProcess("--solver-threads", "4", "--store", str(store))
+    killed = False
+    try:
+        with server.client(timeout=1800.0) as client:
+            load_seconds = _load_crowd(client, "durable", users, items,
+                                       options, num_items, num_options)
+            start = time.perf_counter()
+            cold = client.rank("durable", PERSIST_METHOD, random_state=7)
+            cold_seconds = time.perf_counter() - start
+            assert "snapshot_hit" not in cold.meta
+        results["ingest_seconds"] = round(load_seconds, 3)
+        results["persist_cold_rank_seconds"] = round(cold_seconds, 4)
+        print("  ingest %.2f s, cold %s rank %.2f s"
+              % (load_seconds, PERSIST_METHOD, cold_seconds))
+
+        persist_seconds = _wait_for_persistence(store)
+        results["persist_write_behind_seconds"] = round(persist_seconds, 3)
+        print("  write-behind persisted snapshot + crowd after %.2f s"
+              % persist_seconds)
+
+        server.proc.send_signal(signal.SIGKILL)
+        server.proc.wait(timeout=30)
+        killed = True
+        print("  SIGKILLed pid %d" % server.proc.pid)
+    finally:
+        if not killed:
+            server.stop()
+
+    print("persistence: restarted server against the same store ...")
+    start = time.perf_counter()
+    server = ServerProcess("--solver-threads", "4", "--store", str(store))
+    restart_seconds = time.perf_counter() - start
+    try:
+        with server.client(timeout=1800.0) as client:
+            crowds = client.list()
+            names = [entry["name"] for entry in crowds]
+            start = time.perf_counter()
+            warm = client.rank("durable", PERSIST_METHOD, random_state=7)
+            warm_seconds = time.perf_counter() - start
+            identical = bool(np.array_equal(warm.scores, cold.scores))
+
+            # An append after the restart: the pre-kill solver state must
+            # seed the PR 5 warm-start path, not a cold re-solve.
+            client.add_answers("durable", [num_users + 1, num_users + 2],
+                               [0, 0], [1, 2])
+            append = client.rank("durable", PERSIST_METHOD, random_state=7,
+                                 warm_start=True)
+            stats = client.server_stats()
+    finally:
+        server.stop()
+
+    ratio = cold_seconds / max(warm_seconds, 1e-9)
+    results.update({
+        "persist_restart_seconds": round(restart_seconds, 3),
+        "persist_crowds_restored": names,
+        "persist_warm_rank_seconds": round(warm_seconds, 4),
+        "persist_warm_snapshot_hit": bool(warm.meta.get("snapshot_hit")),
+        "persist_warm_bit_identical": identical,
+        "persist_append_warm_start": str(append.meta.get("warm_start")),
+        "persist_disk_hits": int(stats["cache"]["disk_hits"]),
+        "persist_store_snapshots": int(stats["store"]["snapshots"]),
+        "persist_gate": PERSIST_GATE,
+        "gate_warm_vs_cold_speedup": round(ratio, 1),
+    })
+    print("  restart %.2f s, warm rank %.4f s (%.0fx the cold solve)"
+          % (restart_seconds, warm_seconds, ratio))
+
+    failures = []
+    if names != ["durable"]:
+        failures.append("restarted server re-registered %r, expected "
+                        "['durable']" % (names,))
+    if not results["persist_warm_snapshot_hit"]:
+        failures.append("first post-restart rank was not served from a "
+                        "snapshot")
+    if not identical:
+        failures.append("snapshot replay was not bit-identical to the "
+                        "cold solve")
+    if ratio < PERSIST_GATE:
+        failures.append(
+            "post-restart warm rank %.4f s is only %.1fx the cold solve "
+            "(%.2f s); bound is %.0fx"
+            % (warm_seconds, ratio, cold_seconds, PERSIST_GATE))
+    if results["persist_append_warm_start"] != "warm":
+        failures.append(
+            "post-restart append ranked with warm_start=%r, expected "
+            "'warm'" % results["persist_append_warm_start"])
+    results["gate_failures"] = failures
+    return results
+
+
 def run_serve(num_users: int = 200_000, num_items: int = 5_000,
               density: float = 0.001, *, smoke: bool = False) -> Dict[str, object]:
     scale = "smoke" if smoke else "full"
@@ -319,17 +477,31 @@ def run_serve(num_users: int = 200_000, num_items: int = 5_000,
     return results
 
 
-def _print_report(results: Dict[str, object]) -> None:
-    print()
-    print("%-28s %12s" % ("metric", "value"))
-    print("-" * 42)
-    for key in ("num_users", "num_items", "num_answers", "ingest_seconds",
+_REPORT_KEYS = ("num_users", "num_items", "num_answers", "ingest_seconds",
                 "cold_rank_seconds", "direct_hit_p50_ms",
                 "direct_hit_p99_ms", "warm_hit_p50_ms", "warm_hit_p99_ms",
                 "warm_hit_qps", "append_rank_p50_ms", "append_rank_p99_ms",
                 "coalesced_total", "solves_total", "rate_limited_counter",
-                "gate_warm_p99_vs_direct_hit"):
-        print("%-28s %12s" % (key, results.get(key)))
+                "gate_warm_p99_vs_direct_hit")
+
+_PERSIST_REPORT_KEYS = ("num_users", "num_items", "num_answers",
+                        "ingest_seconds", "persist_cold_rank_seconds",
+                        "persist_write_behind_seconds",
+                        "persist_restart_seconds",
+                        "persist_warm_rank_seconds",
+                        "persist_warm_snapshot_hit",
+                        "persist_warm_bit_identical",
+                        "persist_append_warm_start", "persist_disk_hits",
+                        "gate_warm_vs_cold_speedup")
+
+
+def _print_report(results: Dict[str, object],
+                  keys=_REPORT_KEYS) -> None:
+    print()
+    print("%-32s %12s" % ("metric", "value"))
+    print("-" * 46)
+    for key in keys:
+        print("%-32s %12s" % (key, results.get(key)))
 
 
 def main(argv=None) -> int:
@@ -338,7 +510,60 @@ def main(argv=None) -> int:
                         help="reduced 20k x 1k CI gate (<60 s)")
     parser.add_argument("--update", action="store_true",
                         help="rewrite benchmarks/BENCH_PR8.json")
+    parser.add_argument("--persistence", action="store_true",
+                        help="run the restart-warm persistence scenario "
+                             "(SIGKILL + restart against --store-dir) "
+                             "instead of the serving scenario")
+    parser.add_argument("--update-persistence", action="store_true",
+                        help="run the persistence scenario at full scale "
+                             "and rewrite benchmarks/BENCH_PR9.json")
+    parser.add_argument("--store-dir", default="persistence-store",
+                        help="store directory for the persistence scenario "
+                             "(wiped at the start of the run)")
     args = parser.parse_args(argv)
+
+    if args.persistence or args.update_persistence:
+        if args.smoke:
+            results = run_persistence(num_users=20_000, num_items=1_000,
+                                      density=0.01, smoke=True,
+                                      store_dir=args.store_dir)
+        else:
+            results = run_persistence(store_dir=args.store_dir)
+        _print_report(results, keys=_PERSIST_REPORT_KEYS)
+        failures = results.pop("gate_failures")
+        if args.update_persistence:
+            payload = {
+                "environment": {
+                    "python": platform.python_version(),
+                    "numpy": np.__version__,
+                },
+                "protocol": {
+                    "description": (
+                        "A repro.cli serve --store subprocess hosts the "
+                        "canonical 200k x 5k, 1M-answer crowd and solves "
+                        "one cold %s rank; once the write-behind tier has "
+                        "persisted the snapshot and the crowd NPZ, the "
+                        "server is SIGKILLed and restarted against the "
+                        "same directory.  The restarted server must "
+                        "re-register the crowd, serve the first rank as a "
+                        "bit-identical snapshot replay at least %.0fx "
+                        "faster than the cold solve (the relative in-run "
+                        "gate), and warm-start a follow-up append from "
+                        "the pre-kill solver state."
+                        % (PERSIST_METHOD, PERSIST_GATE)
+                    ),
+                },
+                "persistence": results,
+            }
+            PERSIST_RESULTS_PATH.write_text(
+                json.dumps(payload, indent=1, sort_keys=True) + "\n")
+            print("\nwrote %s" % PERSIST_RESULTS_PATH)
+        if failures:
+            for failure in failures:
+                print("GATE FAILURE:", failure, file=sys.stderr)
+            return 1
+        print("\nall persistence gates passed")
+        return 0
 
     if args.smoke:
         # Density is raised so the crowd still carries 200k answers: the

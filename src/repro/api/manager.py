@@ -17,10 +17,16 @@ bookkeeping, once:
   them, so "this deployment ranks through 8-thread shards" is said once.
 * an **LRU bound** on resident sessions — every ``get``/``create``
   touch refreshes recency, and creating past ``max_sessions`` evicts the
-  least recently used crowd (sessions are in-memory state; an evicted
-  crowd is gone, counted in ``stats()['evictions']``, and a later request
-  for it raises :class:`UnknownCrowdError` — the durable-state tier in the
-  ROADMAP is what will make eviction cheap).
+  least recently used crowd (counted in ``stats()['evictions']``).
+  Without a store, an evicted crowd is gone and a later request raises
+  :class:`UnknownCrowdError`.  With ``store=`` (the durable tier), a
+  manager *restores*: persisted crowds re-register at construction (a
+  restarted server comes back knowing its crowds), an evicted-but-
+  persisted crowd is transparently reloaded on the next ``get``/
+  ``create`` (counted in ``stats()['restored']``), and eviction is
+  therefore cheap — it sheds memory, not state.  ``drop`` removes the
+  durable state too: drop-and-recreate is the recovery path for a
+  poisoned crowd, and must not resurrect the bad data.
 
 Both the ``repro.serve`` front end and the CLI route through this class,
 and it is thread-safe: the registry map is guarded by its own lock, and
@@ -40,12 +46,15 @@ from __future__ import annotations
 import difflib
 import threading
 from collections import OrderedDict
-from typing import Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 
 from repro.api.execution import ExecutionPolicy
 from repro.api.session import CrowdSession
 from repro.engine.cache import RankCache
 from repro.exceptions import CrowdExistsError, UnknownCrowdError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store import SnapshotStore
 
 
 class SessionManager:
@@ -62,6 +71,12 @@ class SessionManager:
     cache_size:
         Default per-session :class:`RankCache` capacity (the
         :class:`CrowdSession` default when omitted).
+    store:
+        Optional :class:`~repro.store.SnapshotStore` durable tier.  At
+        construction, persisted crowds re-register (most recently saved
+        first, up to ``max_sessions``); afterwards, sessions are created
+        store-backed, misses try a restore before raising, and ``drop``
+        removes durable state.
     """
 
     def __init__(
@@ -70,6 +85,7 @@ class SessionManager:
         max_sessions: int = 64,
         execution: Optional[ExecutionPolicy] = None,
         cache_size: Optional[int] = None,
+        store: "Optional[SnapshotStore]" = None,
     ) -> None:
         if int(max_sessions) < 1:
             raise ValueError(
@@ -78,11 +94,49 @@ class SessionManager:
         self.max_sessions = int(max_sessions)
         self.execution = execution
         self.cache_size = cache_size
+        self.store = store
         self._sessions: "OrderedDict[str, CrowdSession]" = OrderedDict()
         self._lock = threading.Lock()
         self._evictions = 0
         self._created = 0
         self._dropped = 0
+        self._restored = 0
+        if store is not None:
+            # Re-register what survived the last process: most recently
+            # saved first, so when the durable set exceeds the resident
+            # bound, the crowds most likely to be asked for come back warm
+            # (the rest restore lazily on demand).
+            with self._lock:
+                for name in store.crowd_names()[: self.max_sessions]:
+                    self._restore_locked(name)
+
+    def _restore_locked(self, name: str) -> Optional[CrowdSession]:
+        """Reload one persisted crowd into residency (caller holds lock).
+
+        A crowd that fails to load (corrupt NPZ, hash mismatch — the
+        store logged why) is treated as absent: restoring degrades, never
+        raises.
+        """
+        if self.store is None:
+            return None
+        try:
+            session = CrowdSession.restore(
+                self.store,
+                name,
+                execution=self.execution,
+                cache=self.cache_size,
+            )
+        except Exception:  # a poisoned persisted crowd must not kill startup
+            return None
+        if session is None:
+            return None
+        self._sessions[name] = session
+        self._sessions.move_to_end(name)
+        self._restored += 1
+        while len(self._sessions) > self.max_sessions:
+            self._sessions.popitem(last=False)
+            self._evictions += 1
+        return session
 
     # ------------------------------------------------------------------ #
     # Registry surface
@@ -111,6 +165,12 @@ class SessionManager:
                              % (name,))
         with self._lock:
             existing = self._sessions.get(name)
+            if existing is None and self.store is not None:
+                # A persisted crowd *exists* even when not resident:
+                # creating over it must behave like creating over a
+                # resident one (idempotent with exist_ok, an error
+                # without), never silently shadow the durable data.
+                existing = self._restore_locked(name)
             if existing is not None:
                 if exist_ok:
                     self._sessions.move_to_end(name)
@@ -125,6 +185,8 @@ class SessionManager:
             session = CrowdSession(
                 execution=execution if execution is not None else self.execution,
                 cache=cache,
+                store=self.store,
+                name=name if self.store is not None else None,
                 **session_kwargs,
             )
             self._sessions[name] = session
@@ -137,13 +199,20 @@ class SessionManager:
     def get(self, name: str) -> CrowdSession:
         """The session under ``name``; :class:`UnknownCrowdError` otherwise.
 
-        A hit refreshes the crowd's LRU recency.
+        A hit refreshes the crowd's LRU recency.  With a store, a miss
+        tries a restore first — an evicted-but-persisted crowd reloads
+        transparently instead of erroring (this is what makes the LRU
+        bound cheap).
         """
         with self._lock:
             session = self._sessions.get(name)
             if session is not None:
                 self._sessions.move_to_end(name)
                 return session
+            if self.store is not None:
+                session = self._restore_locked(name)
+                if session is not None:
+                    return session
             resident = list(self._sessions)
         close = difflib.get_close_matches(str(name), resident, n=3, cutoff=0.4)
         hint = ("; did you mean %s?" % " or ".join(repr(c) for c in close)
@@ -161,6 +230,15 @@ class SessionManager:
         """
         with self._lock:
             dropped = self._sessions.pop(name, None) is not None
+            if self.store is not None:
+                # The durable state goes with the resident state: dropping
+                # is the recovery path for a poisoned crowd, and a later
+                # create must start empty, not resurrect the old answers.
+                # Drain the write-behind queue first — a save this crowd's
+                # last rank deferred must land *before* the removal, not
+                # after it (which would resurrect the dropped data).
+                self.store.flush()
+                dropped = self.store.drop_crowd(name) or dropped
             if dropped:
                 self._dropped += 1
             return dropped
@@ -201,13 +279,14 @@ class SessionManager:
         ]
 
     def stats(self) -> Dict[str, int]:
-        """Counters: ``resident`` / ``created`` / ``dropped`` / ``evictions``."""
+        """Counters: ``resident``/``created``/``dropped``/``evictions``/``restored``."""
         with self._lock:
             return {
                 "resident": len(self._sessions),
                 "created": self._created,
                 "dropped": self._dropped,
                 "evictions": self._evictions,
+                "restored": self._restored,
             }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -31,7 +31,7 @@ a :class:`~repro.engine.cache.RankCache` — and keeps them consistent:
 from __future__ import annotations
 
 import threading
-from typing import Dict, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Union
 
 import numpy as np
 
@@ -45,6 +45,9 @@ from repro.core.response import ResponseBuilder, ResponseMatrix
 from repro.core.solver_state import SolverState
 from repro.engine.cache import RankCache
 from repro.exceptions import InvalidResponseMatrixError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store import SnapshotStore
 
 
 class CrowdSession:
@@ -88,7 +91,20 @@ class CrowdSession:
         (fused single-process when omitted).
     cache:
         The session's :class:`RankCache`, or an ``int`` capacity for a
-        fresh one (default 128 entries).
+        fresh one (default 128 entries).  A fresh cache is built over
+        ``store`` when one is given; an explicit :class:`RankCache` is
+        used as-is (attach the store to it yourself if you want the disk
+        tier).
+    store:
+        Optional :class:`~repro.store.SnapshotStore`: rankings persist as
+        snapshots through the cache, and — when ``name`` is also given —
+        the crowd's triples persist after each rank of a changed crowd
+        (write-behind, off the critical path), so the crowd itself
+        survives a restart.  See :meth:`restore`.
+    name:
+        The crowd's durable name inside ``store``.  Without it the
+        session still snapshots rankings (they are content-addressed,
+        name-free) but the triples are not persisted.
     """
 
     def __init__(
@@ -99,6 +115,8 @@ class CrowdSession:
         num_users: Optional[int] = None,
         execution: Optional[ExecutionPolicy] = None,
         cache: Optional[Union[RankCache, int]] = None,
+        store: "Optional[SnapshotStore]" = None,
+        name: Optional[str] = None,
     ) -> None:
         self._builder = ResponseBuilder(num_items=num_items, num_options=num_options)
         self._min_users = None if num_users is None else int(num_users)
@@ -106,7 +124,13 @@ class CrowdSession:
         if isinstance(cache, RankCache):
             self.cache = cache
         else:
-            self.cache = RankCache(maxsize=cache) if cache is not None else RankCache()
+            maxsize = 128 if cache is None else cache
+            self.cache = RankCache(maxsize=maxsize, store=store)
+        self.store = store
+        self.name = name
+        # Content hash of the last crowd state handed to the store, so an
+        # unchanged crowd is never re-persisted.
+        self._persisted_hash: Optional[str] = None
         self._matrix: Optional[ResponseMatrix] = None
         # Reentrant: rank() holds the lock across the matrix property and
         # the nested top_k -> rank path.  See the class docstring for the
@@ -130,6 +154,31 @@ class CrowdSession:
             **kwargs,
         )
         session.add_answers(users, items, options)
+        return session
+
+    @classmethod
+    def restore(
+        cls, store: "SnapshotStore", name: str, **kwargs
+    ) -> "Optional[CrowdSession]":
+        """Rebuild the persisted crowd ``name`` from ``store``, or ``None``.
+
+        The triples reload through the canonical NPZ path (a restored
+        session materializes hash-equal to the pre-restart crowd), and the
+        restored content hash seeds both the warm-start lineage and the
+        persisted-hash watermark — so the first post-restart rank of
+        unchanged data is an exact snapshot hit, the first rank after an
+        append warm-starts from the stored solver state, and an unchanged
+        crowd is not immediately re-persisted.  A missing *or corrupt*
+        persisted crowd answers ``None`` (the store already logged why):
+        restoring can degrade to a cold, empty start but never fail.
+        """
+        matrix = store.load_crowd(name)
+        if matrix is None:
+            return None
+        session = cls.from_matrix(matrix, store=store, name=name, **kwargs)
+        restored_hash = matrix.content_hash()
+        session._ranked_hashes.add(restored_hash)
+        session._persisted_hash = restored_hash
         return session
 
     # ------------------------------------------------------------------ #
@@ -255,7 +304,21 @@ class CrowdSession:
                             cache=self.cache, init_state=init_state, **params)
             # Record this crowd state in the warm-start lineage (the digest
             # is memoized on the matrix, so this costs a dict insert).
-            self._ranked_hashes.add(self.matrix.content_hash())
+            current_hash = self.matrix.content_hash()
+            self._ranked_hashes.add(current_hash)
+            if (
+                self.store is not None
+                and self.name is not None
+                and current_hash != self._persisted_hash
+            ):
+                # Persist the crowd that was just ranked, behind the solve:
+                # the matrix object is immutable (an append builds a new
+                # one), so handing it to the write-behind thread is safe,
+                # and the watermark keeps an unchanged crowd from being
+                # re-saved on every rank.
+                store, name, matrix = self.store, self.name, self._matrix
+                self._persisted_hash = current_hash
+                store.defer(lambda: store.save_crowd(name, matrix))
         return ranking
 
     def _warm_state(self, method: str, params: Dict[str, object]) -> Optional[SolverState]:

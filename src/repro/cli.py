@@ -348,7 +348,12 @@ def command_rank(args: argparse.Namespace) -> int:
                     file=sys.stderr,
                 )
                 return 2
-    cache = RankCache(maxsize=args.cache_size)
+    store = None
+    if args.store is not None:
+        from repro.store import SnapshotStore
+
+        store = SnapshotStore(args.store)
+    cache = RankCache(maxsize=args.cache_size, store=store)
     try:
         policy = ExecutionPolicy(
             backend=args.backend,
@@ -407,7 +412,7 @@ def command_rank(args: argparse.Namespace) -> int:
                 appended = _append_random_answers(session, args.append, rng)
                 print("appended %d answers (crowd now %s answers)"
                       % (appended, format(session.num_answers, ",")))
-            before = cache.stats()["hits"]
+            before = cache.stats()
             start = time.perf_counter()
             if session is not None:
                 ranking = session.rank(args.method,
@@ -416,7 +421,13 @@ def command_rank(args: argparse.Namespace) -> int:
                 ranking = api_rank(response, args.method, execution=policy,
                                    **params)
             elapsed = time.perf_counter() - start
-            served = "cache hit" if cache.stats()["hits"] > before else "computed"
+            after = cache.stats()
+            if after["hits"] > before["hits"]:
+                served = "cache hit"
+            elif after["disk_hits"] > before["disk_hits"]:
+                served = "snapshot hit"
+            else:
+                served = "computed"
             detail = ""
             if served == "computed":
                 iterations = ranking.diagnostics.get("iterations")
@@ -438,6 +449,14 @@ def command_rank(args: argparse.Namespace) -> int:
         print("error:", error, file=sys.stderr)
         return 2
     print("cache stats:", cache.stats())
+    if store is not None:
+        # Drain the write-behind queue so the next invocation (or a
+        # `store ls`) sees everything this run computed.
+        store.close()
+        print("store stats:", {
+            key: value for key, value in store.stats().items()
+            if key in ("snapshots", "bytes", "writes", "hits", "misses")
+        })
 
     top = ranking.top_users(args.top)
     rows = [
@@ -494,6 +513,7 @@ def command_serve(args: argparse.Namespace) -> int:
             max_sessions=args.max_sessions,
             execution=policy,
             cache_size=args.cache_size,
+            store_dir=args.store,
         )
     except ValueError as error:
         print("error:", error, file=sys.stderr)
@@ -636,6 +656,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="rows per streamed ingestion chunk")
     rank.add_argument("--cache-size", type=int, default=16,
                       help="rank-cache capacity (LRU entries)")
+    rank.add_argument("--store", default=None, metavar="DIR",
+                      help="durable snapshot store directory: computed "
+                           "rankings persist there and later invocations on "
+                           "unchanged data are served as ~ms snapshot hits "
+                           "(bit-identical scores) instead of re-solving")
     rank.set_defaults(func=command_rank)
 
     serve = subparsers.add_parser(
@@ -674,7 +699,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-crowd bound on buffered (unflushed) answers")
     serve.add_argument("--cache-size", type=int, default=None,
                        help="per-crowd rank-cache capacity (LRU entries)")
+    serve.add_argument("--store", default=None, metavar="DIR",
+                       help="durable store directory: crowds and rankings "
+                            "persist there, and a restarted server "
+                            "re-registers its crowds and serves the first "
+                            "rank warm (see the README's durable-state "
+                            "walkthrough)")
     serve.set_defaults(func=command_serve)
+
+    from repro.store.cli import register_store_parser
+
+    register_store_parser(subparsers)
 
     return parser
 

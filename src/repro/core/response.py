@@ -53,6 +53,7 @@ from __future__ import annotations
 
 import hashlib
 import re
+import threading
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple, Union
 
@@ -453,6 +454,8 @@ class ResponseMatrix:
         self._num_options = np.asarray(per_item, dtype=int)
 
         # Lazily computed caches.
+        self._content_hash_memo: Optional[str] = None
+        self._content_hash_lock = threading.Lock()
         self._dense_choices: Optional[np.ndarray] = dense
         self._column_offsets: Optional[np.ndarray] = None
         self._compiled: Optional[CompiledResponse] = None
@@ -1140,6 +1143,18 @@ class ResponseMatrix:
             and np.array_equal(self._options, other._options)
         )
 
+    def __getstate__(self) -> dict:
+        # The memo lock is not picklable; drop it (and the memo itself,
+        # which the receiving process recomputes on demand).
+        state = dict(self.__dict__)
+        state.pop("_content_hash_lock", None)
+        state["_content_hash_memo"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._content_hash_lock = threading.Lock()
+
     def __hash__(self) -> int:
         return hash((
             self._m,
@@ -1161,16 +1176,31 @@ class ResponseMatrix:
         the canonical state is immutable, and cache lookups plus the
         session's warm-start lineage tracking may hash the same instance
         several times per ``rank()`` call.
+
+        The memoization is **compute-once under a lock**: the digest is a
+        pure function of immutable state, so a duplicate computation was
+        always benign — but with the durable store's write-behind thread
+        hashing the same instances the serving threads do, racing the
+        first computation would burn ``O(nnz)`` per loser on the largest
+        matrices.  Double-checked: the fast path after memoization is one
+        attribute read, no lock.
         """
-        memo = getattr(self, "_content_hash_memo", None)
+        memo = self._content_hash_memo
         if memo is None:
-            digest = hashlib.blake2b(digest_size=16)
-            digest.update(np.array([self._m, self._n], dtype=np.int64).tobytes())
-            digest.update(self._num_options.astype(np.int64, copy=False).tobytes())
-            for array in (self._users, self._items, self._options):
-                digest.update(array.tobytes())
-            memo = digest.hexdigest()
-            self._content_hash_memo = memo
+            with self._content_hash_lock:
+                memo = self._content_hash_memo
+                if memo is None:
+                    digest = hashlib.blake2b(digest_size=16)
+                    digest.update(
+                        np.array([self._m, self._n], dtype=np.int64).tobytes()
+                    )
+                    digest.update(
+                        self._num_options.astype(np.int64, copy=False).tobytes()
+                    )
+                    for array in (self._users, self._items, self._options):
+                        digest.update(array.tobytes())
+                    memo = digest.hexdigest()
+                    self._content_hash_memo = memo
         return memo
 
 

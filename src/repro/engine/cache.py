@@ -29,13 +29,23 @@ of the LRU accounting, evicted together — and :meth:`RankCache.latest_state`
 is how :class:`~repro.api.session.CrowdSession` finds the newest
 same-fingerprint state to warm-start from after an append makes the
 content hash stale.
+
+With a :class:`~repro.store.SnapshotStore` attached (``store=``), the LRU
+gains a disk tier: a memory miss consults the store before solving (a hit
+is promoted into the LRU and returns the exact stored scores — bit
+identity crosses process restarts), and every computed entry is written
+back **behind** the solve on the store's write-behind thread, so
+durability never sits on the serving latency path.  Corrupt or foreign
+records are the store's problem by contract: its lookups return ``None``
+(fall back cold) rather than raising, so attaching a store can never make
+``rank()`` fail.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import AbstractSet, Dict, Optional, Tuple, Union
+from typing import TYPE_CHECKING, AbstractSet, Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -44,6 +54,9 @@ from repro.core.ranking import AbilityRanker, AbilityRanking
 from repro.core.response import ResponseMatrix
 from repro.core.solver_state import SolverState
 from repro.engine.sharding import ShardedResponse
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store import SnapshotStore
 
 RankInput = Union[ResponseMatrix, ShardedResponse]
 
@@ -155,15 +168,24 @@ class RankCache:
     ----------
     maxsize:
         Entries kept; the least recently used entry is evicted beyond it.
+    store:
+        Optional :class:`~repro.store.SnapshotStore` disk tier: memory
+        misses consult it (hits are promoted into the LRU), computed
+        entries are written back behind the solve, and
+        :meth:`latest_state` falls through to its records.
     """
 
-    def __init__(self, maxsize: int = 128) -> None:
+    def __init__(
+        self, maxsize: int = 128, store: "Optional[SnapshotStore]" = None
+    ) -> None:
         if maxsize < 1:
             raise ValueError("maxsize must be >= 1, got %d" % maxsize)
         self.maxsize = maxsize
+        self.store = store
         self.hits = 0
         self.misses = 0
         self.bypasses = 0
+        self.disk_hits = 0
         self._entries: "OrderedDict[Tuple, AbilityRanking]" = OrderedDict()
         self._lock = threading.Lock()
 
@@ -206,13 +228,36 @@ class RankCache:
                 self.hits += 1
                 return cached
             self.misses += 1
+        if self.store is not None:
+            # Disk tier: an exact stored answer (bit-identical scores, the
+            # producing solver state riding along) beats recomputing.  The
+            # store absorbs every failure mode as a miss, so this lookup
+            # cannot raise.
+            record = self.store.get_snapshot(key[0], key[1])
+            if record is not None:
+                ranking = record.to_ranking()
+                self._insert(key, ranking)
+                with self._lock:
+                    self.disk_hits += 1
+                return ranking
         ranking = ranker.rank(response)
+        self._insert(key, ranking)
+        if self.store is not None:
+            # Write-behind: durability off the critical path.  The ranking
+            # is immutable once returned, so handing it to the store's
+            # worker thread is safe.
+            store, content_hash, fingerprint = self.store, key[0], key[1]
+            store.defer(lambda: store.put_snapshot(
+                ranking, content_hash=content_hash, fingerprint=fingerprint,
+            ))
+        return ranking
+
+    def _insert(self, key: Tuple, ranking: AbilityRanking) -> None:
         with self._lock:
             self._entries[key] = ranking
             self._entries.move_to_end(key)
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
-        return ranking
 
     def latest_state(
         self,
@@ -248,19 +293,26 @@ class RankCache:
                 state = getattr(self._entries[key], "state", None)
                 if state is not None:
                     return state
+        if self.store is not None:
+            # Disk fallthrough: after a restart the LRU is empty, but the
+            # store still holds the pre-restart states — same fingerprint
+            # match, same lineage restriction.
+            return self.store.latest_state(fingerprint, hashes=hashes)
         return None
 
     def clear(self) -> None:
+        """Drop the in-memory entries (the disk tier is not touched)."""
         with self._lock:
             self._entries.clear()
-            self.hits = self.misses = self.bypasses = 0
+            self.hits = self.misses = self.bypasses = self.disk_hits = 0
 
     def stats(self) -> Dict[str, int]:
-        """Counters: ``hits`` / ``misses`` / ``bypasses`` / ``size``."""
+        """Counters: ``hits``/``misses``/``bypasses``/``disk_hits``/``size``."""
         with self._lock:
             return {
                 "hits": self.hits,
                 "misses": self.misses,
                 "bypasses": self.bypasses,
+                "disk_hits": self.disk_hits,
                 "size": len(self._entries),
             }

@@ -178,6 +178,28 @@ class ServerOverloadedError(ServeError):
         self.retry_after = retry_after
 
 
+class SnapshotError(ReproError):
+    """A durable-store record failed validation and cannot be trusted.
+
+    Raised by :mod:`repro.store` when a snapshot or persisted crowd fails
+    any integrity check: bad magic, an unknown schema version, a checksum
+    mismatch (bit flips), a truncated or zero-length file, a malformed
+    header, or a record whose recorded identity does not match the key it
+    was looked up under (a foreign or tampered record).
+
+    The store's public lookups catch this internally and **fall back
+    cold** — a corrupt record is logged, counted, removed, and treated as
+    a miss — so a :class:`SnapshotError` never escapes ``rank()``; it can
+    only surface through the explicit maintenance surfaces
+    (``repro.cli store verify``) that exist to find exactly these files.
+    ``path`` carries the offending file when one is known.
+    """
+
+    def __init__(self, message: str, *, path: object = None) -> None:
+        super().__init__(message)
+        self.path = path
+
+
 class NotC1PError(ReproError):
     """Raised when a matrix is required to have the consecutive ones property
     (after row permutation) but does not."""

@@ -126,6 +126,13 @@ class ServeConfig:
         Default :class:`ExecutionPolicy` for crowds the server creates.
     cache_size:
         Per-crowd rank-cache capacity (session default when ``None``).
+    store_dir:
+        Optional durable-store directory.  When set (and the server
+        builds its own manager), crowds and rankings persist to a
+        :class:`~repro.store.SnapshotStore` there, persisted crowds
+        re-register on startup, and the first post-restart rank of
+        unchanged data is served from a snapshot — see the README's
+        "Durable state" walkthrough.
     allow_shutdown:
         Whether the wire ``shutdown`` op stops the server (the remote
         worker's convention; disable for fleets where only the operator
@@ -146,6 +153,7 @@ class ServeConfig:
     max_request_bytes: int = 256 << 20
     execution: Optional[ExecutionPolicy] = None
     cache_size: Optional[int] = None
+    store_dir: Optional[str] = None
     allow_shutdown: bool = True
     overload_retry_after: float = 0.5
 
@@ -281,11 +289,22 @@ class CrowdServer:
         config: Optional[ServeConfig] = None,
     ) -> None:
         self.config = config if config is not None else ServeConfig()
-        self.manager = manager if manager is not None else SessionManager(
-            max_sessions=self.config.max_sessions,
-            execution=self.config.execution,
-            cache_size=self.config.cache_size,
-        )
+        self._owned_store = None
+        if manager is not None:
+            self.manager = manager
+        else:
+            store = None
+            if self.config.store_dir is not None:
+                from repro.store import SnapshotStore
+
+                store = SnapshotStore(self.config.store_dir)
+                self._owned_store = store
+            self.manager = SessionManager(
+                max_sessions=self.config.max_sessions,
+                execution=self.config.execution,
+                cache_size=self.config.cache_size,
+                store=store,
+            )
         self.stats = ServerStats()
         self.host: Optional[str] = None
         self.port: Optional[int] = None
@@ -326,6 +345,14 @@ class CrowdServer:
             # safely mid-iteration).
             self._executor.shutdown(wait=True, cancel_futures=True)
             self._executor = None
+        store = getattr(self.manager, "store", None)
+        if store is not None:
+            # Drain the write-behind queue so a clean shutdown leaves every
+            # computed snapshot on disk; only a store this server built is
+            # closed (an injected manager may outlive us).
+            store.flush()
+            if store is self._owned_store:
+                store.close()
 
     async def serve_forever(self) -> None:
         """Serve until the wire ``shutdown`` op (or :meth:`aclose`)."""
@@ -610,6 +637,11 @@ class CrowdServer:
         warm_mode = ranking.diagnostics.get("warm_start")
         if request.warm_start and warm_mode is not None:
             meta["warm_start"] = warm_mode
+        if ranking.diagnostics.get("snapshot_hit"):
+            # Served from the durable store (post-restart warm path): the
+            # client — and the persistence benchmark — can tell a ~ms
+            # snapshot replay from a fresh solve.
+            meta["snapshot_hit"] = True
         if request.op == "top_k":
             top = ranking.top_users(request.count)
             arrays = {
@@ -630,7 +662,7 @@ class CrowdServer:
         (the rank caches' own stats locks are never held across a solve),
         so this answers instantly even while every solver thread grinds.
         """
-        cache = {"hits": 0, "misses": 0, "bypasses": 0}
+        cache = {"hits": 0, "misses": 0, "bypasses": 0, "disk_hits": 0}
         crowds = []
         for name, entry in list(self._crowds.items()):
             if name not in self.manager:
@@ -647,6 +679,8 @@ class CrowdServer:
             })
         lookups = cache["hits"] + cache["misses"]
         cache["hit_rate"] = cache["hits"] / lookups if lookups else 0.0
+        store = getattr(self.manager, "store", None)
+        store_stats = store.stats() if store is not None else None
         return {
             "v": PROTOCOL_VERSION,
             "counters": self.stats.snapshot(),
@@ -658,6 +692,7 @@ class CrowdServer:
             },
             "sessions": self.manager.stats(),
             "cache": cache,
+            "store": store_stats,
             "crowds": crowds,
             "uptime": time.monotonic() - self._started,
         }

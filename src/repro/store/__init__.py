@@ -1,0 +1,50 @@
+"""Durable state tier: content-addressed snapshots that survive restarts.
+
+The serving stack's most expensive artifacts — converged solver iterates,
+ranked scores, and the crowds themselves — used to live only in process
+memory.  :class:`SnapshotStore` is the disk tier beneath them:
+
+* :class:`~repro.engine.cache.RankCache` built with ``store=`` promotes
+  disk hits into its in-memory LRU and writes new entries back behind the
+  solve (see :mod:`repro.store.writeback`);
+* :class:`~repro.api.session.CrowdSession` persists its triples through
+  the canonical NPZ format, so a crowd restores after a restart with its
+  warm-start lineage seeded;
+* :class:`~repro.api.manager.SessionManager` / ``repro.cli serve --store``
+  re-register persisted crowds on startup and serve the first rank warm
+  (a ~ms snapshot hit on unchanged data, the PR 5 warm-start path after
+  an append).
+
+Integrity discipline: atomic temp-then-rename writes, per-record BLAKE2b
+checksums with a schema version (:mod:`repro.store.format`), a
+rebuildable index file driving TTL + size-bounded LRU eviction
+(:mod:`repro.store.index`), and a load path where every defect becomes a
+logged, counted, *contained* :class:`~repro.exceptions.SnapshotError` —
+the stack above falls back cold, never hangs, never serves a wrong
+answer.
+"""
+
+from repro.store.format import (
+    SCHEMA_VERSION,
+    SnapshotRecord,
+    decode_snapshot,
+    encode_snapshot,
+    fingerprint_digest,
+    snapshot_key,
+)
+from repro.store.index import StoreIndex
+from repro.store.snapshot import DEFAULT_MAX_BYTES, SnapshotStore
+from repro.store.writeback import WriteBehind
+
+__all__ = [
+    "DEFAULT_MAX_BYTES",
+    "SCHEMA_VERSION",
+    "SnapshotRecord",
+    "SnapshotStore",
+    "StoreIndex",
+    "WriteBehind",
+    "decode_snapshot",
+    "encode_snapshot",
+    "fingerprint_digest",
+    "snapshot_key",
+]

@@ -1,0 +1,665 @@
+"""``SnapshotStore``: the disk tier behind caches, sessions, and servers.
+
+A store is one directory::
+
+    <root>/
+      index.json          eviction metadata (derived, rebuildable)
+      snapshots/          <content_hash>-<fingerprint_digest>.snap records
+      crowds/             <slug>.npz crowd triples + <slug>.json sidecars
+
+Records are content-addressed: the key is ``(matrix content hash, ranker
+fingerprint digest)``, the same pair the in-memory
+:class:`~repro.engine.cache.RankCache` keys on, so "is this exact answer
+already on disk" is one ``O(nnz)`` hash plus a file read — and a hit
+returns the **exact stored scores** (bit-identity is untouched by the
+durable tier).
+
+Durability discipline, in one sentence each:
+
+* **Atomic writes** — every file (record, crowd NPZ, sidecar, index) is
+  written to a ``.tmp-*`` name in its final directory and
+  :func:`os.replace`'d into place, so a reader sees the old state or the
+  new state, never a torn file; a kill mid-write leaves only a temp file,
+  reaped on the next open.
+* **Checksums** — records carry a BLAKE2b payload digest (see
+  :mod:`repro.store.format`); crowd NPZs are validated by re-hashing the
+  loaded matrix against the sidecar's recorded content hash.
+* **Typed, contained failure** — every load-path defect (truncated,
+  bit-flipped, zero-length, unknown schema version, foreign record)
+  becomes a :class:`~repro.exceptions.SnapshotError` *internally*, is
+  logged and counted, removes the bad file, and surfaces to the caller as
+  a plain miss: the stack above falls back cold, never hangs, never
+  serves a wrong answer.
+* **Bounded** — ``gc()`` (and every write) enforces a TTL and a
+  size/count LRU bound over the snapshot records via the index file.
+
+The store is thread-safe behind one lock but **single-writer by design**:
+one serving process owns a store directory at a time (the temp-file
+reaping on open assumes no concurrent writer), matching how
+``repro.cli serve --store`` deploys it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import logging
+import os
+import re
+import threading
+import time
+from pathlib import Path
+from typing import AbstractSet, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.ranking import AbilityRanking
+from repro.core.response import ResponseMatrix
+from repro.core.solver_state import SolverState
+from repro.exceptions import SnapshotError
+from repro.store import format as record_format
+from repro.store.format import SnapshotRecord, fingerprint_digest
+from repro.store.index import StoreIndex
+from repro.store.writeback import WriteBehind
+
+logger = logging.getLogger("repro.store")
+
+SNAPSHOT_SUFFIX = ".snap"
+_TMP_PREFIX = ".tmp-"
+
+#: Default LRU bound on the snapshot records (crowd NPZs are explicit
+#: state — created by name, removed by ``drop`` — and are not evicted).
+DEFAULT_MAX_BYTES = 2 << 30
+
+
+def _crowd_slug(name: str) -> str:
+    """Filesystem-safe, collision-free file stem for a crowd name."""
+    safe = re.sub(r"[^A-Za-z0-9._-]+", "_", name)[:48].strip("._") or "crowd"
+    digest = hashlib.blake2b(name.encode("utf-8"), digest_size=8).hexdigest()
+    return "%s-%s" % (safe, digest)
+
+
+class SnapshotStore:
+    """Content-addressed snapshot + crowd persistence over one directory.
+
+    Parameters
+    ----------
+    root:
+        Store directory; created (with parents) if absent.
+    max_bytes:
+        LRU bound on total snapshot-record bytes (``None`` = unbounded;
+        default 2 GiB).  Enforced on every write and by :meth:`gc`.
+    max_records:
+        LRU bound on the snapshot-record count (``None`` = unbounded).
+    ttl:
+        Seconds after which a record *expires* (eligible for removal by
+        :meth:`gc` and skipped by lookups); ``None`` disables expiry.
+    clock:
+        Time source (injectable for tests); defaults to :func:`time.time`.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        *,
+        max_bytes: Optional[int] = DEFAULT_MAX_BYTES,
+        max_records: Optional[int] = None,
+        ttl: Optional[float] = None,
+        clock=time.time,
+    ) -> None:
+        if max_bytes is not None and int(max_bytes) < 1:
+            raise ValueError("max_bytes must be >= 1 or None, got %r"
+                             % (max_bytes,))
+        if max_records is not None and int(max_records) < 1:
+            raise ValueError("max_records must be >= 1 or None, got %r"
+                             % (max_records,))
+        if ttl is not None and float(ttl) <= 0:
+            raise ValueError("ttl must be > 0 seconds or None, got %r"
+                             % (ttl,))
+        self.root = Path(root)
+        self.max_bytes = None if max_bytes is None else int(max_bytes)
+        self.max_records = None if max_records is None else int(max_records)
+        self.ttl = None if ttl is None else float(ttl)
+        self._clock = clock
+        self._snapshots_dir = self.root / "snapshots"
+        self._crowds_dir = self.root / "crowds"
+        self._index_path = self.root / "index.json"
+        self._lock = threading.RLock()
+        self._writeback = WriteBehind()
+        self._tmp_counter = 0
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+        self.evictions = 0
+        self.expirations = 0
+        self.writes = 0
+        self.crowd_saves = 0
+        self.crowd_loads = 0
+
+        self._snapshots_dir.mkdir(parents=True, exist_ok=True)
+        self._crowds_dir.mkdir(parents=True, exist_ok=True)
+        reaped = self._reap_tmp_files()
+        if reaped:
+            logger.info("reaped %d interrupted temp file(s) under %s",
+                        reaped, self.root)
+        index = StoreIndex.load(self._index_path)
+        self._index = index if index is not None else self._rebuild_index()
+
+    # ------------------------------------------------------------------ #
+    # Directory plumbing
+    # ------------------------------------------------------------------ #
+    def _reap_tmp_files(self) -> int:
+        """Remove leftovers of interrupted writes (single-writer contract)."""
+        reaped = 0
+        for directory in (self.root, self._snapshots_dir, self._crowds_dir):
+            for leftover in directory.glob(_TMP_PREFIX + "*"):
+                try:
+                    leftover.unlink()
+                    reaped += 1
+                except OSError:  # pragma: no cover - racing cleanup
+                    pass
+        return reaped
+
+    def _tmp_name(self, directory: Path, suffix: str = "") -> Path:
+        with self._lock:
+            self._tmp_counter += 1
+            counter = self._tmp_counter
+        return directory / ("%s%d-%d%s" % (_TMP_PREFIX, os.getpid(), counter,
+                                           suffix))
+
+    def _atomic_write(self, path: Path, data: bytes) -> None:
+        """Write-to-temp, flush to disk, then :func:`os.replace` into place."""
+        tmp = self._tmp_name(path.parent)
+        with tmp.open("wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+
+    def _snapshot_path(self, key: str) -> Path:
+        return self._snapshots_dir / (key + SNAPSHOT_SUFFIX)
+
+    def _rebuild_index(self) -> StoreIndex:
+        """Re-derive ``index.json`` by scanning the record files.
+
+        Unreadable records found during the scan are quarantined (deleted
+        and counted) — the rebuild leaves a store whose every entry loads.
+        """
+        index = StoreIndex()
+        for path in sorted(self._snapshots_dir.glob("*" + SNAPSHOT_SUFFIX)):
+            try:
+                record = record_format.decode_snapshot(
+                    path.read_bytes(), path=path
+                )
+            except (SnapshotError, OSError) as err:
+                self.corrupt += 1
+                logger.warning("dropping unreadable snapshot %s: %s",
+                               path, err)
+                path.unlink(missing_ok=True)
+                continue
+            key = "%s-%s" % (record.content_hash, record.fingerprint)
+            index.snapshots[key] = {
+                "content_hash": record.content_hash,
+                "fingerprint": record.fingerprint,
+                "method": record.method,
+                "bytes": path.stat().st_size,
+                "created": record.created,
+                "used": record.created,
+            }
+        for sidecar in sorted(self._crowds_dir.glob("*.json")):
+            entry = self._read_sidecar(sidecar)
+            if entry is None:
+                continue
+            npz = self._crowds_dir / str(entry["file"])
+            if not npz.exists():
+                continue
+            index.crowds[str(entry.pop("name"))] = entry
+        index.save(self._index_path)
+        return index
+
+    @staticmethod
+    def _read_sidecar(path: Path) -> Optional[Dict[str, object]]:
+        import json
+
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if not isinstance(entry, dict) or "name" not in entry \
+                or "file" not in entry:
+            return None
+        return entry
+
+    # ------------------------------------------------------------------ #
+    # Snapshot records
+    # ------------------------------------------------------------------ #
+    def put_snapshot(
+        self,
+        ranking: AbilityRanking,
+        *,
+        content_hash: str,
+        fingerprint: Optional[Tuple],
+        lineage: Sequence[str] = (),
+    ) -> Optional[str]:
+        """Persist one ranking; returns its key (``None`` if uncacheable).
+
+        Serialization happens outside the store lock; the write is atomic;
+        the LRU/TTL bounds are enforced before the index is rewritten, so
+        a store never grows past its configured size by more than the one
+        record being admitted.
+        """
+        if fingerprint is None:
+            return None
+        now = float(self._clock())
+        data = record_format.encode_snapshot(
+            ranking,
+            content_hash=content_hash,
+            fingerprint=fingerprint,
+            lineage=lineage,
+            created=now,
+        )
+        key = "%s-%s" % (content_hash, fingerprint_digest(fingerprint))
+        with self._lock:
+            self._atomic_write(self._snapshot_path(key), data)
+            self._index.snapshots[key] = {
+                "content_hash": content_hash,
+                "fingerprint": fingerprint_digest(fingerprint),
+                "method": ranking.method,
+                "bytes": len(data),
+                "created": now,
+                "used": now,
+            }
+            self.writes += 1
+            self._enforce_bounds_locked(now, protect=key)
+            self._index.save(self._index_path)
+        return key
+
+    def get_snapshot(
+        self, content_hash: str, fingerprint: Optional[Tuple]
+    ) -> Optional[SnapshotRecord]:
+        """The stored record for the exact key, or ``None`` (fall back cold).
+
+        Every defect — missing file, truncation, bit flips, an unknown
+        schema version, a record whose *recorded* identity does not match
+        the requested key (foreign/tampered file) — is logged, counted,
+        quarantined, and reported as a miss.  A hit refreshes the
+        record's LRU recency.
+        """
+        if fingerprint is None:
+            return None
+        key = "%s-%s" % (content_hash, fingerprint_digest(fingerprint))
+        record = self._load_record(key)
+        if record is None:
+            return None
+        if record.content_hash != content_hash:
+            # The file decodes but records a different identity: foreign.
+            self._quarantine(key, "records content hash %s under key %s"
+                             % (record.content_hash, key))
+            return None
+        now = float(self._clock())
+        with self._lock:
+            self.hits += 1
+            entry = self._index.snapshots.get(key)
+            if entry is not None:
+                entry["used"] = now
+                self._index.save(self._index_path)
+        return record
+
+    def _load_record(self, key: str) -> Optional[SnapshotRecord]:
+        path = self._snapshot_path(key)
+        try:
+            data = path.read_bytes()
+        except FileNotFoundError:
+            with self._lock:
+                self.misses += 1
+                if self._index.snapshots.pop(key, None) is not None:
+                    # gc was interrupted between unlink and index rewrite.
+                    self._index.save(self._index_path)
+            return None
+        except OSError as err:
+            self._quarantine(key, "unreadable: %s" % err)
+            return None
+        if self.ttl is not None:
+            entry = self._index.snapshots.get(key)
+            created = float(entry["created"]) if entry else None
+            if created is not None \
+                    and float(self._clock()) - created > self.ttl:
+                with self._lock:
+                    self.misses += 1
+                return None
+        try:
+            return record_format.decode_snapshot(data, path=path)
+        except SnapshotError as err:
+            self._quarantine(key, str(err))
+            return None
+
+    def _quarantine(self, key: str, reason: str) -> None:
+        """Drop a record that failed validation; the caller reports a miss."""
+        logger.warning("snapshot %s failed validation (%s); falling back "
+                       "cold", key, reason)
+        with self._lock:
+            self.corrupt += 1
+            self.misses += 1
+            self._snapshot_path(key).unlink(missing_ok=True)
+            if self._index.snapshots.pop(key, None) is not None:
+                self._index.save(self._index_path)
+
+    def latest_state(
+        self,
+        fingerprint: Optional[Tuple],
+        *,
+        hashes: Optional[AbstractSet[str]] = None,
+    ) -> Optional[SolverState]:
+        """The newest stored solver state under ``fingerprint``.
+
+        The disk half of :meth:`RankCache.latest_state
+        <repro.engine.cache.RankCache.latest_state>`: same lineage
+        restriction (``hashes`` limits candidates to content hashes the
+        calling session itself ranked — a foreign crowd's converged state
+        must never seed a warm start), same newest-first preference.
+        Candidates that fail validation fall through to older ones.
+        """
+        if fingerprint is None:
+            return None
+        digest = fingerprint_digest(fingerprint)
+        with self._lock:
+            candidates = sorted(
+                (
+                    (float(entry.get("used", 0.0)), key, entry["content_hash"])
+                    for key, entry in self._index.snapshots.items()
+                    if entry.get("fingerprint") == digest
+                ),
+                reverse=True,
+            )
+        for _, key, content_hash in candidates:
+            if hashes is not None and content_hash not in hashes:
+                continue
+            record = self._load_record(key)
+            if record is None or record.content_hash != content_hash:
+                continue
+            if record.state is not None:
+                return record.state
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Crowd persistence (explicit named state, not evicted)
+    # ------------------------------------------------------------------ #
+    def save_crowd(self, name: str, matrix: ResponseMatrix) -> None:
+        """Persist a crowd's triples via the canonical NPZ format.
+
+        The NPZ is :meth:`ResponseMatrix.save` written to a temp name and
+        renamed; the JSON sidecar (name, content hash, sizes) lands after
+        it, also atomically, and is what :meth:`load_crowd` validates the
+        reloaded matrix against.
+        """
+        import json
+
+        slug = _crowd_slug(name)
+        npz_path = self._crowds_dir / (slug + ".npz")
+        tmp = self._tmp_name(self._crowds_dir, suffix=".npz")
+        matrix.save(tmp)
+        entry = {
+            "name": name,
+            "file": npz_path.name,
+            "content_hash": matrix.content_hash(),
+            "bytes": tmp.stat().st_size,
+            "num_users": matrix.num_users,
+            "num_answers": matrix.num_answers,
+            "saved": float(self._clock()),
+        }
+        with self._lock:
+            os.replace(tmp, npz_path)
+            self._atomic_write(
+                self._crowds_dir / (slug + ".json"),
+                json.dumps(entry, sort_keys=True).encode("utf-8"),
+            )
+            self._index.crowds[name] = {
+                key: value for key, value in entry.items() if key != "name"
+            }
+            self.crowd_saves += 1
+            self._index.save(self._index_path)
+
+    def load_crowd(self, name: str) -> Optional[ResponseMatrix]:
+        """Reload a persisted crowd, or ``None`` (absent or corrupt).
+
+        The reloaded matrix must re-hash to the sidecar's recorded content
+        hash — a torn or bit-flipped NPZ that still happens to parse is
+        rejected rather than served as a silently different crowd.
+        """
+        slug = _crowd_slug(name)
+        npz_path = self._crowds_dir / (slug + ".npz")
+        sidecar = self._read_sidecar(self._crowds_dir / (slug + ".json"))
+        if not npz_path.exists():
+            return None
+        try:
+            matrix = ResponseMatrix.load(npz_path)
+        except Exception as err:
+            logger.warning("persisted crowd %r failed to load (%s); "
+                           "treating as absent", name, err)
+            with self._lock:
+                self.corrupt += 1
+            return None
+        if sidecar is not None:
+            recorded = str(sidecar.get("content_hash", ""))
+            if recorded and matrix.content_hash() != recorded:
+                logger.warning(
+                    "persisted crowd %r hashes to %s but its sidecar "
+                    "records %s; treating as corrupt",
+                    name, matrix.content_hash(), recorded,
+                )
+                with self._lock:
+                    self.corrupt += 1
+                return None
+        with self._lock:
+            self.crowd_loads += 1
+        return matrix
+
+    def crowd_names(self) -> Tuple[str, ...]:
+        """Names of persisted crowds, most recently saved first."""
+        with self._lock:
+            entries = sorted(
+                self._index.crowds.items(),
+                key=lambda item: float(item[1].get("saved", 0.0)),
+                reverse=True,
+            )
+            return tuple(name for name, _ in entries)
+
+    def drop_crowd(self, name: str) -> bool:
+        """Remove a crowd's durable state (NPZ + sidecar + index entry).
+
+        This is the recovery path for a poisoned crowd — ``drop`` then
+        re-create must not resurrect the bad data — so it is part of the
+        manager's ``drop`` contract, not an optional cleanup.
+        """
+        slug = _crowd_slug(name)
+        with self._lock:
+            existed = self._index.crowds.pop(name, None) is not None
+            for suffix in (".npz", ".json"):
+                path = self._crowds_dir / (slug + suffix)
+                if path.exists():
+                    existed = True
+                    path.unlink(missing_ok=True)
+            if existed:
+                self._index.save(self._index_path)
+            return existed
+
+    # ------------------------------------------------------------------ #
+    # Eviction + maintenance
+    # ------------------------------------------------------------------ #
+    def _enforce_bounds_locked(
+        self, now: float, protect: Optional[str] = None
+    ) -> Dict[str, int]:
+        """TTL expiry + LRU eviction over the snapshot records.
+
+        Files are unlinked before the index rewrite: a kill in between
+        leaves a dangling index entry, which reads as a miss and is
+        dropped lazily — never the reverse (an unindexed live file is
+        found again by a rebuild; an indexed ghost must not be).
+        """
+        removed = {"expired": 0, "evicted": 0}
+        snapshots = self._index.snapshots
+        if self.ttl is not None:
+            for key in [
+                key for key, entry in snapshots.items()
+                if now - float(entry.get("created", now)) > self.ttl
+            ]:
+                self._snapshot_path(key).unlink(missing_ok=True)
+                del snapshots[key]
+                removed["expired"] += 1
+                self.expirations += 1
+        if self.max_bytes is not None or self.max_records is not None:
+            by_recency = sorted(
+                snapshots, key=lambda key: float(snapshots[key].get("used", 0.0))
+            )
+            for key in by_recency:
+                over_bytes = (
+                    self.max_bytes is not None
+                    and self._index.total_bytes() > self.max_bytes
+                )
+                over_count = (
+                    self.max_records is not None
+                    and len(snapshots) > self.max_records
+                )
+                if not (over_bytes or over_count):
+                    break
+                if key == protect:
+                    # Never evict the record being admitted: put() just
+                    # wrote it and is about to return its key.  A later
+                    # write or gc() pass (no protect) can still shed it.
+                    continue
+                self._snapshot_path(key).unlink(missing_ok=True)
+                del snapshots[key]
+                removed["evicted"] += 1
+                self.evictions += 1
+        return removed
+
+    def gc(
+        self,
+        *,
+        ttl: Optional[float] = None,
+        max_bytes: Optional[int] = None,
+        max_records: Optional[int] = None,
+    ) -> Dict[str, int]:
+        """Apply the TTL/size bounds now; returns what was removed.
+
+        Explicit arguments override the store's configured policy for
+        this pass only (the ``store gc`` CLI uses this).
+        """
+        with self._lock:
+            old = (self.ttl, self.max_bytes, self.max_records)
+            if ttl is not None:
+                self.ttl = float(ttl)
+            if max_bytes is not None:
+                self.max_bytes = int(max_bytes)
+            if max_records is not None:
+                self.max_records = int(max_records)
+            try:
+                removed = self._enforce_bounds_locked(float(self._clock()))
+            finally:
+                self.ttl, self.max_bytes, self.max_records = old
+            removed["remaining"] = len(self._index.snapshots)
+            removed["bytes"] = self._index.total_bytes()
+            self._index.save(self._index_path)
+            return removed
+
+    def verify(self) -> List[Dict[str, object]]:
+        """Decode every record + crowd fully; report per-file status.
+
+        The maintenance surface behind ``repro.cli store verify``: unlike
+        the lookup paths (which silently fall back cold), this *reports*
+        corruption — and removes nothing, so an operator can inspect a
+        bad file before the next lookup quarantines it.
+        """
+        report: List[Dict[str, object]] = []
+        for path in sorted(self._snapshots_dir.glob("*" + SNAPSHOT_SUFFIX)):
+            entry: Dict[str, object] = {
+                "file": str(path.relative_to(self.root)), "kind": "snapshot",
+            }
+            try:
+                record = record_format.decode_snapshot(
+                    path.read_bytes(), path=path
+                )
+                expected = "%s-%s" % (record.content_hash, record.fingerprint)
+                if path.name != expected + SNAPSHOT_SUFFIX:
+                    raise SnapshotError(
+                        "file name does not match the recorded identity %s"
+                        % expected, path=path,
+                    )
+                entry["status"] = "ok"
+                entry["method"] = record.method
+            except (SnapshotError, OSError) as err:
+                entry["status"] = "corrupt"
+                entry["error"] = str(err)
+            report.append(entry)
+        with self._lock:
+            names = list(self._index.crowds)
+        for name in names:
+            slug = _crowd_slug(name)
+            entry = {"file": "crowds/%s.npz" % slug, "kind": "crowd",
+                     "crowd": name}
+            matrix = self.load_crowd(name)
+            if matrix is None:
+                entry["status"] = "corrupt"
+                entry["error"] = "crowd failed to load or re-hash"
+            else:
+                entry["status"] = "ok"
+            report.append(entry)
+        return report
+
+    def ls(self) -> Dict[str, List[Dict[str, object]]]:
+        """Index contents for the ``store ls`` CLI (no file decoding)."""
+        with self._lock:
+            snapshots = [
+                dict(entry, key=key)
+                for key, entry in sorted(
+                    self._index.snapshots.items(),
+                    key=lambda item: float(item[1].get("used", 0.0)),
+                    reverse=True,
+                )
+            ]
+            crowds = [
+                dict(entry, name=name)
+                for name, entry in sorted(self._index.crowds.items())
+            ]
+        return {"snapshots": snapshots, "crowds": crowds}
+
+    # ------------------------------------------------------------------ #
+    # Write-behind + lifecycle
+    # ------------------------------------------------------------------ #
+    def defer(self, job) -> bool:
+        """Run ``job`` on the write-behind thread (FIFO, failure-isolated)."""
+        return self._writeback.submit(job)
+
+    def flush(self, timeout: Optional[float] = None) -> bool:
+        """Barrier: wait until every deferred write so far has run."""
+        return self._writeback.flush(timeout)
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Drain deferred writes and stop the write-behind thread."""
+        self._writeback.close(timeout)
+
+    def stats(self) -> Dict[str, object]:
+        """Counters + sizes (the ``store stats`` CLI and server payload)."""
+        with self._lock:
+            return {
+                "root": str(self.root),
+                "snapshots": len(self._index.snapshots),
+                "crowds": len(self._index.crowds),
+                "bytes": self._index.total_bytes(),
+                "max_bytes": self.max_bytes,
+                "max_records": self.max_records,
+                "ttl": self.ttl,
+                "hits": self.hits,
+                "misses": self.misses,
+                "corrupt": self.corrupt,
+                "evictions": self.evictions,
+                "expirations": self.expirations,
+                "writes": self.writes,
+                "crowd_saves": self.crowd_saves,
+                "crowd_loads": self.crowd_loads,
+                "write_failures": self._writeback.failures,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "SnapshotStore(root=%r, snapshots=%d, crowds=%d)" % (
+            str(self.root), len(self._index.snapshots),
+            len(self._index.crowds),
+        )

@@ -1,0 +1,87 @@
+"""Write-behind execution: persist off the solve's critical path.
+
+Snapshot and crowd writes are durability, not correctness — the in-memory
+answer is already correct, and making the caller wait on ``fsync``-class
+I/O would put the disk on the serving latency path.  :class:`WriteBehind`
+is the single background worker both :class:`~repro.engine.cache.RankCache`
+and :class:`~repro.api.session.CrowdSession` hand their persistence jobs
+to: FIFO (a crowd save enqueued before its snapshot lands first), lazy
+(no thread until the first job), and failure-isolated (a failing write is
+logged and counted; it can cost durability, never a request).
+
+``flush()`` is the test-and-shutdown barrier: it enqueues a marker and
+waits for it, so everything submitted before the call has run.
+"""
+
+from __future__ import annotations
+
+import logging
+import queue
+import threading
+from typing import Callable, Optional
+
+logger = logging.getLogger("repro.store")
+
+_STOP = object()
+
+
+class WriteBehind:
+    """A lazily-started single worker thread draining a FIFO job queue."""
+
+    def __init__(self, name: str = "repro-store-writeback") -> None:
+        self._name = name
+        self._queue: "queue.Queue[object]" = queue.Queue()
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+        self._closed = False
+        self.submitted = 0
+        self.failures = 0
+
+    def submit(self, job: Callable[[], object]) -> bool:
+        """Enqueue ``job``; returns ``False`` after :meth:`close`."""
+        with self._lock:
+            if self._closed:
+                return False
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._run, name=self._name, daemon=True
+                )
+                self._thread.start()
+            self.submitted += 1
+        self._queue.put(job)
+        return True
+
+    def flush(self, timeout: Optional[float] = None) -> bool:
+        """Block until every job submitted before this call has run."""
+        with self._lock:
+            # After close() the queue is already drained and the worker is
+            # gone — a marker would wait forever.  Flush-after-close is a
+            # satisfied barrier, not an error (aclose paths may run twice).
+            if self._thread is None or self._closed:
+                return True
+        marker = threading.Event()
+        self._queue.put(marker.set)
+        return marker.wait(timeout)
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Drain outstanding jobs, then stop the worker (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            thread = self._thread
+        if thread is None:
+            return
+        self._queue.put(_STOP)
+        thread.join(timeout)
+
+    def _run(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is _STOP:
+                return
+            try:
+                job()
+            except Exception:
+                self.failures += 1
+                logger.warning("write-behind job failed", exc_info=True)

@@ -279,7 +279,8 @@ class TestUnifiedRank:
             execution=ExecutionPolicy(backend="threads", shards=4, cache=cache),
         )
         assert warm is first
-        assert cache.stats() == {"hits": 1, "misses": 1, "bypasses": 0, "size": 1}
+        assert cache.stats() == {"hits": 1, "misses": 1, "bypasses": 0,
+                                 "disk_hits": 0, "size": 1}
 
     def test_nondeterministic_random_state_bypasses_cache(self, crowd):
         cache = RankCache()

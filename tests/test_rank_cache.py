@@ -113,7 +113,8 @@ class TestRankCache:
         first = cache.rank(HNDPower(random_state=0), response)
         second = cache.rank(HNDPower(random_state=0), response)
         assert second is first
-        assert cache.stats() == {"hits": 1, "misses": 1, "bypasses": 0, "size": 1}
+        assert cache.stats() == {"hits": 1, "misses": 1, "bypasses": 0,
+                                 "disk_hits": 0, "size": 1}
 
     def test_different_data_or_method_misses(self, response):
         cache = RankCache()
@@ -148,7 +149,8 @@ class TestRankCache:
         cache = RankCache()
         cache.rank(MajorityVoteRanker(), response)
         cache.clear()
-        assert cache.stats() == {"hits": 0, "misses": 0, "bypasses": 0, "size": 0}
+        assert cache.stats() == {"hits": 0, "misses": 0, "bypasses": 0,
+                                 "disk_hits": 0, "size": 0}
 
     def test_invalid_maxsize_rejected(self):
         with pytest.raises(ValueError, match="maxsize"):
@@ -190,7 +192,7 @@ class TestStateSlots:
         # A warm hit serves the same entry without growing the accounting.
         cache.rank(HNDPower(random_state=0), response)
         assert cache.stats() == {"hits": 1, "misses": 1, "bypasses": 0,
-                                 "size": 1}
+                                 "disk_hits": 0, "size": 1}
 
     def test_latest_state_returns_the_captured_state(self, response):
         cache = RankCache()

@@ -466,7 +466,7 @@ class TestRemotePolicy:
         )
         assert remote is fused  # cache hit: backends are bit-identical
         assert cache.stats() == {"hits": 1, "misses": 1, "bypasses": 0,
-                                 "size": 1}
+                                 "disk_hits": 0, "size": 1}
         cold = rank(
             crowd, "HnD", random_state=0,
             execution=ExecutionPolicy(

@@ -137,7 +137,7 @@ class TestDiagnostics:
         manager.drop("b")
         stats = manager.stats()
         assert stats == {"resident": 1, "created": 3, "dropped": 1,
-                         "evictions": 1}
+                         "evictions": 1, "restored": 0}
 
 
 class TestConcurrency:

@@ -1,0 +1,687 @@
+"""Tests for the ``repro.store`` durable tier (PR 9).
+
+The acceptance pins, verified against real files on a real filesystem:
+
+* **bit identity** — a snapshot round trip returns the exact stored
+  float64 bytes, scores and solver-state vectors alike.
+* **typed, contained failure** — the full corruption matrix (zero-length,
+  truncated at every boundary, bit-flipped, bad magic, unknown schema
+  version, foreign identity, garbage index) produces
+  :class:`~repro.exceptions.SnapshotError`-mediated *misses*, never a
+  wrong answer, a hang, or an unhandled exception.
+* **crash safety** — a process SIGKILLed mid-snapshot-write or mid-gc
+  (deterministically, via an injected kill inside ``os.replace``) leaves
+  a store the next open loads clean: interrupted records absent or whole,
+  temp files reaped, dangling index entries self-healed.
+* **bounded** — TTL expiry and size/count LRU eviction, driven by an
+  injectable clock, keep the record set within policy.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.ranking import AbilityRanking
+from repro.core.response import ResponseMatrix
+from repro.core.solver_state import SolverState
+from repro.exceptions import ReproError, SnapshotError
+from repro.store import (
+    SnapshotStore,
+    StoreIndex,
+    WriteBehind,
+    decode_snapshot,
+    encode_snapshot,
+    fingerprint_digest,
+    snapshot_key,
+)
+from repro.store.format import MAGIC, PREFIX_SIZE, SCHEMA_VERSION
+from repro.store.snapshot import SNAPSHOT_SUFFIX, _crowd_slug
+
+FP = ("repro.hitsndiffs", "HITSnDIFFs", (("random_state", ("int", 7)),))
+FP_OTHER = ("repro.hitsndiffs", "HITSnDIFFs", (("random_state", ("int", 8)),))
+
+
+def make_ranking(num_users=12, seed=0, with_state=True, method="HnD"):
+    rng = np.random.default_rng(seed)
+    scores = rng.standard_normal(num_users)
+    state = None
+    if with_state:
+        state = SolverState(
+            method=method,
+            vectors={"diff_vector": rng.standard_normal(num_users)},
+            iterations=17,
+            residual=1e-9,
+        )
+    return AbilityRanking(
+        scores=scores,
+        method=method,
+        diagnostics={"iterations": 17, "warm_start": "cold",
+                     "residual": 1e-9, "unjsonable": object()},
+        state=state,
+    )
+
+
+def make_matrix(num_users=10, num_items=6, num_options=3, seed=0):
+    rng = np.random.default_rng(seed)
+    users = np.repeat(np.arange(num_users), num_items)
+    items = np.tile(np.arange(num_items), num_users)
+    options = rng.integers(0, num_options, size=users.size)
+    return ResponseMatrix.from_triples(
+        users, items, options, shape=(num_users, num_items),
+        num_options=num_options,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Record format
+# --------------------------------------------------------------------------- #
+class TestFormat:
+    def test_round_trip_is_bit_identical(self):
+        ranking = make_ranking()
+        data = encode_snapshot(ranking, content_hash="abc", fingerprint=FP,
+                               lineage=("earlier",), created=123.5)
+        record = decode_snapshot(data)
+        assert record.content_hash == "abc"
+        assert record.fingerprint == fingerprint_digest(FP)
+        assert record.method == "HnD"
+        assert record.created == 123.5
+        assert record.scores.tobytes() == ranking.scores.tobytes()
+        assert record.state is not None
+        np.testing.assert_array_equal(
+            record.state.vectors["diff_vector"],
+            ranking.state.vectors["diff_vector"],
+        )
+        assert record.state.iterations == 17
+        # Lineage always includes the record's own hash, sorted.
+        assert record.lineage == ("abc", "earlier")
+        # Non-JSON diagnostics are dropped, scalars survive.
+        assert record.diagnostics["iterations"] == 17
+        assert "unjsonable" not in record.diagnostics
+
+    def test_to_ranking_marks_snapshot_hits(self):
+        data = encode_snapshot(make_ranking(), content_hash="abc",
+                               fingerprint=FP)
+        ranking = decode_snapshot(data).to_ranking()
+        assert ranking.diagnostics["snapshot_hit"] is True
+        assert ranking.diagnostics["warm_start"] == "cold"
+
+    def test_stateless_round_trip(self):
+        data = encode_snapshot(make_ranking(with_state=False),
+                               content_hash="abc", fingerprint=FP)
+        record = decode_snapshot(data)
+        assert record.state is None
+
+    def test_fingerprint_digest_is_stable_and_discriminating(self):
+        assert fingerprint_digest(FP) == fingerprint_digest(
+            ("repro.hitsndiffs", "HITSnDIFFs",
+             (("random_state", ("int", 7)),)))
+        assert fingerprint_digest(FP) != fingerprint_digest(FP_OTHER)
+        # Type tags: equal-ish Python values digest differently.
+        assert fingerprint_digest((1,)) != fingerprint_digest((True,))
+        assert fingerprint_digest((1,)) != fingerprint_digest((1.0,))
+        assert fingerprint_digest(("1",)) != fingerprint_digest((1,))
+        assert fingerprint_digest((b"x",)) != fingerprint_digest(("x",))
+        assert fingerprint_digest((None,)) != fingerprint_digest(("",))
+        # Nesting shape matters (no flattening collisions).
+        assert fingerprint_digest((("a", "b"),)) != fingerprint_digest(
+            ("a", "b"))
+
+    def test_fingerprint_digest_rejects_unknown_tokens(self):
+        with pytest.raises(SnapshotError):
+            fingerprint_digest((object(),))
+
+    def test_snapshot_key_combines_both_halves(self):
+        key = snapshot_key("deadbeef", FP)
+        assert key == "deadbeef-" + fingerprint_digest(FP)
+
+    def test_truncation_at_every_boundary_is_typed(self):
+        data = encode_snapshot(make_ranking(num_users=4),
+                               content_hash="abc", fingerprint=FP)
+        for cut in range(len(data)):
+            with pytest.raises(SnapshotError):
+                decode_snapshot(data[:cut])
+
+    def test_bit_flips_are_typed(self):
+        data = encode_snapshot(make_ranking(num_users=4),
+                               content_hash="abc", fingerprint=FP)
+        for position in range(0, len(data), 7):
+            corrupt = bytearray(data)
+            corrupt[position] ^= 0xFF
+            with pytest.raises(SnapshotError):
+                decode_snapshot(bytes(corrupt))
+
+    def test_zero_length_bad_magic_unknown_schema(self):
+        data = encode_snapshot(make_ranking(), content_hash="abc",
+                               fingerprint=FP)
+        with pytest.raises(SnapshotError, match="shorter than"):
+            decode_snapshot(b"")
+        with pytest.raises(SnapshotError, match="magic"):
+            decode_snapshot(b"XXXX" + data[4:])
+        newer = bytearray(data)
+        newer[4:8] = (SCHEMA_VERSION + 1).to_bytes(4, "little")
+        # The version check fires *before* the checksum: a reader can say
+        # "written by a newer repro" without knowing the newer digest.
+        with pytest.raises(SnapshotError, match="schema version"):
+            decode_snapshot(bytes(newer))
+        with pytest.raises(SnapshotError, match="trailing"):
+            decode_snapshot(_reseal(data, lambda p: p + b"x"))
+
+    def test_snapshot_error_is_a_repro_error(self):
+        assert issubclass(SnapshotError, ReproError)
+        try:
+            decode_snapshot(b"", path="somewhere")
+        except SnapshotError as err:
+            assert err.path == "somewhere"
+
+
+def _reseal(data: bytes, mutate) -> bytes:
+    """Apply ``mutate`` to the payload and recompute prefix + checksum."""
+    import hashlib
+    import struct
+
+    payload = mutate(data[PREFIX_SIZE:])
+    digest = hashlib.blake2b(payload, digest_size=16).digest()
+    return struct.Struct("<4sI16sQ").pack(
+        MAGIC, SCHEMA_VERSION, digest, len(payload)) + payload
+
+
+# --------------------------------------------------------------------------- #
+# SnapshotStore
+# --------------------------------------------------------------------------- #
+class TestSnapshotStore:
+    def test_put_get_round_trip(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        ranking = make_ranking()
+        key = store.put_snapshot(ranking, content_hash="abc", fingerprint=FP)
+        assert key == snapshot_key("abc", FP)
+        record = store.get_snapshot("abc", FP)
+        assert record.scores.tobytes() == ranking.scores.tobytes()
+        assert store.hits == 1 and store.writes == 1
+        assert store.get_snapshot("other", FP) is None
+        assert store.misses == 1
+
+    def test_uncacheable_fingerprint_is_a_no_op(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        assert store.put_snapshot(make_ranking(), content_hash="abc",
+                                  fingerprint=None) is None
+        assert store.get_snapshot("abc", None) is None
+        assert store.stats()["snapshots"] == 0
+
+    def test_survives_reopen(self, tmp_path):
+        ranking = make_ranking()
+        SnapshotStore(tmp_path).put_snapshot(
+            ranking, content_hash="abc", fingerprint=FP)
+        record = SnapshotStore(tmp_path).get_snapshot("abc", FP)
+        assert record.scores.tobytes() == ranking.scores.tobytes()
+
+    def test_bit_flipped_record_quarantines_as_miss(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.put_snapshot(make_ranking(), content_hash="abc", fingerprint=FP)
+        path = tmp_path / "snapshots" / (snapshot_key("abc", FP)
+                                         + SNAPSHOT_SUFFIX)
+        corrupt = bytearray(path.read_bytes())
+        corrupt[-1] ^= 0x40
+        path.write_bytes(bytes(corrupt))
+        assert store.get_snapshot("abc", FP) is None
+        assert store.corrupt == 1
+        assert not path.exists()  # quarantined, not left to fail again
+        assert store.get_snapshot("abc", FP) is None  # stays a clean miss
+
+    def test_foreign_record_is_detected_by_content(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.put_snapshot(make_ranking(), content_hash="abc", fingerprint=FP)
+        snapshots = tmp_path / "snapshots"
+        foreign_key = snapshot_key("feedface", FP)
+        # An adversarially (or accidentally) renamed record: valid bytes,
+        # wrong identity — must not be served under the new key.
+        os.replace(snapshots / (snapshot_key("abc", FP) + SNAPSHOT_SUFFIX),
+                   snapshots / (foreign_key + SNAPSHOT_SUFFIX))
+        assert store.get_snapshot("feedface", FP) is None
+        assert store.corrupt == 1
+
+    def test_zero_length_record_is_a_miss(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.put_snapshot(make_ranking(), content_hash="abc", fingerprint=FP)
+        path = tmp_path / "snapshots" / (snapshot_key("abc", FP)
+                                         + SNAPSHOT_SUFFIX)
+        path.write_bytes(b"")
+        assert store.get_snapshot("abc", FP) is None
+        assert store.corrupt == 1
+
+    def test_dangling_index_entry_reads_as_miss_and_self_heals(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.put_snapshot(make_ranking(), content_hash="abc", fingerprint=FP)
+        key = snapshot_key("abc", FP)
+        (tmp_path / "snapshots" / (key + SNAPSHOT_SUFFIX)).unlink()
+        assert store.get_snapshot("abc", FP) is None
+        assert store.ls()["snapshots"] == []
+        assert store.stats()["snapshots"] == 0
+
+    def test_garbage_index_rebuilds_from_files(self, tmp_path):
+        ranking = make_ranking()
+        store = SnapshotStore(tmp_path)
+        store.put_snapshot(ranking, content_hash="abc", fingerprint=FP)
+        (tmp_path / "index.json").write_text("{not json", encoding="utf-8")
+        reopened = SnapshotStore(tmp_path)
+        assert reopened.stats()["snapshots"] == 1
+        record = reopened.get_snapshot("abc", FP)
+        assert record.scores.tobytes() == ranking.scores.tobytes()
+
+    def test_index_rebuild_quarantines_unreadable_records(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.put_snapshot(make_ranking(), content_hash="abc", fingerprint=FP)
+        (tmp_path / "snapshots" / ("junk" + SNAPSHOT_SUFFIX)).write_bytes(
+            b"garbage")
+        (tmp_path / "index.json").unlink()
+        reopened = SnapshotStore(tmp_path)
+        assert reopened.stats()["snapshots"] == 1
+        assert reopened.corrupt == 1
+        assert not (tmp_path / "snapshots"
+                    / ("junk" + SNAPSHOT_SUFFIX)).exists()
+
+    def test_tmp_files_are_reaped_on_open(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.put_snapshot(make_ranking(), content_hash="abc", fingerprint=FP)
+        for directory in (tmp_path, tmp_path / "snapshots",
+                          tmp_path / "crowds"):
+            (directory / ".tmp-999-1").write_bytes(b"interrupted")
+        SnapshotStore(tmp_path)
+        leftovers = [p for p in tmp_path.rglob(".tmp-*")]
+        assert leftovers == []
+
+    def test_ttl_expiry_with_injected_clock(self, tmp_path):
+        clock = {"now": 1000.0}
+        store = SnapshotStore(tmp_path, ttl=60.0,
+                              clock=lambda: clock["now"])
+        store.put_snapshot(make_ranking(), content_hash="abc", fingerprint=FP)
+        assert store.get_snapshot("abc", FP) is not None
+        clock["now"] += 61.0
+        assert store.get_snapshot("abc", FP) is None  # expired, not served
+        removed = store.gc()
+        assert removed["expired"] == 1
+        assert store.stats()["snapshots"] == 0
+
+    def test_lru_eviction_by_count(self, tmp_path):
+        clock = {"now": 1000.0}
+        store = SnapshotStore(tmp_path, max_records=2,
+                              clock=lambda: clock["now"])
+        for i, content in enumerate(("aa", "bb", "cc")):
+            clock["now"] += 1.0
+            store.put_snapshot(make_ranking(seed=i), content_hash=content,
+                               fingerprint=FP)
+        # "aa" was least recently used and must be gone.
+        assert store.get_snapshot("aa", FP) is None
+        assert store.get_snapshot("bb", FP) is not None
+        assert store.get_snapshot("cc", FP) is not None
+        assert store.evictions == 1
+
+    def test_lru_eviction_prefers_least_recently_used(self, tmp_path):
+        clock = {"now": 1000.0}
+        store = SnapshotStore(tmp_path, max_records=2,
+                              clock=lambda: clock["now"])
+        for i, content in enumerate(("aa", "bb")):
+            clock["now"] += 1.0
+            store.put_snapshot(make_ranking(seed=i), content_hash=content,
+                               fingerprint=FP)
+        clock["now"] += 1.0
+        store.get_snapshot("aa", FP)  # refresh "aa": now "bb" is LRU
+        clock["now"] += 1.0
+        store.put_snapshot(make_ranking(seed=2), content_hash="cc",
+                           fingerprint=FP)
+        assert store.get_snapshot("bb", FP) is None
+        assert store.get_snapshot("aa", FP) is not None
+
+    def test_byte_bound_evicts_but_admits_the_new_record(self, tmp_path):
+        store = SnapshotStore(tmp_path, max_bytes=1)  # absurdly tight
+        store.put_snapshot(make_ranking(seed=0), content_hash="aa",
+                           fingerprint=FP)
+        store.put_snapshot(make_ranking(seed=1), content_hash="bb",
+                           fingerprint=FP)
+        # The record being admitted is protected; older ones are evicted.
+        assert store.get_snapshot("bb", FP) is not None
+        assert store.get_snapshot("aa", FP) is None
+
+    def test_gc_overrides_are_one_shot(self, tmp_path):
+        clock = {"now": 1000.0}
+        store = SnapshotStore(tmp_path, clock=lambda: clock["now"])
+        for i, content in enumerate(("aa", "bb", "cc")):
+            clock["now"] += 1.0
+            store.put_snapshot(make_ranking(seed=i), content_hash=content,
+                               fingerprint=FP)
+        removed = store.gc(max_records=1)
+        assert removed["evicted"] == 2 and removed["remaining"] == 1
+        assert store.max_records is None  # override did not stick
+        clock["now"] += 1.0
+        store.put_snapshot(make_ranking(seed=3), content_hash="dd",
+                           fingerprint=FP)
+        assert store.stats()["snapshots"] == 2  # no standing bound
+
+    def test_latest_state_newest_first_with_lineage_restriction(self, tmp_path):
+        clock = {"now": 1000.0}
+        store = SnapshotStore(tmp_path, clock=lambda: clock["now"])
+        old = make_ranking(seed=1)
+        new = make_ranking(seed=2)
+        store.put_snapshot(old, content_hash="aa", fingerprint=FP)
+        clock["now"] += 5.0
+        store.put_snapshot(new, content_hash="bb", fingerprint=FP)
+        state = store.latest_state(FP)
+        np.testing.assert_array_equal(
+            state.vectors["diff_vector"], new.state.vectors["diff_vector"])
+        # Restricting to the session's own hashes skips foreign records.
+        state = store.latest_state(FP, hashes={"aa"})
+        np.testing.assert_array_equal(
+            state.vectors["diff_vector"], old.state.vectors["diff_vector"])
+        assert store.latest_state(FP, hashes={"zz"}) is None
+        assert store.latest_state(FP_OTHER) is None
+        assert store.latest_state(None) is None
+
+    def test_latest_state_skips_corrupt_candidates(self, tmp_path):
+        clock = {"now": 1000.0}
+        store = SnapshotStore(tmp_path, clock=lambda: clock["now"])
+        old = make_ranking(seed=1)
+        store.put_snapshot(old, content_hash="aa", fingerprint=FP)
+        clock["now"] += 5.0
+        store.put_snapshot(make_ranking(seed=2), content_hash="bb",
+                           fingerprint=FP)
+        newest = tmp_path / "snapshots" / (snapshot_key("bb", FP)
+                                           + SNAPSHOT_SUFFIX)
+        newest.write_bytes(b"flipped")
+        state = store.latest_state(FP)
+        np.testing.assert_array_equal(
+            state.vectors["diff_vector"], old.state.vectors["diff_vector"])
+
+    def test_verify_reports_without_removing(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.put_snapshot(make_ranking(), content_hash="abc", fingerprint=FP)
+        bad = tmp_path / "snapshots" / ("bad" + SNAPSHOT_SUFFIX)
+        bad.write_bytes(b"not a snapshot")
+        report = store.verify()
+        statuses = {entry["file"]: entry["status"] for entry in report}
+        assert statuses["snapshots/bad.snap"] == "corrupt"
+        assert any(status == "ok" for status in statuses.values())
+        assert bad.exists()  # verify is read-only
+
+    def test_verify_flags_renamed_records(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.put_snapshot(make_ranking(), content_hash="abc", fingerprint=FP)
+        snapshots = tmp_path / "snapshots"
+        os.replace(snapshots / (snapshot_key("abc", FP) + SNAPSHOT_SUFFIX),
+                   snapshots / (snapshot_key("zz", FP) + SNAPSHOT_SUFFIX))
+        report = store.verify()
+        assert report[0]["status"] == "corrupt"
+        assert "identity" in report[0]["error"]
+
+
+class TestCrowdPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        matrix = make_matrix()
+        store.save_crowd("quiz", matrix)
+        loaded = SnapshotStore(tmp_path).load_crowd("quiz")
+        assert loaded.content_hash() == matrix.content_hash()
+        assert loaded.num_answers == matrix.num_answers
+
+    def test_awkward_names_are_slugged_without_collision(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save_crowd("quiz/a b", make_matrix(seed=1))
+        store.save_crowd("quiz_a_b", make_matrix(seed=2))
+        first = store.load_crowd("quiz/a b")
+        second = store.load_crowd("quiz_a_b")
+        assert first.content_hash() != second.content_hash()
+        assert set(store.crowd_names()) == {"quiz/a b", "quiz_a_b"}
+
+    def test_crowd_names_most_recently_saved_first(self, tmp_path):
+        clock = {"now": 1000.0}
+        store = SnapshotStore(tmp_path, clock=lambda: clock["now"])
+        for name in ("first", "second", "third"):
+            clock["now"] += 1.0
+            store.save_crowd(name, make_matrix())
+        assert store.crowd_names() == ("third", "second", "first")
+
+    def test_corrupt_npz_loads_as_absent(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save_crowd("quiz", make_matrix())
+        npz = tmp_path / "crowds" / (_crowd_slug("quiz") + ".npz")
+        npz.write_bytes(b"\x00" * 64)
+        assert SnapshotStore(tmp_path).load_crowd("quiz") is None
+
+    def test_hash_mismatch_loads_as_absent(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save_crowd("quiz", make_matrix(seed=1))
+        # Swap in a *valid* NPZ of different data: it parses fine but
+        # must fail the sidecar's recorded content hash.
+        other = tmp_path / "other.npz"
+        make_matrix(seed=2).save(other)
+        os.replace(other, tmp_path / "crowds" / (_crowd_slug("quiz") + ".npz"))
+        reopened = SnapshotStore(tmp_path)
+        assert reopened.load_crowd("quiz") is None
+        assert reopened.corrupt == 1
+
+    def test_drop_removes_everything(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save_crowd("quiz", make_matrix())
+        assert store.drop_crowd("quiz") is True
+        assert store.drop_crowd("quiz") is False  # idempotent
+        assert store.load_crowd("quiz") is None
+        assert list((tmp_path / "crowds").iterdir()) == []
+        assert SnapshotStore(tmp_path).crowd_names() == ()
+
+
+class TestStoreIndex:
+    def test_missing_and_garbage_load_as_none(self, tmp_path):
+        assert StoreIndex.load(tmp_path / "absent.json") is None
+        path = tmp_path / "index.json"
+        path.write_text("[1, 2]", encoding="utf-8")
+        assert StoreIndex.load(path) is None
+        path.write_text(json.dumps({"version": 999}), encoding="utf-8")
+        assert StoreIndex.load(path) is None
+
+    def test_save_load_round_trip(self, tmp_path):
+        index = StoreIndex()
+        index.snapshots["k"] = {"bytes": 10, "used": 1.0}
+        index.crowds["quiz"] = {"file": "f.npz", "saved": 2.0}
+        index.save(tmp_path / "index.json")
+        loaded = StoreIndex.load(tmp_path / "index.json")
+        assert loaded.snapshots == index.snapshots
+        assert loaded.crowds == index.crowds
+        assert loaded.total_bytes() == 10
+
+
+class TestWriteBehind:
+    def test_jobs_run_in_order_and_flush_is_a_barrier(self):
+        wb = WriteBehind()
+        seen = []
+        for i in range(20):
+            assert wb.submit(lambda i=i: seen.append(i))
+        assert wb.flush(timeout=10.0)
+        assert seen == list(range(20))
+        wb.close()
+
+    def test_failures_are_counted_not_raised(self):
+        wb = WriteBehind()
+        seen = []
+        wb.submit(lambda: 1 / 0)
+        wb.submit(lambda: seen.append("after"))
+        assert wb.flush(timeout=10.0)
+        assert wb.failures == 1
+        assert seen == ["after"]  # one bad job never wedges the queue
+        wb.close()
+
+    def test_submit_after_close_is_refused(self):
+        wb = WriteBehind()
+        wb.close()
+        assert wb.submit(lambda: None) is False
+
+    def test_flush_after_close_returns_immediately(self):
+        # Regression: aclose paths can run twice (serve_forever + context
+        # exit).  A flush after close must not enqueue a marker for the
+        # stopped worker — that wait never returns and the process hangs.
+        wb = WriteBehind()
+        wb.submit(lambda: None)  # start the worker thread
+        wb.close()
+        start = time.monotonic()
+        assert wb.flush(timeout=30.0) is True
+        assert time.monotonic() - start < 5.0
+
+
+# --------------------------------------------------------------------------- #
+# Satellite: thread-safe content_hash memoization
+# --------------------------------------------------------------------------- #
+class TestContentHashMemo:
+    def test_concurrent_first_calls_compute_once(self, monkeypatch):
+        import hashlib as real_hashlib
+
+        import repro.core.response as response_module
+
+        matrix = make_matrix(num_users=50, num_items=40)
+        calls = []
+        original = real_hashlib.blake2b
+
+        def counting_blake2b(*args, **kwargs):
+            calls.append(threading.get_ident())
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(response_module.hashlib, "blake2b",
+                            counting_blake2b)
+        barrier = threading.Barrier(8)
+        results = []
+
+        def hammer():
+            barrier.wait()
+            for _ in range(50):
+                results.append(matrix.content_hash())
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(set(results)) == 1  # every caller saw the same digest
+        assert len(calls) == 1  # computed exactly once, under the lock
+
+    def test_memo_survives_and_equals_recompute(self):
+        matrix = make_matrix()
+        first = matrix.content_hash()
+        assert matrix.content_hash() == first
+        fresh = make_matrix()
+        assert fresh.content_hash() == first  # pure function of the data
+
+    def test_pickle_round_trip_recomputes(self):
+        import pickle
+
+        matrix = make_matrix()
+        expected = matrix.content_hash()
+        clone = pickle.loads(pickle.dumps(matrix))
+        # The lock is not picklable; the clone rebuilds it and recomputes.
+        assert clone.content_hash() == expected
+        assert clone.content_hash() == expected
+
+
+# --------------------------------------------------------------------------- #
+# Crash safety: SIGKILL mid-write and mid-gc (deterministic, via an
+# injected kill inside os.replace)
+# --------------------------------------------------------------------------- #
+_CRASH_SCRIPT = r"""
+import os, signal, sys
+sys.path.insert(0, %(src)r)
+import numpy as np
+from repro.core.ranking import AbilityRanking
+from repro.core.solver_state import SolverState
+from repro.store import SnapshotStore
+
+kill_at = int(sys.argv[1])
+mode = sys.argv[2]
+root = sys.argv[3]
+
+calls = {"n": 0}
+original_replace = os.replace
+
+def killing_replace(src, dst):
+    calls["n"] += 1
+    if calls["n"] == kill_at:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return original_replace(src, dst)
+
+def make_ranking(seed):
+    rng = np.random.default_rng(seed)
+    scores = rng.standard_normal(64)
+    state = SolverState(method="HnD",
+                        vectors={"diff_vector": rng.standard_normal(64)},
+                        iterations=5, residual=1e-9)
+    return AbilityRanking(scores=scores, method="HnD",
+                          diagnostics={"iterations": 5}, state=state)
+
+FP = ("mod", "Ranker", (("random_state", ("int", 7)),))
+store = SnapshotStore(root)
+store.put_snapshot(make_ranking(0), content_hash="survivor", fingerprint=FP)
+
+os.replace = killing_replace
+if mode == "write":
+    store.put_snapshot(make_ranking(1), content_hash="interrupted",
+                       fingerprint=FP)
+elif mode == "gc":
+    # max_records=0 forces the eviction (unlink) of every record; the
+    # injected kill then lands inside the index rewrite that follows.
+    store.gc(max_records=0)
+print("NOT KILLED")  # reaching here means kill_at was past the call count
+"""
+
+
+def _run_crash_child(tmp_path, kill_at, mode):
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    proc = subprocess.run(
+        [sys.executable, "-c", _CRASH_SCRIPT % {"src": src},
+         str(kill_at), mode, str(tmp_path)],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert proc.returncode == -9, (
+        "child was supposed to SIGKILL itself (kill_at=%d mode=%s): "
+        "rc=%s stdout=%r stderr=%r"
+        % (kill_at, mode, proc.returncode, proc.stdout, proc.stderr)
+    )
+
+
+class TestCrashSafety:
+    @pytest.mark.parametrize("kill_at", [1, 2])
+    def test_sigkill_mid_snapshot_write(self, tmp_path, kill_at):
+        """Killed during the record rename (1) or the index rename (2).
+
+        Either way the reopened store loads clean: the survivor record is
+        intact, the interrupted record is absent or whole (never torn),
+        and no temp files remain after the open.
+        """
+        _run_crash_child(tmp_path, kill_at, "write")
+        store = SnapshotStore(tmp_path)
+        FP = ("mod", "Ranker", (("random_state", ("int", 7)),))
+        assert store.get_snapshot("survivor", FP) is not None
+        interrupted = store.get_snapshot("interrupted", FP)
+        if interrupted is not None:  # landed whole before the kill
+            assert interrupted.scores.shape == (64,)
+        assert list(tmp_path.rglob(".tmp-*")) == []
+        assert all(entry["status"] == "ok" for entry in store.verify())
+        assert store.corrupt == 0
+
+    def test_sigkill_mid_gc(self, tmp_path):
+        """Killed between gc's unlink and the index rewrite.
+
+        The dangling index entry must read as a miss and self-heal —
+        never an indexed ghost that errors.
+        """
+        _run_crash_child(tmp_path, 1, "gc")
+        store = SnapshotStore(tmp_path)
+        FP = ("mod", "Ranker", (("random_state", ("int", 7)),))
+        assert store.get_snapshot("survivor", FP) is None  # gc'd, clean miss
+        assert store.stats()["snapshots"] == 0
+        assert all(entry["status"] == "ok" for entry in store.verify())
+        store.put_snapshot(make_ranking(), content_hash="fresh",
+                           fingerprint=FP)
+        assert store.get_snapshot("fresh", FP) is not None
