@@ -536,6 +536,119 @@ def command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_scales(text: str) -> List[tuple]:
+    scales = []
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        users_text, _, items_text = chunk.partition("x")
+        if not items_text:
+            raise ValueError(
+                "scale %r is not of the form MxN (e.g. 240x60)" % chunk
+            )
+        scales.append((int(users_text), int(items_text)))
+    if not scales:
+        raise ValueError("--scales needs at least one MxN entry")
+    return scales
+
+
+def command_screen(args: argparse.Namespace) -> int:
+    """Mass-screen registry methods across stress scenarios, resumably.
+
+    Every cell of the ``scenario x scale x method`` grid checkpoints to
+    its own artifact under ``--out`` the moment it finishes, so a killed
+    sweep rerun with the same arguments resumes — recomputing only the
+    missing cells and reproducing the finished ones byte-for-byte.  With
+    ``--baseline`` the run is gated against committed per-cell accuracy
+    floors (exit 1 on any breach); ``--update-screening`` refreezes the
+    floors from this run instead.
+    """
+    from repro.scenarios import SCENARIOS
+    from repro.screening import (
+        GATE_METRIC,
+        ScreeningPlan,
+        check_baseline,
+        load_baseline,
+        run_screening,
+        write_baseline,
+    )
+
+    def _split(text: str) -> tuple:
+        return tuple(chunk.strip() for chunk in text.split(",") if chunk.strip())
+
+    try:
+        scenarios = _split(args.scenarios) or SCENARIOS.names()
+        plan = ScreeningPlan(
+            scenarios=scenarios,
+            methods=_split(args.methods),
+            scales=tuple(_parse_scales(args.scales)),
+            trials=args.trials,
+            seed=args.seed,
+        )
+    except (KeyError, ValueError) as error:
+        # KeyError carries the registry's did-you-mean hint in its args.
+        message = error.args[0] if error.args else error
+        print("error:", message, file=sys.stderr)
+        return 2
+    if args.update_screening and not args.baseline:
+        print("error: --update-screening needs --baseline PATH to write to",
+              file=sys.stderr)
+        return 2
+
+    def _progress(cell_id: str, state: str) -> None:
+        marker = "resumed " if state == "resumed" else "computed"
+        print("[%s] %s" % (marker, cell_id), flush=True)
+
+    result = run_screening(plan, args.out, progress=_progress)
+    print("%d cells: %d computed, %d resumed -> %s"
+          % (len(result.cells), len(result.computed), len(result.resumed),
+             args.out))
+
+    rows = []
+    for cell_id in sorted(result.cells):
+        payload = result.cells[cell_id]
+        rows.append((
+            payload["scenario"],
+            "%dx%d" % (payload["num_users"], payload["num_items"]),
+            payload["method"],
+            payload["metrics"]["spearman"],
+            payload["metrics"]["kendall"],
+            payload["metrics"]["pairwise"],
+            payload["metrics"]["top_quarter_precision"],
+        ))
+    _print_table(
+        ("scenario", "scale", "method", "spearman", "kendall", "pairwise",
+         "top25%"),
+        rows,
+    )
+
+    if not args.baseline:
+        return 0
+    if args.update_screening:
+        payload = write_baseline(result, plan, args.baseline,
+                                 floor_margin=args.floor_margin)
+        print("froze %d %s floors (margin %.3f) -> %s"
+              % (len(payload["floors"]), payload["metric"],
+                 args.floor_margin, args.baseline))
+        return 0
+    try:
+        baseline = load_baseline(args.baseline)
+        violations = check_baseline(result, baseline)
+    except (OSError, ValueError) as error:
+        print("error:", error, file=sys.stderr)
+        return 2
+    if violations:
+        print("accuracy floor violations (%s):" % GATE_METRIC, file=sys.stderr)
+        for violation in violations:
+            print("  " + violation, file=sys.stderr)
+        return 1
+    shared = len(set(result.cells) & set(baseline["floors"]))
+    print("accuracy floors hold: %d/%d gated cells at or above baseline"
+          % (shared, shared))
+    return 0
+
+
 # --------------------------------------------------------------------------- #
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -706,6 +819,40 @@ def build_parser() -> argparse.ArgumentParser:
                             "rank warm (see the README's durable-state "
                             "walkthrough)")
     serve.set_defaults(func=command_serve)
+
+    screen = subparsers.add_parser(
+        "screen",
+        help="mass-screen ranking methods across stress scenarios "
+             "(resumable; checkpoints one artifact per cell)",
+    )
+    screen.add_argument("--out", default="benchmarks/screening", metavar="DIR",
+                        help="output directory; per-cell artifacts land in "
+                             "DIR/cells and a rerun with the same arguments "
+                             "resumes from them")
+    screen.add_argument("--scenarios", default="",
+                        help="comma-separated scenario names (default: every "
+                             "registered scenario; see repro.scenarios)")
+    screen.add_argument("--methods",
+                        default="MajorityVote,HnD,HITS,Invest,Dawid-Skene",
+                        help="comma-separated ranker registry names "
+                             "(supervised methods are rejected)")
+    screen.add_argument("--scales", default="240x60",
+                        help="comma-separated crowd sizes as MxN user/item "
+                             "counts, e.g. 240x60,1200x150")
+    screen.add_argument("--trials", type=int, default=1,
+                        help="independently seeded crowds per cell "
+                             "(metrics are averaged)")
+    screen.add_argument("--baseline", default=None, metavar="PATH",
+                        help="gate the run against this floors file "
+                             "(exit 1 on any breach); cells absent from "
+                             "the baseline are reported but not gated")
+    screen.add_argument("--update-screening", action="store_true",
+                        help="refreeze the --baseline floors from this "
+                             "run instead of gating against them")
+    screen.add_argument("--floor-margin", type=float, default=0.05,
+                        help="slack subtracted from observed accuracy when "
+                             "freezing floors with --update-screening")
+    screen.set_defaults(func=command_screen)
 
     from repro.store.cli import register_store_parser
 

@@ -8,7 +8,7 @@ statistic in the stability analysis (Section IV-D).
 
 from __future__ import annotations
 
-from typing import Sequence, Union
+from typing import Sequence, Tuple, Union
 
 import numpy as np
 from scipy import stats
@@ -75,23 +75,72 @@ def normalized_displacement(ranking_a: ScoresLike, ranking_b: ScoresLike) -> flo
     """Average per-user rank difference between two rankings, scaled to [0, 1].
 
     Section IV-D uses this to quantify how much a user's rank moves between
-    repeated runs on resampled data: 0 means identical ranks, 1 means every
-    user moved by the maximum possible amount.
+    repeated runs on resampled data: 0 means identical ranks, 1 means the
+    rankings disagree as much as two rankings of ``n`` users possibly can.
+
+    The normalizer is the true maximum of the *mean* absolute rank
+    difference over permutations, ``floor(n^2 / 2) / n`` — attained exactly
+    by the full reversal (only the two extreme users can move ``n - 1``
+    places; the middle of the ranking cannot).  Dividing by ``n - 1``
+    instead, as a naive per-user bound suggests, caps the statistic near
+    0.5 for large crowds and breaks the documented [0, 1] contract.
     """
     ranks_a = rank_vector(ranking_a)
     ranks_b = rank_vector(ranking_b)
     if ranks_a.size != ranks_b.size:
         raise ValueError("rankings must have the same length")
-    if ranks_a.size < 2:
+    n = ranks_a.size
+    if n < 2:
         return 0.0
-    return float(np.mean(np.abs(ranks_a - ranks_b)) / (ranks_a.size - 1))
+    max_mean_displacement = (n * n // 2) / n
+    return float(np.mean(np.abs(ranks_a - ranks_b)) / max_mean_displacement)
+
+
+def _count_inversions(values: np.ndarray) -> Tuple[int, np.ndarray]:
+    """Strict inversions (``i < j`` with ``values[i] > values[j]``), merge-counted.
+
+    Returns ``(count, sorted_values)``.  Classic divide-and-conquer with the
+    cross-half count vectorized through ``searchsorted``: ``O(m log m)`` time,
+    ``O(m)`` extra space per level, no ``(m, m)`` materialization.
+    """
+    n = values.size
+    if n < 2:
+        return 0, values
+    mid = n // 2
+    left_count, left = _count_inversions(values[:mid])
+    right_count, right = _count_inversions(values[mid:])
+    # For each right-half element, the left-half elements strictly greater
+    # than it were all ahead of it in the original order — inversions.
+    insert_at = np.searchsorted(left, right, side="right")
+    cross = int((left.size - insert_at).sum())
+    merged = np.empty(n, dtype=values.dtype)
+    right_positions = insert_at + np.arange(right.size)
+    left_mask = np.ones(n, dtype=bool)
+    left_mask[right_positions] = False
+    merged[right_positions] = right
+    merged[left_mask] = left
+    return left_count + right_count + cross, merged
+
+
+def _tied_pair_count(values: np.ndarray) -> int:
+    """Number of (unordered) pairs sharing the same value."""
+    _, counts = np.unique(values, return_counts=True)
+    return int((counts * (counts - 1) // 2).sum())
 
 
 def pairwise_ranking_accuracy(predicted: ScoresLike, truth: ScoresLike) -> float:
     """Fraction of user pairs ordered consistently with the ground truth.
 
     A more interpretable companion to Kendall's tau (it equals
-    ``(tau + 1) / 2`` in the absence of ties).
+    ``(tau + 1) / 2`` in the absence of ties).  Pairs tied in the truth
+    carry no ordering information and are excluded from the denominator;
+    a pair the truth orders strictly counts as consistent only when the
+    prediction orders it strictly the same way (a predicted tie is a miss).
+
+    Runs in ``O(m log m)`` — users are sorted by ``(truth, predicted)`` and
+    the strictly-discordant pairs fall out of a merge-sort inversion count
+    over the predicted scores — so it holds at the 200k-user scale where the
+    former dense ``(m, m)`` sign-matrix formulation needed ~320 GB.
     """
     predicted = _as_scores(predicted)
     truth = _as_scores(truth)
@@ -100,14 +149,20 @@ def pairwise_ranking_accuracy(predicted: ScoresLike, truth: ScoresLike) -> float
     m = predicted.size
     if m < 2:
         return 1.0
-    pred_diff = np.sign(predicted[:, np.newaxis] - predicted[np.newaxis, :])
-    true_diff = np.sign(truth[:, np.newaxis] - truth[np.newaxis, :])
-    mask = np.triu(np.ones((m, m), dtype=bool), k=1) & (true_diff != 0)
-    total = int(mask.sum())
+    total_pairs = m * (m - 1) // 2
+    ties_truth = _tied_pair_count(truth)
+    total = total_pairs - ties_truth
     if total == 0:
         return 1.0
-    agreements = int(np.sum((pred_diff == true_diff) & mask))
-    return agreements / total
+    # Within a truth-tie group the secondary key puts predictions in
+    # ascending order, so those pairs contribute no inversions and the
+    # inversion count is exactly the strictly-discordant pair count.
+    order = np.lexsort((predicted, truth))
+    discordant, _ = _count_inversions(predicted[order])
+    ties_pred = _tied_pair_count(predicted)
+    ties_both = _tied_pair_count(truth + 1j * predicted)
+    concordant = total_pairs - ties_truth - ties_pred + ties_both - discordant
+    return concordant / total
 
 
 def ranking_inversion_gap(reference: ScoresLike, other: ScoresLike) -> float:
@@ -155,6 +210,12 @@ def top_fraction_precision(predicted: ScoresLike, truth: ScoresLike,
 
     Relevant for the crowdsourcing use case of selecting the best workers
     (Example 2 in the paper's introduction).
+
+    Tie contract: ties at the selection boundary are broken toward the
+    *lower user index* (stable descending sort), for both the predicted and
+    the true top set.  The returned precision is therefore a deterministic
+    function of the score values — an unstable sort would make the top-k
+    membership of boundary-tied users an artifact of the sort algorithm.
     """
     if not 0 < fraction <= 1:
         raise ValueError("fraction must lie in (0, 1]")
@@ -163,6 +224,11 @@ def top_fraction_precision(predicted: ScoresLike, truth: ScoresLike,
     if predicted.size != truth.size:
         raise ValueError("predicted and truth must have the same length")
     count = max(1, int(round(fraction * predicted.size)))
-    predicted_top = set(np.argsort(predicted)[::-1][:count].tolist())
-    true_top = set(np.argsort(truth)[::-1][:count].tolist())
+    predicted_top = set(_top_indices(predicted, count).tolist())
+    true_top = set(_top_indices(truth, count).tolist())
     return len(predicted_top & true_top) / count
+
+
+def _top_indices(scores: np.ndarray, count: int) -> np.ndarray:
+    """Indices of the ``count`` largest scores, ties broken by lower index."""
+    return np.argsort(-scores, kind="stable")[:count]

@@ -1,0 +1,619 @@
+"""Production-shaped crowd generators with planted ground truth.
+
+The accuracy evidence of PRs 1-9 leans on planted-truth and GRM crowds —
+clean, well-behaved workloads.  Real crowds are not clean: voters collude,
+abilities drift between sessions, activity is heavy-tailed, items disagree
+on how many options they offer, and traffic arrives in bursts.  Each
+generator here builds one of those stresses as **canonical answer triples
+plus planted truth**, seeded and reproducible: the same
+``(num_users, num_items, random_state)`` always emits bit-identical
+triples, so screening artifacts derived from them are byte-stable.
+
+Every scenario returns a :class:`ScenarioInstance`:
+
+* ``response`` — the fully materialized :class:`ResponseMatrix`;
+* ``abilities`` — the planted per-user probability of answering correctly
+  (the ground truth every accuracy metric scores against);
+* ``correct_options`` — the planted true option per item;
+* ``batches`` — the arrival schedule as a list of :class:`TripleBatch`
+  (base crowd first).  Replaying the batches through a
+  ``ResponseBuilder``/``CrowdSession`` reproduces ``response`` exactly —
+  the drift and burst scenarios use this to stress append-time behaviour
+  (warm-start basins, flush pressure), while static screening consumes
+  ``response`` directly.
+
+The answer model is the planted-truth model the perf harness already
+trusts (``bench_perf._structured_triples``): user ``u`` answers item ``i``
+correctly with probability ``abilities[u]`` and uniformly among the wrong
+options otherwise.  Scenarios deform *who answers what, when, and with
+which coordination* around that core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.response import ResponseMatrix
+from repro.scenarios.registry import SCENARIOS, register_scenario
+
+RandomState = Optional[Union[int, np.random.Generator]]
+
+
+@dataclass
+class TripleBatch:
+    """One arrival batch of canonical ``(user, item, option)`` answer triples."""
+
+    users: np.ndarray
+    items: np.ndarray
+    options: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return int(self.users.size)
+
+
+@dataclass
+class ScenarioInstance:
+    """A generated stress crowd with planted truth and an arrival schedule."""
+
+    name: str
+    response: ResponseMatrix
+    abilities: np.ndarray
+    correct_options: np.ndarray
+    batches: List[TripleBatch]
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def num_users(self) -> int:
+        return self.response.num_users
+
+    @property
+    def num_items(self) -> int:
+        return self.response.num_items
+
+    @property
+    def num_answers(self) -> int:
+        return self.response.num_answers
+
+
+# --------------------------------------------------------------------------- #
+# Shared mechanics
+# --------------------------------------------------------------------------- #
+def _check_sizes(num_users: int, num_items: int, minimum_users: int = 4,
+                 minimum_items: int = 4) -> None:
+    if num_users < minimum_users:
+        raise ValueError("scenario needs at least %d users, got %d"
+                         % (minimum_users, num_users))
+    if num_items < minimum_items:
+        raise ValueError("scenario needs at least %d items, got %d"
+                         % (minimum_items, num_items))
+
+
+def _planted_options(
+    rng: np.random.Generator,
+    abilities: np.ndarray,
+    correct_options: np.ndarray,
+    option_counts: np.ndarray,
+    users: np.ndarray,
+    items: np.ndarray,
+) -> np.ndarray:
+    """Sample one option per ``(user, item)`` cell under the planted model."""
+    options = correct_options[items].copy()
+    wrong = rng.random(users.size) >= abilities[users]
+    if np.any(wrong):
+        counts = option_counts[items[wrong]]
+        # (correct + offset) mod count with offset in [1, count) is uniform
+        # over the wrong options without materializing them.
+        offsets = rng.integers(1, counts)
+        options[wrong] = (options[wrong] + offsets) % counts
+    return options
+
+
+def _sample_cells(
+    rng: np.random.Generator, num_users: int, num_items: int, target: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``target`` distinct ``(user, item)`` cells, uniform over the grid.
+
+    The bench-harness idiom: draw flat keys with slack, deduplicate, then
+    thin back to the target — ``O(target log target)``, never dense.
+    """
+    total = num_users * num_items
+    target = min(int(target), total)
+    if target <= 0:
+        return np.array([], dtype=np.int64), np.array([], dtype=np.int64)
+    keys = np.unique(rng.integers(0, total, size=int(target * 1.2) + 8,
+                                  dtype=np.int64))
+    while keys.size < target:  # pathological collision rates only
+        extra = rng.integers(0, total, size=target, dtype=np.int64)
+        keys = np.union1d(keys, extra)
+    if keys.size > target:
+        keys = np.sort(rng.choice(keys, size=target, replace=False))
+    return keys // num_items, keys % num_items
+
+
+def _coverage_cells(
+    rng: np.random.Generator,
+    num_users: int,
+    num_items: int,
+    users: np.ndarray,
+    items: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Cells fixing users/items nobody touched, so the answer graph is usable.
+
+    Mirrors the guarantee of ``irt.generators._apply_missingness``: every
+    user answers at least one item and every item receives at least one
+    answer.  The fix cells target already-covered counterparts, so they
+    cannot collide with existing cells or each other.
+    """
+    answered_users = np.zeros(num_users, dtype=bool)
+    answered_users[users] = True
+    answered_items = np.zeros(num_items, dtype=bool)
+    answered_items[items] = True
+    fix_users: List[int] = []
+    fix_items: List[int] = []
+    silent_users = np.flatnonzero(~answered_users)
+    covered_items = np.flatnonzero(answered_items)
+    if covered_items.size == 0:
+        covered_items = np.arange(num_items)
+    for user in silent_users:
+        fix_users.append(int(user))
+        fix_items.append(int(rng.choice(covered_items)))
+    orphan_items = np.flatnonzero(~answered_items)
+    covered_users = np.flatnonzero(answered_users)
+    if covered_users.size == 0:
+        covered_users = np.arange(num_users)
+    for item in orphan_items:
+        fix_users.append(int(rng.choice(covered_users)))
+        fix_items.append(int(item))
+    return (np.asarray(fix_users, dtype=np.int64),
+            np.asarray(fix_items, dtype=np.int64))
+
+
+def _free_coverage_cells(
+    rng: np.random.Generator,
+    num_users: int,
+    num_items: int,
+    batch_users: np.ndarray,
+    batch_items: np.ndarray,
+    all_users: np.ndarray,
+    all_items: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Coverage fixes for one batch that dodge *every* occupied cell.
+
+    :func:`_coverage_cells` may plant a fix in a cell a *later* batch
+    occupies (a user silent in the base batch can still answer in the
+    burst).  This variant fills the batch's coverage gaps while avoiding
+    the full cell set, so multi-batch scenarios stay duplicate-free.
+    """
+    occupied = set(
+        (all_users.astype(np.int64) * num_items + all_items).tolist()
+    )
+
+    def claim(user: int, candidates: np.ndarray) -> int:
+        for item in rng.permutation(candidates):
+            key = int(user) * num_items + int(item)
+            if key not in occupied:
+                occupied.add(key)
+                return int(item)
+        return -1  # the whole row slice is occupied; nothing to add
+
+    fix_users: List[int] = []
+    fix_items: List[int] = []
+    covered_items = np.unique(batch_items)
+    if covered_items.size == 0:
+        covered_items = np.arange(num_items)
+    batch_user_mask = np.zeros(num_users, dtype=bool)
+    batch_user_mask[batch_users] = True
+    for user in np.flatnonzero(~batch_user_mask):
+        item = claim(int(user), covered_items)
+        if item < 0:
+            item = claim(int(user), np.arange(num_items))
+        if item >= 0:
+            fix_users.append(int(user))
+            fix_items.append(item)
+    covered_users = np.unique(np.concatenate(
+        [batch_users, np.asarray(fix_users, dtype=np.int64)]
+    ))
+    if covered_users.size == 0:
+        covered_users = np.arange(num_users)
+    batch_item_mask = np.zeros(num_items, dtype=bool)
+    batch_item_mask[batch_items] = True
+    batch_item_mask[np.asarray(fix_items, dtype=np.int64)] = True
+    for item in np.flatnonzero(~batch_item_mask):
+        for user in rng.permutation(covered_users):
+            key = int(user) * num_items + int(item)
+            if key not in occupied:
+                occupied.add(key)
+                fix_users.append(int(user))
+                fix_items.append(int(item))
+                break
+    return (np.asarray(fix_users, dtype=np.int64),
+            np.asarray(fix_items, dtype=np.int64))
+
+
+def _sort_batch(users: np.ndarray, items: np.ndarray,
+                options: np.ndarray, num_items: int) -> TripleBatch:
+    """Canonical user-major order inside a batch (stable, reproducible)."""
+    order = np.argsort(users * np.int64(num_items) + items, kind="stable")
+    return TripleBatch(users=users[order].astype(np.int64),
+                       items=items[order].astype(np.int64),
+                       options=options[order].astype(np.int64))
+
+
+def _build_instance(
+    name: str,
+    batches: List[TripleBatch],
+    abilities: np.ndarray,
+    correct_options: np.ndarray,
+    option_counts: np.ndarray,
+    shape: Tuple[int, int],
+    metadata: Dict[str, object],
+) -> ScenarioInstance:
+    users = np.concatenate([batch.users for batch in batches])
+    items = np.concatenate([batch.items for batch in batches])
+    options = np.concatenate([batch.options for batch in batches])
+    response = ResponseMatrix.from_triples(
+        users, items, options, shape=shape,
+        num_options=option_counts.tolist(),
+    )
+    return ScenarioInstance(
+        name=name,
+        response=response,
+        abilities=np.asarray(abilities, dtype=float),
+        correct_options=np.asarray(correct_options, dtype=np.int64),
+        batches=batches,
+        metadata=metadata,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# The scenarios
+# --------------------------------------------------------------------------- #
+@register_scenario(
+    "colluding-bloc",
+    params=("bloc_fraction", "collusion", "density", "num_options"),
+)
+def generate_colluding_bloc(
+    num_users: int,
+    num_items: int,
+    *,
+    random_state: RandomState = None,
+    bloc_fraction: float = 0.25,
+    collusion: float = 0.9,
+    density: float = 0.3,
+    num_options: int = 4,
+) -> ScenarioInstance:
+    """Adversarial voter bloc coordinating on agreed-upon wrong answers.
+
+    A ``bloc_fraction`` of the users forms a colluding bloc: on each item
+    the bloc has one agreed wrong option, and a bloc member picks it with
+    probability ``collusion`` (answering per their own — low — ability
+    otherwise).  The coordination is the attack: every bloc answer agrees
+    with every other bloc answer, manufacturing exactly the inter-voter
+    consistency that agreement-driven methods read as competence.  Honest
+    users answer per the planted model with abilities in ``[0.55, 0.95]``.
+
+    Planted truth is each user's *effective* correctness probability (for
+    bloc members, ``(1 - collusion) * base_ability``), so accuracy metrics
+    reward methods that rank the bloc low despite its internal consistency.
+    """
+    _check_sizes(num_users, num_items)
+    if not 0.0 < bloc_fraction < 1.0:
+        raise ValueError("bloc_fraction must lie in (0, 1), got %r" % (bloc_fraction,))
+    if not 0.0 <= collusion <= 1.0:
+        raise ValueError("collusion must lie in [0, 1], got %r" % (collusion,))
+    rng = np.random.default_rng(random_state)
+    option_counts = np.full(num_items, int(num_options), dtype=np.int64)
+    correct_options = rng.integers(0, num_options, size=num_items)
+    bloc_size = max(1, int(round(bloc_fraction * num_users)))
+    bloc = rng.choice(num_users, size=bloc_size, replace=False)
+    is_bloc = np.zeros(num_users, dtype=bool)
+    is_bloc[bloc] = True
+    base_abilities = rng.uniform(0.55, 0.95, size=num_users)
+    base_abilities[is_bloc] = rng.uniform(0.15, 0.35, size=bloc_size)
+    # The bloc's agreed (wrong) option per item.
+    bloc_offsets = rng.integers(1, option_counts)
+    bloc_options = (correct_options + bloc_offsets) % option_counts
+
+    users, items = _sample_cells(
+        rng, num_users, num_items, num_users * num_items * density
+    )
+    fix_users, fix_items = _coverage_cells(rng, num_users, num_items, users, items)
+    users = np.concatenate([users, fix_users])
+    items = np.concatenate([items, fix_items])
+    options = _planted_options(rng, base_abilities, correct_options,
+                               option_counts, users, items)
+    colluding = is_bloc[users] & (rng.random(users.size) < collusion)
+    options[colluding] = bloc_options[items[colluding]]
+
+    abilities = np.where(
+        is_bloc, (1.0 - collusion) * base_abilities, base_abilities
+    )
+    batch = _sort_batch(users, items, options, num_items)
+    return _build_instance(
+        "colluding-bloc", [batch], abilities, correct_options, option_counts,
+        (num_users, num_items),
+        metadata={
+            "bloc_users": np.sort(bloc).tolist(),
+            "bloc_fraction": float(bloc_fraction),
+            "collusion": float(collusion),
+            "density": float(density),
+        },
+    )
+
+
+@register_scenario(
+    "drifting-abilities",
+    params=("num_phases", "drift", "density", "num_options"),
+)
+def generate_drifting_abilities(
+    num_users: int,
+    num_items: int,
+    *,
+    random_state: RandomState = None,
+    num_phases: int = 4,
+    drift: float = 0.2,
+    density: float = 0.35,
+    num_options: int = 4,
+) -> ScenarioInstance:
+    """Abilities that drift across append batches — answers that change minds.
+
+    The item set is split into ``num_phases`` contiguous slices and each
+    phase arrives as its own append batch: users answer phase ``p``'s items
+    with the ability their random walk (steps ``N(0, drift)``, clipped to
+    ``[0.05, 0.95]``) has reached by then.  Later appends therefore carry
+    evidence that *contradicts* the earlier crowd — the workload the PR 5
+    warm-start basin contract is weakest on, by design.
+
+    Planted truth is the answer-weighted mean ability per user (what the
+    full materialized crowd actually reflects); ``metadata["phase_abilities"]``
+    keeps the full trajectory for drift-aware consumers.
+    """
+    _check_sizes(num_users, num_items, minimum_items=max(4, num_phases))
+    if num_phases < 2:
+        raise ValueError("num_phases must be >= 2, got %d" % num_phases)
+    rng = np.random.default_rng(random_state)
+    option_counts = np.full(num_items, int(num_options), dtype=np.int64)
+    correct_options = rng.integers(0, num_options, size=num_items)
+    phase_abilities = np.empty((num_phases, num_users))
+    phase_abilities[0] = rng.uniform(0.25, 0.9, size=num_users)
+    for phase in range(1, num_phases):
+        steps = rng.normal(0.0, drift, size=num_users)
+        phase_abilities[phase] = np.clip(
+            phase_abilities[phase - 1] + steps, 0.05, 0.95
+        )
+
+    boundaries = np.linspace(0, num_items, num_phases + 1).astype(np.int64)
+    batches: List[TripleBatch] = []
+    weighted = np.zeros(num_users)
+    weights = np.zeros(num_users)
+    for phase in range(num_phases):
+        start, stop = int(boundaries[phase]), int(boundaries[phase + 1])
+        width = stop - start
+        local_users, local_items = _sample_cells(
+            rng, num_users, width, num_users * width * density
+        )
+        items = local_items + start
+        if phase == num_phases - 1:
+            # Coverage fixes ride the final phase so the whole grid is used.
+            all_users = np.concatenate(
+                [batch.users for batch in batches] + [local_users]
+            )
+            all_items = np.concatenate(
+                [batch.items for batch in batches] + [items]
+            )
+            fix_users, fix_items = _coverage_cells(
+                rng, num_users, num_items, all_users, all_items
+            )
+            local_users = np.concatenate([local_users, fix_users])
+            items = np.concatenate([items, fix_items])
+        options = _planted_options(
+            rng, phase_abilities[phase], correct_options, option_counts,
+            local_users, items,
+        )
+        batches.append(_sort_batch(local_users, items, options, num_items))
+        counts = np.bincount(local_users, minlength=num_users)
+        weighted += counts * phase_abilities[phase]
+        weights += counts
+
+    abilities = weighted / np.maximum(weights, 1.0)
+    return _build_instance(
+        "drifting-abilities", batches, abilities, correct_options,
+        option_counts, (num_users, num_items),
+        metadata={
+            "num_phases": int(num_phases),
+            "drift": float(drift),
+            "phase_abilities": phase_abilities,
+            "phase_boundaries": boundaries.tolist(),
+        },
+    )
+
+
+@register_scenario(
+    "heavy-tailed-activity",
+    params=("zipf_exponent", "num_options"),
+)
+def generate_heavy_tailed_activity(
+    num_users: int,
+    num_items: int,
+    *,
+    random_state: RandomState = None,
+    zipf_exponent: float = 1.6,
+    num_options: int = 4,
+) -> ScenarioInstance:
+    """Zipf-distributed user activity: a few power users, a long silent tail.
+
+    Per-user answer counts are drawn from a Zipf law with exponent
+    ``zipf_exponent`` (clipped to the item count), so a handful of users
+    answer nearly everything while most contribute one or two answers —
+    the participation histogram real crowdsourcing platforms report.
+    Ranking the one-answer tail from almost no evidence is the stress.
+    """
+    _check_sizes(num_users, num_items)
+    if zipf_exponent <= 1.0:
+        raise ValueError("zipf_exponent must be > 1, got %r" % (zipf_exponent,))
+    rng = np.random.default_rng(random_state)
+    option_counts = np.full(num_items, int(num_options), dtype=np.int64)
+    correct_options = rng.integers(0, num_options, size=num_items)
+    abilities = rng.uniform(0.35, 0.95, size=num_users)
+    activity = np.minimum(rng.zipf(zipf_exponent, size=num_users), num_items)
+    users = np.repeat(np.arange(num_users, dtype=np.int64), activity)
+    # Distinct items per user; the per-user loop is fine at screening
+    # scales and keeps memory at O(nnz), never O(m * n).
+    items = np.empty(users.size, dtype=np.int64)
+    cursor = 0
+    for count in activity:
+        items[cursor:cursor + count] = rng.choice(num_items, size=count,
+                                                  replace=False)
+        cursor += count
+    fix_users, fix_items = _coverage_cells(rng, num_users, num_items, users, items)
+    users = np.concatenate([users, fix_users])
+    items = np.concatenate([items, fix_items])
+    options = _planted_options(rng, abilities, correct_options, option_counts,
+                               users, items)
+    batch = _sort_batch(users, items, options, num_items)
+    return _build_instance(
+        "heavy-tailed-activity", [batch], abilities, correct_options,
+        option_counts, (num_users, num_items),
+        metadata={
+            "zipf_exponent": float(zipf_exponent),
+            "max_activity": int(activity.max()),
+            "median_activity": float(np.median(activity)),
+        },
+    )
+
+
+@register_scenario(
+    "heterogeneous-options",
+    params=("min_options", "max_options", "density"),
+)
+def generate_heterogeneous_options(
+    num_users: int,
+    num_items: int,
+    *,
+    random_state: RandomState = None,
+    min_options: int = 2,
+    max_options: int = 6,
+    density: float = 0.3,
+) -> ScenarioInstance:
+    """Per-item option counts ranging from binary to ``max_options``-way.
+
+    Every item draws its own option count uniformly from
+    ``[min_options, max_options]`` — mixing coin-flip binary items (where a
+    wrong answer still agrees with the truth half the time by chance) with
+    many-option items whose agreements carry real signal.  Methods that
+    assume a homogeneous option space over- or under-weight the binary
+    items; the planted truth exposes that.
+    """
+    _check_sizes(num_users, num_items)
+    if min_options < 2 or max_options < min_options:
+        raise ValueError(
+            "need 2 <= min_options <= max_options, got %d..%d"
+            % (min_options, max_options)
+        )
+    rng = np.random.default_rng(random_state)
+    option_counts = rng.integers(min_options, max_options + 1,
+                                 size=num_items).astype(np.int64)
+    correct_options = rng.integers(0, option_counts)
+    abilities = rng.uniform(0.4, 0.95, size=num_users)
+    users, items = _sample_cells(
+        rng, num_users, num_items, num_users * num_items * density
+    )
+    fix_users, fix_items = _coverage_cells(rng, num_users, num_items, users, items)
+    users = np.concatenate([users, fix_users])
+    items = np.concatenate([items, fix_items])
+    options = _planted_options(rng, abilities, correct_options, option_counts,
+                               users, items)
+    batch = _sort_batch(users, items, options, num_items)
+    return _build_instance(
+        "heterogeneous-options", [batch], abilities, correct_options,
+        option_counts, (num_users, num_items),
+        metadata={
+            "min_options": int(min_options),
+            "max_options": int(max_options),
+            "option_count_histogram": np.bincount(option_counts).tolist(),
+        },
+    )
+
+
+@register_scenario(
+    "burst-append",
+    params=("base_density", "burst_multiplier", "num_options"),
+)
+def generate_burst_append(
+    num_users: int,
+    num_items: int,
+    *,
+    random_state: RandomState = None,
+    base_density: float = 0.08,
+    burst_multiplier: float = 4.0,
+    num_options: int = 4,
+) -> ScenarioInstance:
+    """A quiet base crowd followed by one sudden traffic burst.
+
+    The crowd arrives in two batches: a sparse base at ``base_density``,
+    then a single burst carrying ``burst_multiplier`` times as many answers
+    at once — the append pattern that stresses flush queues, warm-start
+    re-convergence depth and any per-append bookkeeping.  Abilities are
+    stationary; the burst changes the *evidence volume*, not the truth, so
+    post-burst accuracy should only improve.
+    """
+    _check_sizes(num_users, num_items)
+    if burst_multiplier <= 0:
+        raise ValueError("burst_multiplier must be > 0, got %r" % (burst_multiplier,))
+    rng = np.random.default_rng(random_state)
+    option_counts = np.full(num_items, int(num_options), dtype=np.int64)
+    correct_options = rng.integers(0, num_options, size=num_items)
+    abilities = rng.uniform(0.4, 0.95, size=num_users)
+    total_density = min(0.9, base_density * (1.0 + burst_multiplier))
+    users, items = _sample_cells(
+        rng, num_users, num_items, num_users * num_items * total_density
+    )
+    base_share = 1.0 / (1.0 + burst_multiplier)
+    in_base = rng.random(users.size) < base_share
+    # Coverage cells join the base batch — the graph must be usable
+    # pre-burst — so the fixes target base-batch gaps while steering clear
+    # of every sampled cell (base *or* burst) to keep cells disjoint.
+    fix_users, fix_items = _free_coverage_cells(
+        rng, num_users, num_items,
+        users[in_base], items[in_base], users, items,
+    )
+    options = _planted_options(rng, abilities, correct_options, option_counts,
+                               users, items)
+    base_users = np.concatenate([users[in_base], fix_users])
+    base_items = np.concatenate([items[in_base], fix_items])
+    fix_options = _planted_options(rng, abilities, correct_options,
+                                   option_counts, fix_users, fix_items)
+    base_options = np.concatenate([options[in_base], fix_options])
+    batches = [
+        _sort_batch(base_users, base_items, base_options, num_items),
+        _sort_batch(users[~in_base], items[~in_base], options[~in_base],
+                    num_items),
+    ]
+    return _build_instance(
+        "burst-append", batches, abilities, correct_options, option_counts,
+        (num_users, num_items),
+        metadata={
+            "base_density": float(base_density),
+            "burst_multiplier": float(burst_multiplier),
+            "base_answers": batches[0].size,
+            "burst_answers": batches[1].size,
+        },
+    )
+
+
+def generate_scenario(
+    name: str,
+    num_users: int,
+    num_items: int,
+    *,
+    random_state: RandomState = None,
+    **params,
+) -> ScenarioInstance:
+    """Resolve ``name`` in the scenario registry and generate an instance."""
+    return SCENARIOS.get(name).generate(
+        num_users, num_items, random_state=random_state, **params
+    )

@@ -1,0 +1,36 @@
+"""Resumable mass screening of ranking methods over stress scenarios (PR 10).
+
+``repro.screening`` sweeps ``scenario x scale x method`` grids built from
+:mod:`repro.scenarios` and the ranker registry, checkpointing one
+byte-deterministic artifact per cell so a killed sweep resumes to
+identical outputs, and gates accuracy against committed per-cell floors
+(``benchmarks/BENCH_PR10.json``).
+"""
+
+from repro.screening.orchestrator import (
+    ARTIFACT_VERSION,
+    GATE_METRIC,
+    METRIC_NAMES,
+    ScreeningCell,
+    ScreeningPlan,
+    ScreeningResult,
+    check_baseline,
+    derive_seed,
+    load_baseline,
+    run_screening,
+    write_baseline,
+)
+
+__all__ = [
+    "ARTIFACT_VERSION",
+    "GATE_METRIC",
+    "METRIC_NAMES",
+    "ScreeningCell",
+    "ScreeningPlan",
+    "ScreeningResult",
+    "check_baseline",
+    "derive_seed",
+    "load_baseline",
+    "run_screening",
+    "write_baseline",
+]

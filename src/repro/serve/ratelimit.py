@@ -18,7 +18,7 @@ the clock is injectable so tests don't sleep.
 from __future__ import annotations
 
 import time
-from typing import Callable
+from typing import Callable, Optional
 
 
 class TokenBucket:
@@ -31,7 +31,12 @@ class TokenBucket:
     burst:
         Bucket capacity — how many requests may land back-to-back after an
         idle period before the steady rate applies.  Defaults to ``rate``
-        (one second of traffic), with a floor of one token.
+        (one second of traffic), with a floor of one token on the default
+        only.  An explicit ``burst`` must be positive (``ValueError``
+        otherwise — a non-positive capacity is a misconfiguration, not a
+        request for a 1-token bucket) and is used as given; a fractional
+        capacity below 1.0 builds a bucket that can never grant a whole
+        token.
     clock:
         Monotonic time source, injectable for tests.
     """
@@ -39,14 +44,16 @@ class TokenBucket:
     def __init__(
         self,
         rate: float,
-        burst: float = None,
+        burst: Optional[float] = None,
         *,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if rate <= 0:
             raise ValueError("rate must be > 0 tokens/s, got %r" % (rate,))
+        if burst is not None and burst <= 0:
+            raise ValueError("burst must be > 0 tokens, got %r" % (burst,))
         self.rate = float(rate)
-        self.burst = max(1.0, float(rate if burst is None else burst))
+        self.burst = max(1.0, self.rate) if burst is None else float(burst)
         self._clock = clock
         self._tokens = self.burst
         self._refilled = clock()

@@ -14,7 +14,8 @@ class TestParser:
 
     def test_known_commands_parse(self):
         parser = build_parser()
-        for command in ("list", "fig4", "fig5", "fig6", "fig7", "fig12", "fig13"):
+        for command in ("list", "fig4", "fig5", "fig6", "fig7", "fig12",
+                        "fig13", "screen"):
             args = parser.parse_args([command])
             assert callable(args.func)
 

@@ -64,6 +64,61 @@ class TestKendallAndPairwise:
     def test_pairwise_single_user(self):
         assert pairwise_ranking_accuracy([1.0], [2.0]) == 1.0
 
+    def test_pairwise_all_truth_ties_is_vacuous(self):
+        assert pairwise_ranking_accuracy([1.0, 2.0, 3.0], [5.0, 5.0, 5.0]) == 1.0
+
+    def test_pairwise_predicted_tie_is_a_miss(self):
+        # Truth orders the pair strictly; a predicted tie is not agreement.
+        assert pairwise_ranking_accuracy([1.0, 1.0], [1.0, 2.0]) == 0.0
+
+    @given(
+        st.integers(2, 40).flatmap(
+            lambda m: st.tuples(
+                hnp.arrays(dtype=float, shape=m,
+                           elements=st.floats(-5, 5, allow_nan=False).map(
+                               lambda x: round(x, 1))),
+                hnp.arrays(dtype=float, shape=m,
+                           elements=st.floats(-5, 5, allow_nan=False).map(
+                               lambda x: round(x, 1))),
+            )
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_pairwise_matches_dense_signmatrix_oracle(self, arrays):
+        # The O(m log m) merge/searchsorted count must agree exactly with
+        # the dense (m, m) sign-matrix formulation it replaced, including
+        # heavy ties in either input (rounding to 1 decimal forces them).
+        predicted, truth = arrays
+        assert pairwise_ranking_accuracy(predicted, truth) == pytest.approx(
+            _dense_pairwise_oracle(predicted, truth), abs=1e-12
+        )
+
+    def test_pairwise_runs_at_large_scale(self):
+        # The dense form needed ~m**2 bytes; the merge count handles 200k
+        # users in well under a second and agrees with Kendall's tau.
+        rng = np.random.default_rng(3)
+        predicted = rng.random(200_000)
+        truth = rng.random(200_000)
+        value = pairwise_ranking_accuracy(predicted, truth)
+        assert 0.0 <= value <= 1.0
+        assert value == pytest.approx(
+            (kendall_accuracy(predicted, truth) + 1) / 2, abs=1e-9
+        )
+
+
+def _dense_pairwise_oracle(predicted, truth) -> float:
+    """The pre-PR-10 dense sign-matrix formulation, kept as the test oracle."""
+    predicted = np.asarray(predicted, dtype=float)
+    truth = np.asarray(truth, dtype=float)
+    m = predicted.size
+    pred_diff = np.sign(predicted[:, np.newaxis] - predicted[np.newaxis, :])
+    true_diff = np.sign(truth[:, np.newaxis] - truth[np.newaxis, :])
+    mask = np.triu(np.ones((m, m), dtype=bool), k=1) & (true_diff != 0)
+    total = int(mask.sum())
+    if total == 0:
+        return 1.0
+    return int(np.sum((pred_diff == true_diff) & mask)) / total
+
 
 class TestDisplacementAndRanks:
     def test_rank_vector_with_ties(self):
@@ -72,9 +127,14 @@ class TestDisplacementAndRanks:
     def test_zero_displacement_for_identical_rankings(self):
         assert normalized_displacement([1, 2, 3], [10, 20, 30]) == 0.0
 
-    def test_maximal_displacement_for_reversed_ranking(self):
-        displacement = normalized_displacement([1, 2, 3, 4], [4, 3, 2, 1])
-        assert displacement == pytest.approx(2.0 / 3.0)
+    @pytest.mark.parametrize("size", [2, 3, 4, 7, 10, 101, 1024])
+    def test_reversal_pins_the_documented_ceiling(self, size):
+        # The [0, 1] contract: the full reversal is the worst disagreement
+        # two rankings of `size` users can have, and it must score exactly
+        # 1.0 at every size (the old `n - 1` normalizer capped large crowds
+        # near 0.5 and made the "scaled to [0, 1]" docstring a lie).
+        scores = np.arange(size, dtype=float)
+        assert normalized_displacement(scores, -scores) == pytest.approx(1.0)
 
     def test_length_mismatch_rejected(self):
         with pytest.raises(ValueError):
@@ -101,6 +161,29 @@ class TestTopFractionPrecision:
         predicted = np.arange(10, dtype=float)
         truth = -predicted
         assert top_fraction_precision(predicted, truth, fraction=0.2) == 0.0
+
+    def test_tied_boundary_is_stable(self):
+        # Four users tied at the boundary score: an unstable argsort could
+        # put any of them in the top-2 and the precision would depend on
+        # the sort algorithm.  The documented contract breaks score ties
+        # toward the lower user index, so the result is pinned.
+        predicted = np.array([1.0, 1.0, 1.0, 1.0, 0.0])
+        truth = np.array([1.0, 1.0, 1.0, 1.0, 0.0])
+        assert top_fraction_precision(predicted, truth, fraction=0.4) == 1.0
+        # Reversing who the *truth* favours (strictly) while the prediction
+        # stays all-tied: the predicted top-2 is {0, 1} by the tie contract,
+        # the true top-2 is {3, 4} strictly — zero overlap, deterministic.
+        truth = np.array([0.0, 1.0, 2.0, 3.0, 4.0])
+        assert top_fraction_precision(predicted[:5], truth, fraction=0.4) == 0.0
+
+    def test_tie_contract_matches_across_permuted_storage(self):
+        # Same multiset of scores, boundary ties resolved identically: the
+        # precision of a ranking against itself is always 1.0 regardless of
+        # how many users share the boundary score.
+        rng = np.random.default_rng(0)
+        scores = np.repeat(np.arange(5.0), 4)
+        rng.shuffle(scores)
+        assert top_fraction_precision(scores, scores, fraction=0.3) == 1.0
 
     def test_invalid_fraction_rejected(self):
         with pytest.raises(ValueError):

@@ -242,3 +242,17 @@ class TestTokenBucket:
         bucket = TokenBucket(rate=0.001, clock=lambda: 0.0)
         assert bucket.burst == 1.0
         assert bucket.try_acquire() == 0.0
+
+    @pytest.mark.parametrize("burst", [0.0, -1.0, -0.5])
+    def test_non_positive_burst_rejected(self, burst):
+        # A burst <= 0 used to be silently floored to a 1-token bucket; a
+        # nonsensical capacity is a loud configuration error now.
+        with pytest.raises(ValueError, match="burst"):
+            TokenBucket(rate=5.0, burst=burst, clock=lambda: 0.0)
+
+    def test_explicit_fractional_burst_is_kept(self):
+        # Positive sub-1.0 capacities are no longer floored either: the
+        # documented contract is "used as given" for any explicit burst.
+        bucket = TokenBucket(rate=5.0, burst=0.25, clock=lambda: 0.0)
+        assert bucket.burst == 0.25
+        assert bucket.try_acquire() > 0.0
